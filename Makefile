@@ -1,0 +1,31 @@
+# dbpsim — common developer entry points (plain go commands work too).
+
+GO ?= go
+
+.PHONY: build test test-short bench sweep sweep-quick vet fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table/figure (full budgets; ~15 min).
+sweep:
+	$(GO) run ./cmd/dbpsweep -exp all -csv results
+
+# Fast regression pass over three mixes.
+sweep-quick:
+	$(GO) run ./cmd/dbpsweep -exp all -quick

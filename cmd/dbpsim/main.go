@@ -1,0 +1,152 @@
+// Command dbpsim runs one workload mix on the simulated CMP under a chosen
+// scheduler/partition pair and prints the paper's metrics.
+//
+// Usage:
+//
+//	dbpsim -mix W8-M1 -sched tcm -part dbp
+//	dbpsim -benchmarks mcf-like,lbm-like,gcc-like,povray-like -part equal
+//	dbpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbpsim"
+	"dbpsim/internal/stats"
+)
+
+func main() {
+	var (
+		mixName    = flag.String("mix", "W8-M1", "workload mix name (see -list)")
+		benchList  = flag.String("benchmarks", "", "comma-separated benchmark names (overrides -mix)")
+		schedName  = flag.String("sched", "frfcfs", "scheduler: fcfs|frfcfs|tcm|atlas")
+		partName   = flag.String("part", "none", "partitioning: none|equal|dbp|mcp")
+		warmup     = flag.Uint64("warmup", 200_000, "per-core warmup instructions")
+		measure    = flag.Uint64("measure", 400_000, "per-core measured instructions")
+		seed       = flag.Int64("seed", 1, "random seed")
+		banks      = flag.Int("banks", 8, "banks per rank")
+		channels   = flag.Int("channels", 2, "memory channels")
+		quantum    = flag.Uint64("quantum", 500_000, "DBP repartitioning quantum (CPU cycles)")
+		verbose    = flag.Bool("v", false, "print per-thread detail")
+		listThings = flag.Bool("list", false, "list benchmarks and mixes, then exit")
+		configPath = flag.String("config", "", "JSON config file (partial override of defaults)")
+		saveConfig = flag.String("saveconfig", "", "write the effective config to this file and exit")
+		latency    = flag.Bool("latency", false, "print per-thread read-latency distributions")
+		timeline   = flag.Bool("timeline", false, "print per-thread bank-allocation and IPC sparklines")
+		paranoid   = flag.Bool("paranoid", false, "cross-check system invariants during the run")
+	)
+	flag.Parse()
+
+	if *listThings {
+		fmt.Println("benchmarks:")
+		for _, s := range dbpsim.Suite() {
+			fmt.Printf("  %-18s %-7s target MPKI %-5.4g %s\n", s.Name, s.Class, s.TargetMPKI, s.Description)
+		}
+		fmt.Println("mixes:")
+		for _, set := range [][]dbpsim.Mix{dbpsim.Mixes4(), dbpsim.Mixes8(), dbpsim.Mixes16()} {
+			for _, m := range set {
+				fmt.Printf("  %-8s (%s) %s\n", m.Name, m.Category, strings.Join(m.Members, ", "))
+			}
+		}
+		return
+	}
+
+	mix, err := resolveMix(*mixName, *benchList)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := dbpsim.DefaultConfig(mix.Cores())
+	cfg.Seed = *seed
+	cfg.Geometry.BanksPerRank = *banks
+	cfg.Geometry.Channels = *channels
+	cfg.DBP.QuantumCPUCycles = *quantum
+	if *configPath != "" {
+		loaded, err := dbpsim.LoadConfig(*configPath, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = loaded
+		cfg.Cores = mix.Cores() // the mix decides the core count
+	}
+	cfg.RecordLatencyHistograms = *latency
+	cfg.RecordTimeline = *timeline
+	cfg.Paranoid = *paranoid
+	if *saveConfig != "" {
+		if err := dbpsim.SaveConfig(*saveConfig, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *saveConfig)
+		return
+	}
+
+	exp := dbpsim.NewExperiment(cfg, *warmup, *measure)
+	run, err := exp.RunMix(mix, dbpsim.SchedulerKind(*schedName), dbpsim.PartitionKind(*partName))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s under %s/%s: %s\n", mix.Name, *schedName, *partName, run.Metrics)
+	if *latency {
+		fmt.Println("read latency (memory cycles):")
+		for i, h := range run.Result.ReadLatency {
+			if h == nil || h.N == 0 {
+				continue
+			}
+			fmt.Printf("  %-18s mean=%-7.1f min=%-6.0f max=%-7.0f n=%d\n",
+				run.Result.Threads[i].Name, h.MeanValue(), h.Min, h.Max, h.N)
+		}
+	}
+	if *timeline && len(run.Result.Timeline) > 0 {
+		names := make([]string, len(run.Result.Threads))
+		banks := make([][]float64, len(run.Result.Threads))
+		ipcs := make([][]float64, len(run.Result.Threads))
+		for _, p := range run.Result.Timeline {
+			for t := range names {
+				banks[t] = append(banks[t], float64(p.Banks[t]))
+				ipcs[t] = append(ipcs[t], p.IPC[t])
+			}
+		}
+		for t, th := range run.Result.Threads {
+			names[t] = th.Name
+		}
+		fmt.Print(stats.SeriesChart("bank allocation over time:", names, banks))
+		fmt.Print(stats.SeriesChart("IPC over time:", names, ipcs))
+	}
+	if *verbose {
+		fmt.Print(run.Metrics.Table())
+		fmt.Printf("cycles=%d repartitions=%d dram=%+v\n",
+			run.Result.Cycles, run.Result.Repartitions, run.Result.DRAM)
+		for _, th := range run.Result.Threads {
+			fmt.Printf("  %-18s mpki=%-6.1f rbl=%-5.2f blp=%-5.2f pages=%d migrated=%d\n",
+				th.Name, th.MPKI, th.RBL, th.BLP, th.PagesAllocated, th.PagesMigrated)
+		}
+	}
+}
+
+// resolveMix builds the workload either from a named mix or an explicit
+// benchmark list.
+func resolveMix(mixName, benchList string) (dbpsim.Mix, error) {
+	if benchList == "" {
+		mix, ok := dbpsim.MixByName(mixName)
+		if !ok {
+			return dbpsim.Mix{}, fmt.Errorf("unknown mix %q (try -list)", mixName)
+		}
+		return mix, nil
+	}
+	members := strings.Split(benchList, ",")
+	for i := range members {
+		members[i] = strings.TrimSpace(members[i])
+		if _, ok := dbpsim.BenchByName(members[i]); !ok {
+			return dbpsim.Mix{}, fmt.Errorf("unknown benchmark %q (try -list)", members[i])
+		}
+	}
+	return dbpsim.Mix{Name: "custom", Category: "?", Members: members}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestResolveMixNamed(t *testing.T) {
+	mix, err := resolveMix("W8-M1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Name != "W8-M1" || mix.Cores() != 8 {
+		t.Errorf("mix = %+v", mix)
+	}
+}
+
+func TestResolveMixUnknownName(t *testing.T) {
+	if _, err := resolveMix("W99-X", ""); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestResolveMixCustomList(t *testing.T) {
+	mix, err := resolveMix("ignored", "mcf-like, lbm-like ,gcc-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Cores() != 3 {
+		t.Errorf("custom mix cores = %d", mix.Cores())
+	}
+	if mix.Members[1] != "lbm-like" {
+		t.Errorf("whitespace not trimmed: %q", mix.Members[1])
+	}
+}
+
+func TestResolveMixCustomUnknownBenchmark(t *testing.T) {
+	if _, err := resolveMix("", "mcf-like,ghost"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command dbpsweep regenerates the paper's tables and figures (DESIGN.md's
+// experiment index) and prints paper-style rows, with headline lines
+// comparing measured deltas against the paper's claims.
+//
+// Usage:
+//
+//	dbpsweep -exp main            # Figs. 6–7: FRFCFS / EqualBP / DBP
+//	dbpsweep -exp all -quick      # everything, reduced budgets
+//	dbpsweep -exp table2 -csv out # write CSV next to the text output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dbpsim/internal/experiments"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "main", "experiment id or 'all' (one of: "+strings.Join(experiments.Names(), ", ")+")")
+		quick   = flag.Bool("quick", false, "reduced budgets and mix list")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+		plot    = flag.Bool("plot", false, "render bar charts for sweep experiments")
+		mdPath  = flag.String("md", "", "also append a markdown report to this file")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions(*quick)
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  …", line) }
+	}
+
+	reg := experiments.Registry()
+	var ids []string
+	if *expName == "all" {
+		ids = experiments.Names()
+		// Run cheap configuration/characterisation first.
+		sort.SliceStable(ids, func(i, j int) bool { return order(ids[i]) < order(ids[j]) })
+	} else {
+		if reg[*expName] == nil {
+			fmt.Fprintf(os.Stderr, "dbpsweep: unknown experiment %q; known: %s\n",
+				*expName, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		ids = []string{*expName}
+	}
+
+	var md *os.File
+	if *mdPath != "" {
+		var err error
+		md, err = os.OpenFile(*mdPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
+			os.Exit(1)
+		}
+		defer md.Close()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := reg[id](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbpsweep: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if md != nil {
+			if err := out.WriteMarkdown(md); err != nil {
+				fmt.Fprintln(os.Stderr, "dbpsweep:", err)
+				os.Exit(1)
+			}
+		}
+		writeOut := out.Write
+		if *plot {
+			writeOut = out.WritePlot
+		}
+		if err := writeOut(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" && out.Table != nil {
+			if err := writeCSV(*csvDir, out.ID, out.Table.CSV()); err != nil {
+				fmt.Fprintln(os.Stderr, "dbpsweep:", err)
+				os.Exit(1)
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  %s finished in %.1fs\n", id, time.Since(start).Seconds())
+		}
+	}
+}
+
+// order sorts experiment ids into a sensible presentation sequence.
+func order(id string) int {
+	seq := []string{"table1", "table2", "fig1", "fig2", "main", "dbptcm", "mcp",
+		"banks", "cores", "quantum", "dynamics", "ablation", "tcmthresh",
+		"prefetch", "energy", "parbs", "mapping", "llc", "timing"}
+	for i, s := range seq {
+		if s == id {
+			return i
+		}
+	}
+	return len(seq)
+}
+
+func writeCSV(dir, id, csv string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".csv"), []byte(csv), 0o644)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbpsim/internal/experiments"
+)
+
+func TestOrderCoversRegistry(t *testing.T) {
+	seen := map[int]string{}
+	for _, id := range experiments.Names() {
+		pos := order(id)
+		if prev, dup := seen[pos]; dup {
+			t.Errorf("ids %q and %q share order %d", prev, id, pos)
+		}
+		seen[pos] = id
+	}
+	if order("nonexistent") <= order("table1") {
+		t.Error("unknown ids must sort last")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeCSV(dir, "unit", "a,b\n1,2\n"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "unit.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Errorf("csv content = %q", data)
+	}
+	// Nested directory creation.
+	if err := writeCSV(filepath.Join(dir, "x", "y"), "z", "q\n"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command dbptrace inspects the synthetic trace generators: it dumps raw
+// items, summarises a benchmark's instruction mix / footprint / access
+// shape (for calibrating new benchmark profiles), and records or replays
+// traces in the compact binary format of internal/tracefile.
+//
+// Usage:
+//
+//	dbptrace -bench milc-like -n 20              # dump 20 items
+//	dbptrace -bench milc-like -n 200000 -stats   # summarise
+//	dbptrace -bench milc-like -n 200000 -record milc.dbpt
+//	dbptrace -replay milc.dbpt -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbpsim"
+	"dbpsim/internal/trace"
+	"dbpsim/internal/tracefile"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "milc-like", "benchmark name")
+		n         = flag.Int("n", 20, "number of trace items")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		doStats   = flag.Bool("stats", false, "summarise instead of dumping")
+		record    = flag.String("record", "", "write the trace to this file and exit")
+		replay    = flag.String("replay", "", "read items from this trace file instead of a generator")
+	)
+	flag.Parse()
+
+	gen, label, err := buildSource(*benchName, *replay, *seed, n)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tracefile.Record(gen, *n, f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d items of %s to %s\n", *n, label, *record)
+		return
+	}
+
+	if !*doStats {
+		fmt.Printf("# %s\n", label)
+		fmt.Printf("%-6s %-18s %-6s %s\n", "gap", "vaddr", "write", "dependent")
+		for i := 0; i < *n; i++ {
+			it := gen.Next()
+			fmt.Printf("%-6d %#-18x %-6v %v\n", it.Gap, it.Addr, it.IsWrite, it.Dependent)
+		}
+		return
+	}
+	printStats(gen, label, *benchName, *replay == "", *n)
+}
+
+// buildSource returns the item source: a synthetic generator or a replay.
+// When replaying, *n is clamped to the recorded length.
+func buildSource(benchName, replay string, seed int64, n *int) (trace.Generator, string, error) {
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		gen, length, err := tracefile.Generator(f)
+		if err != nil {
+			return nil, "", err
+		}
+		if *n > length {
+			*n = length
+		}
+		return gen, fmt.Sprintf("replay of %s (%d items)", replay, length), nil
+	}
+	spec, ok := dbpsim.BenchByName(benchName)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	return spec.New(seed), fmt.Sprintf("%s: %s", spec.Name, spec.Description), nil
+}
+
+func printStats(gen trace.Generator, label, benchName string, synthetic bool, n int) {
+	var (
+		insts, writes, deps uint64
+		pages                      = map[uint64]bool{}
+		lines                      = map[uint64]bool{}
+		minA, maxA          uint64 = ^uint64(0), 0
+	)
+	for i := 0; i < n; i++ {
+		it := gen.Next()
+		insts += uint64(it.Gap) + 1
+		if it.IsWrite {
+			writes++
+		}
+		if it.Dependent {
+			deps++
+		}
+		pages[it.Addr>>12] = true
+		lines[it.Addr>>6] = true
+		if it.Addr < minA {
+			minA = it.Addr
+		}
+		if it.Addr > maxA {
+			maxA = it.Addr
+		}
+	}
+	fmt.Printf("source           %s\n", label)
+	fmt.Printf("items            %d over %d instructions (mem ratio %.3f)\n",
+		n, insts, float64(n)/float64(insts))
+	fmt.Printf("writes           %.1f%%\n", 100*float64(writes)/float64(n))
+	fmt.Printf("dependent        %.1f%%\n", 100*float64(deps)/float64(n))
+	fmt.Printf("distinct pages   %d\n", len(pages))
+	fmt.Printf("distinct lines   %d\n", len(lines))
+	fmt.Printf("address span     %#x – %#x\n", minA, maxA)
+	if synthetic {
+		if spec, ok := dbpsim.BenchByName(benchName); ok {
+			fmt.Printf("target MPKI      %.4g (cold working set %d MiB, burst %d)\n",
+				spec.TargetMPKI, spec.ColdBytes>>20, spec.Burst)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbptrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbpsim"
+	"dbpsim/internal/tracefile"
+)
+
+func TestBuildSourceSynthetic(t *testing.T) {
+	n := 10
+	gen, label, err := buildSource("milc-like", "", 1, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen == nil || label == "" {
+		t.Fatal("empty source")
+	}
+	if n != 10 {
+		t.Errorf("n changed for synthetic source: %d", n)
+	}
+	if _, _, err := buildSource("ghost", "", 1, &n); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBuildSourceReplayClampsN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.dbpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := dbpsim.BenchByName("gcc-like")
+	if err := tracefile.Record(spec.New(1), 50, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	n := 1000
+	gen, label, err := buildSource("ignored", path, 1, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("n not clamped to trace length: %d", n)
+	}
+	if gen == nil || label == "" {
+		t.Error("empty replay source")
+	}
+	if _, _, err := buildSource("", filepath.Join(t.TempDir(), "absent"), 1, &n); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package dbpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func fastConfig(cores int) Config {
+	cfg := DefaultConfig(cores)
+	cfg.SchedQuantumCPUCycles = 100_000
+	cfg.DBP.QuantumCPUCycles = 200_000
+	cfg.MCP.QuantumCPUCycles = 200_000
+	return cfg
+}
+
+func TestFacadeSuiteAndMixes(t *testing.T) {
+	if len(Suite()) != 18 {
+		t.Errorf("Suite size = %d", len(Suite()))
+	}
+	if len(Mixes8()) != 12 || len(Mixes4()) != 4 || len(Mixes16()) != 2 {
+		t.Error("mix set sizes wrong")
+	}
+	if _, ok := BenchByName("mcf-like"); !ok {
+		t.Error("BenchByName failed")
+	}
+	if _, ok := MixByName("W8-H4"); !ok {
+		t.Error("MixByName failed")
+	}
+	if len(StandardPolicies()) != 6 {
+		t.Error("StandardPolicies size wrong")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	exp := NewExperiment(fastConfig(4), 20_000, 40_000)
+	mix, _ := MixByName("W4-H1")
+	policies := []PolicyPoint{
+		{Label: "FRFCFS", Scheduler: SchedFRFCFS, Partition: PartNone},
+		{Label: "DBP", Scheduler: SchedFRFCFS, Partition: PartDBP},
+	}
+	cmp, err := ComparePolicies(exp, mix, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Runs) != 2 {
+		t.Fatalf("got %d runs", len(cmp.Runs))
+	}
+	out := cmp.Format(policies)
+	for _, want := range []string{"W4-H1", "FRFCFS", "DBP", "WS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	avg := SuiteAverage([]Comparison{cmp}, 0)
+	if avg.WeightedSpeedup != cmp.Runs[0].Metrics.WeightedSpeedup {
+		t.Error("SuiteAverage over one comparison should be identity")
+	}
+}
+
+func TestFacadeComparePoliciesError(t *testing.T) {
+	exp := NewExperiment(fastConfig(4), 1_000, 2_000)
+	bad := Mix{Name: "bad", Members: []string{"ghost", "ghost", "ghost", "ghost"}}
+	if _, err := ComparePolicies(exp, bad, StandardPolicies()[:1]); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSortMixesByCategory(t *testing.T) {
+	mixes := []Mix{
+		{Name: "b", Category: "H"},
+		{Name: "a", Category: "L"},
+		{Name: "c", Category: "M"},
+		{Name: "a2", Category: "H"},
+	}
+	sorted := SortMixesByCategory(mixes)
+	got := []string{}
+	for _, m := range sorted {
+		got = append(got, m.Name)
+	}
+	want := []string{"a", "c", "a2", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if mixes[0].Name != "b" {
+		t.Error("input mutated")
+	}
+}
+
+func TestNewSystemFacade(t *testing.T) {
+	spec, _ := BenchByName("gcc-like")
+	sys, err := NewSystem(fastConfig(1), []Bench{{Name: spec.Name, Gen: spec.New(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(5_000, 10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads[0].IPC <= 0 {
+		t.Error("no progress")
+	}
+}

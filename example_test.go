@@ -1,0 +1,54 @@
+package dbpsim_test
+
+import (
+	"fmt"
+
+	"dbpsim"
+)
+
+// The simplest possible session: one benchmark alone on the machine.
+func Example() {
+	cfg := dbpsim.DefaultConfig(1)
+	spec, _ := dbpsim.BenchByName("calculix-like")
+	sys, err := dbpsim.NewSystem(cfg, []dbpsim.Bench{{Name: spec.Name, Gen: spec.New(1)}})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.Run(10_000, 20_000, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Threads[0].IPC > 1) // a light benchmark runs fast
+	// Output: true
+}
+
+// Workload mixes are named and reproducible.
+func ExampleMixByName() {
+	mix, ok := dbpsim.MixByName("W8-M1")
+	fmt.Println(ok, mix.Cores(), mix.Category)
+	// Output: true 8 M
+}
+
+// RandomMix builds reproducible category-balanced mixes from a seed.
+func ExampleRandomMix() {
+	mix, err := dbpsim.RandomMix("demo", 8, "H", 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(mix.Cores(), mix.HeavyCount())
+	// Output: 8 6
+}
+
+// The standard comparison points mirror the paper's evaluation.
+func ExampleStandardPolicies() {
+	for _, p := range dbpsim.StandardPolicies() {
+		fmt.Println(p.Label)
+	}
+	// Output:
+	// FRFCFS
+	// EqualBP
+	// DBP
+	// TCM
+	// MCP
+	// DBP-TCM
+}

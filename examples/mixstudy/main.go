@@ -1,0 +1,50 @@
+// Mixstudy: the paper's headline scenario in miniature. An 8-core mix of
+// heavy and light benchmarks runs under all six policy points (FR-FCFS,
+// equal bank partitioning, DBP, TCM, MCP, DBP-TCM); the program prints the
+// per-policy metrics and then dissects *who* pays under each policy by
+// showing every thread's slowdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbpsim"
+)
+
+func main() {
+	cfg := dbpsim.DefaultConfig(8)
+	exp := dbpsim.NewExperiment(cfg, 200_000, 400_000)
+
+	mix, ok := dbpsim.MixByName("W8-H1") // 6 heavy + 2 light members
+	if !ok {
+		log.Fatal("mix not found")
+	}
+	policies := dbpsim.StandardPolicies()
+
+	cmp, err := dbpsim.ComparePolicies(exp, mix, policies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cmp.Format(policies))
+
+	// Per-thread slowdowns: the max column is the system's unfairness.
+	fmt.Printf("\nper-thread slowdowns (IPC alone / IPC shared):\n")
+	fmt.Printf("%-18s", "thread")
+	for _, p := range policies {
+		fmt.Printf(" %9s", p.Label)
+	}
+	fmt.Println()
+	for ti, name := range mix.Members {
+		fmt.Printf("%-18s", name)
+		for pi := range policies {
+			fmt.Printf(" %9.2f", cmp.Runs[pi].Metrics.Threads[ti].Slowdown())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nReading the table: equal partitioning squeezes high-BLP threads")
+	fmt.Println("(lbm/milc rows), MCP crams all intensive threads into a channel")
+	fmt.Println("subset (its worst rows explode), and DBP-TCM keeps the worst row —")
+	fmt.Println("the system's unfairness — lowest of all policies.")
+}

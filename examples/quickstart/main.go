@@ -1,0 +1,42 @@
+// Quickstart: simulate one 8-core workload mix twice — unmanaged FR-FCFS
+// versus Dynamic Bank Partitioning — and print the paper's two metrics
+// (weighted speedup = throughput, maximum slowdown = unfairness).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbpsim"
+)
+
+func main() {
+	// A paper-style 8-core CMP: 2 channels × 8 banks, DDR3-1600 timing,
+	// private L1/L2 per core.
+	cfg := dbpsim.DefaultConfig(8)
+
+	// The experiment harness measures per-thread IPC against cached
+	// alone-run baselines (each benchmark on the idle machine).
+	exp := dbpsim.NewExperiment(cfg, 200_000, 400_000)
+
+	mix, ok := dbpsim.MixByName("W8-M1")
+	if !ok {
+		log.Fatal("mix not found")
+	}
+	fmt.Printf("mix %s: %v\n\n", mix.Name, mix.Members)
+
+	baseline, err := exp.RunMix(mix, dbpsim.SchedFRFCFS, dbpsim.PartNone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbp, err := exp.RunMix(mix, dbpsim.SchedFRFCFS, dbpsim.PartDBP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("FR-FCFS (no partitioning): %s\n", baseline.Metrics)
+	fmt.Printf("Dynamic Bank Partitioning: %s\n", dbp.Metrics)
+	ws, fairness := dbp.Metrics.Delta(baseline.Metrics)
+	fmt.Printf("\nDBP vs baseline: %+.1f%% throughput, %+.1f%% fairness\n", ws, fairness)
+	fmt.Printf("(%d repartitioning decisions during the run)\n", dbp.Result.Repartitions)
+}

@@ -1,0 +1,94 @@
+// Replay: drive the simulator from recorded trace files instead of the
+// synthetic generators — the adoption path for externally captured traces
+// (e.g. from a binary-instrumentation tool). The example records two
+// synthetic traces to a temporary directory, replays them through the full
+// system, and verifies the replayed run is bit-identical to the live one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dbpsim"
+	"dbpsim/internal/tracefile"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "dbpsim-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Record: serialise 300k items of two benchmarks.
+	names := []string{"libquantum-like", "milc-like"}
+	paths := make([]string, len(names))
+	for i, name := range names {
+		spec, ok := dbpsim.BenchByName(name)
+		if !ok {
+			log.Fatalf("unknown benchmark %s", name)
+		}
+		paths[i] = filepath.Join(dir, name+".dbpt")
+		f, err := os.Create(paths[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracefile.Record(spec.New(7+int64(i)), 300_000, f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := os.Stat(paths[i])
+		fmt.Printf("recorded %-18s → %s (%d KiB)\n", name, filepath.Base(paths[i]), info.Size()>>10)
+	}
+
+	// 2. Replay: build Benches from the files and run the system.
+	run := func(useFiles bool) dbpsim.Result {
+		benches := make([]dbpsim.Bench, len(names))
+		for i, name := range names {
+			if useFiles {
+				f, err := os.Open(paths[i])
+				if err != nil {
+					log.Fatal(err)
+				}
+				gen, _, err := tracefile.Generator(f)
+				f.Close()
+				if err != nil {
+					log.Fatal(err)
+				}
+				benches[i] = dbpsim.Bench{Name: name, Gen: gen}
+			} else {
+				spec, _ := dbpsim.BenchByName(name)
+				benches[i] = dbpsim.Bench{Name: name, Gen: spec.New(7 + int64(i))}
+			}
+		}
+		cfg := dbpsim.DefaultConfig(2)
+		cfg.Partition = dbpsim.PartDBP
+		sys, err := dbpsim.NewSystem(cfg, benches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(50_000, 100_000, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	live := run(false)
+	replayed := run(true)
+
+	fmt.Println("\nlive vs replay:")
+	for i := range live.Threads {
+		fmt.Printf("  %-18s live IPC %.4f   replay IPC %.4f\n",
+			live.Threads[i].Name, live.Threads[i].IPC, replayed.Threads[i].IPC)
+		if live.Threads[i].IPC != replayed.Threads[i].IPC {
+			log.Fatal("replay diverged from the live run!")
+		}
+	}
+	fmt.Println("\nreplay is bit-identical to the live run — recorded traces are a")
+	fmt.Println("faithful substitute, so externally captured traces plug in the same way.")
+}

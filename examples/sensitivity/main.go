@@ -1,0 +1,47 @@
+// Sensitivity: where does DBP's advantage come from? This example sweeps
+// the total bank count and shows that DBP's edge over equal partitioning is
+// largest exactly when banks are scarce — equal shares are then too small
+// for high-BLP threads, which is the deficiency DBP was designed to fix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbpsim"
+)
+
+func main() {
+	mix, ok := dbpsim.MixByName("W8-M1")
+	if !ok {
+		log.Fatal("mix not found")
+	}
+
+	fmt.Printf("mix %s — EqualBP vs DBP as banks vary\n\n", mix.Name)
+	fmt.Printf("%6s %22s %22s %16s\n", "banks", "EqualBP (WS/MS)", "DBP (WS/MS)", "DBP advantage")
+	for _, banksPerRank := range []int{4, 8, 16} {
+		cfg := dbpsim.DefaultConfig(8)
+		cfg.Geometry.BanksPerRank = banksPerRank
+		exp := dbpsim.NewExperiment(cfg, 200_000, 400_000)
+
+		equal, err := exp.RunMix(mix, dbpsim.SchedFRFCFS, dbpsim.PartEqual)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dbp, err := exp.RunMix(mix, dbpsim.SchedFRFCFS, dbpsim.PartDBP)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws, fairness := dbp.Metrics.Delta(equal.Metrics)
+		totalBanks := banksPerRank * cfg.Geometry.Channels * cfg.Geometry.RanksPerChannel
+		fmt.Printf("%6d %10.3f / %-9.3f %10.3f / %-9.3f %+6.1f%% / %+5.1f%%\n",
+			totalBanks,
+			equal.Metrics.WeightedSpeedup, equal.Metrics.MaxSlowdown,
+			dbp.Metrics.WeightedSpeedup, dbp.Metrics.MaxSlowdown,
+			ws, fairness)
+	}
+	fmt.Println("\nThe advantage peaks at moderate bank counts: with banks ≈ threads")
+	fmt.Println("there is nothing left to reallocate (everyone holds one), and with")
+	fmt.Println("plentiful banks even equal shares satisfy each thread's parallelism;")
+	fmt.Println("in between, DBP moves the scarce banks to the threads that need them.")
+}

@@ -1,0 +1,3 @@
+module dbpsim
+
+go 1.22

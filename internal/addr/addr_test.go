@@ -1,0 +1,283 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryValid(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumColors(); got != 16 {
+		t.Errorf("NumColors = %d, want 16", got)
+	}
+	if got := g.RowBytes(); got != 4096 {
+		t.Errorf("RowBytes = %d, want 4096", got)
+	}
+	if got := g.PageBytes(); got != g.RowBytes() {
+		t.Errorf("PageBytes = %d, want RowBytes %d", got, g.RowBytes())
+	}
+	wantBytes := uint64(16) * (1 << 16) * 4096
+	if got := g.TotalBytes(); got != wantBytes {
+		t.Errorf("TotalBytes = %d, want %d", got, wantBytes)
+	}
+	if got := g.NumFrames(); got != wantBytes/4096 {
+		t.Errorf("NumFrames = %d, want %d", got, wantBytes/4096)
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	cases := []Geometry{
+		{Channels: 0, RanksPerChannel: 1, BanksPerRank: 8, RowsPerBank: 16, ColumnsPerRow: 64, LineBytes: 64},
+		{Channels: 3, RanksPerChannel: 1, BanksPerRank: 8, RowsPerBank: 16, ColumnsPerRow: 64, LineBytes: 64},
+		{Channels: 2, RanksPerChannel: 1, BanksPerRank: 7, RowsPerBank: 16, ColumnsPerRow: 64, LineBytes: 64},
+		{Channels: 2, RanksPerChannel: 1, BanksPerRank: 8, RowsPerBank: -1, ColumnsPerRow: 64, LineBytes: 64},
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: expected error, got nil", i)
+		}
+	}
+}
+
+func TestColorRoundTrip(t *testing.T) {
+	g := DefaultGeometry()
+	for color := 0; color < g.NumColors(); color++ {
+		ch, rk, bk := g.ColorParts(color)
+		if got := g.BankID(ch, rk, bk); got != color {
+			t.Errorf("color %d round-trips to %d", color, got)
+		}
+		if ch >= g.Channels || rk >= g.RanksPerChannel || bk >= g.BanksPerRank {
+			t.Errorf("color %d parts out of range: %d %d %d", color, ch, rk, bk)
+		}
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	m := NewMapper(DefaultGeometry())
+	f := func(raw uint64) bool {
+		phys := (raw % m.Geometry().TotalBytes()) &^ uint64(m.Geometry().LineBytes-1)
+		loc := m.Decode(phys)
+		return m.Encode(loc) == phys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFieldsInRange(t *testing.T) {
+	g := DefaultGeometry()
+	m := NewMapper(g)
+	f := func(raw uint64) bool {
+		loc := m.Decode(raw)
+		return loc.Channel >= 0 && loc.Channel < g.Channels &&
+			loc.Rank >= 0 && loc.Rank < g.RanksPerChannel &&
+			loc.Bank >= 0 && loc.Bank < g.BanksPerRank &&
+			loc.Row >= 0 && loc.Row < g.RowsPerBank &&
+			loc.Column >= 0 && loc.Column < g.ColumnsPerRow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageHoldsOneRowOneBank(t *testing.T) {
+	// Every address within one page must decode to the same
+	// (channel, rank, bank, row): the property page coloring relies on.
+	g := DefaultGeometry()
+	m := NewMapper(g)
+	base := uint64(12345) * uint64(g.PageBytes())
+	want := m.Decode(base)
+	for off := 0; off < g.PageBytes(); off += g.LineBytes {
+		loc := m.Decode(base + uint64(off))
+		if loc.Channel != want.Channel || loc.Rank != want.Rank || loc.Bank != want.Bank || loc.Row != want.Row {
+			t.Fatalf("offset %d escapes the page: %+v vs %+v", off, loc, want)
+		}
+	}
+}
+
+func TestConsecutivePagesCycleColors(t *testing.T) {
+	// Consecutive frames must walk through all colors before repeating,
+	// i.e. an unpartitioned first-touch allocator naturally interleaves.
+	g := DefaultGeometry()
+	m := NewMapper(g)
+	seen := make(map[int]bool)
+	for pfn := uint64(0); pfn < uint64(g.NumColors()); pfn++ {
+		c := m.FrameColor(pfn)
+		if seen[c] {
+			t.Fatalf("color %d repeated before covering all colors", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != g.NumColors() {
+		t.Fatalf("covered %d colors, want %d", len(seen), g.NumColors())
+	}
+}
+
+func TestFrameOfColorRoundTrip(t *testing.T) {
+	g := DefaultGeometry()
+	m := NewMapper(g)
+	for color := 0; color < g.NumColors(); color++ {
+		for _, idx := range []uint64{0, 1, 17, uint64(g.RowsPerBank) - 1} {
+			pfn := m.FrameOfColor(color, idx)
+			if got := m.FrameColor(pfn); got != color {
+				t.Errorf("FrameOfColor(%d,%d) → pfn %d has color %d", color, idx, pfn, got)
+			}
+		}
+	}
+}
+
+func TestFrameOfColorDistinct(t *testing.T) {
+	g := DefaultGeometry()
+	m := NewMapper(g)
+	seen := make(map[uint64]bool)
+	for idx := uint64(0); idx < 100; idx++ {
+		pfn := m.FrameOfColor(3, idx)
+		if seen[pfn] {
+			t.Fatalf("duplicate frame %d for idx %d", pfn, idx)
+		}
+		seen[pfn] = true
+	}
+}
+
+func TestDecodeWrapsAtCapacity(t *testing.T) {
+	g := DefaultGeometry()
+	m := NewMapper(g)
+	if m.Decode(g.TotalBytes()) != m.Decode(0) {
+		t.Error("address at capacity should wrap to zero")
+	}
+}
+
+func TestNewMapperPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid geometry")
+		}
+	}()
+	NewMapper(Geometry{Channels: 3, RanksPerChannel: 1, BanksPerRank: 8, RowsPerBank: 16, ColumnsPerRow: 64, LineBytes: 64})
+}
+
+func TestMapperBitLayout(t *testing.T) {
+	// Explicit layout check for the default geometry:
+	// [row | bank(3) | rank(0 bits) | channel(1) | offset(12)].
+	g := DefaultGeometry()
+	m := NewMapper(g)
+	loc := m.Decode(1 << 12)
+	if loc.Channel != 1 || loc.Bank != 0 || loc.Row != 0 {
+		t.Errorf("bit 12 should be channel: %+v", loc)
+	}
+	loc = m.Decode(1 << 13)
+	if loc.Bank != 1 || loc.Channel != 0 {
+		t.Errorf("bit 13 should be bank bit 0: %+v", loc)
+	}
+	loc = m.Decode(1 << 16)
+	if loc.Row != 1 || loc.Bank != 0 {
+		t.Errorf("bit 16 should be row bit 0: %+v", loc)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemePageInterleave.String() != "page-interleave" ||
+		SchemeLineInterleave.String() != "line-interleave" ||
+		SchemeXORBank.String() != "xor-bank" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should render")
+	}
+	if !SchemePageInterleave.SupportsColoring() || SchemeLineInterleave.SupportsColoring() || !SchemeXORBank.SupportsColoring() {
+		t.Error("SupportsColoring wrong")
+	}
+}
+
+func TestLineInterleaveRoundTrip(t *testing.T) {
+	m := NewMapperScheme(DefaultGeometry(), SchemeLineInterleave)
+	f := func(raw uint64) bool {
+		phys := (raw % m.Geometry().TotalBytes()) &^ uint64(m.Geometry().LineBytes-1)
+		return m.Encode(m.Decode(phys)) == phys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineInterleaveSpreadsChannels(t *testing.T) {
+	m := NewMapperScheme(DefaultGeometry(), SchemeLineInterleave)
+	a := m.Decode(0)
+	b := m.Decode(64)
+	if a.Channel == b.Channel {
+		t.Error("consecutive lines on the same channel")
+	}
+	if m.Scheme() != SchemeLineInterleave {
+		t.Error("Scheme accessor wrong")
+	}
+}
+
+func TestXORBankRoundTrip(t *testing.T) {
+	m := NewMapperScheme(DefaultGeometry(), SchemeXORBank)
+	f := func(raw uint64) bool {
+		phys := (raw % m.Geometry().TotalBytes()) &^ uint64(m.Geometry().LineBytes-1)
+		loc := m.Decode(phys)
+		g := m.Geometry()
+		if loc.Bank < 0 || loc.Bank >= g.BanksPerRank {
+			return false
+		}
+		return m.Encode(loc) == phys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORBankPermutesConflictRows(t *testing.T) {
+	// Same raw bank bits, different rows: the logical bank must differ for
+	// rows that differ in the low bank-width bits (the permutation that
+	// spreads row-conflict hot spots).
+	g := DefaultGeometry()
+	m := NewMapperScheme(g, SchemeXORBank)
+	page := NewMapper(g)
+	a := page.Encode(Location{Bank: 0, Row: 0})
+	b := page.Encode(Location{Bank: 0, Row: 1})
+	la, lb := m.Decode(a), m.Decode(b)
+	if la.Bank == lb.Bank {
+		t.Errorf("XOR permutation did not spread banks: %d vs %d", la.Bank, lb.Bank)
+	}
+}
+
+func TestXORBankColoringStillWorks(t *testing.T) {
+	m := NewMapperScheme(DefaultGeometry(), SchemeXORBank)
+	for color := 0; color < m.Geometry().NumColors(); color++ {
+		for _, idx := range []uint64{0, 1, 99} {
+			pfn := m.FrameOfColor(color, idx)
+			if got := m.FrameColor(pfn); got != color {
+				t.Fatalf("xor scheme: FrameOfColor(%d,%d) came back as color %d", color, idx, got)
+			}
+		}
+	}
+}
+
+// FuzzDecodeEncode checks the address round trip across all schemes.
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(uint64(0), 0)
+	f.Add(uint64(0x12345678), 1)
+	f.Add(^uint64(0), 2)
+	f.Fuzz(func(t *testing.T, raw uint64, schemeRaw int) {
+		scheme := Scheme(((schemeRaw % 3) + 3) % 3)
+		g := DefaultGeometry()
+		m := NewMapperScheme(g, scheme)
+		phys := (raw % g.TotalBytes()) &^ uint64(g.LineBytes-1)
+		loc := m.Decode(phys)
+		if loc.Channel < 0 || loc.Channel >= g.Channels ||
+			loc.Rank < 0 || loc.Rank >= g.RanksPerChannel ||
+			loc.Bank < 0 || loc.Bank >= g.BanksPerRank ||
+			loc.Row < 0 || loc.Row >= g.RowsPerBank ||
+			loc.Column < 0 || loc.Column >= g.ColumnsPerRow {
+			t.Fatalf("scheme %s: fields out of range for %#x: %+v", scheme, phys, loc)
+		}
+		if back := m.Encode(loc); back != phys {
+			t.Fatalf("scheme %s: %#x → %+v → %#x", scheme, phys, loc, back)
+		}
+	})
+}

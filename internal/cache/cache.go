@@ -1,0 +1,280 @@
+// Package cache implements set-associative write-back, write-allocate
+// caches with LRU replacement, used for the per-core private L1D and L2 in
+// front of the DRAM system.
+//
+// The model is functional (hit/miss/writeback), not timed: access latencies
+// are charged by the core model, and only misses and writebacks generate
+// DRAM traffic.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in stats output (e.g. "L1D").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the cache-line size.
+	LineBytes int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %s: all sizes must be positive (%+v)", c.Name, c)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line %d", c.Name, c.SizeBytes, c.Ways*c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d must be a power of two", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d must be a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Stats holds access counters for one cache.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Evictions   uint64
+	Writebacks  uint64
+}
+
+// Accesses returns the total access count.
+func (s Stats) Accesses() uint64 {
+	return s.ReadHits + s.ReadMisses + s.WriteHits + s.WriteMisses
+}
+
+// Misses returns the total miss count.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(a)
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	// Hit is true when the line was present.
+	Hit bool
+	// Writeback is true when a dirty victim was evicted; WritebackAddr is
+	// the victim's line-aligned byte address.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache from the config.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	c := &Cache{cfg: cfg, setMask: uint64(numSets - 1)}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineShift++
+	}
+	c.sets = make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access looks up the line containing addr, allocating it on miss
+// (write-allocate). isWrite marks the line dirty on hit or after allocation.
+func (c *Cache) Access(addr uint64, isWrite bool) Result {
+	c.clock++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> popcount(c.setMask)
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.clock
+			if isWrite {
+				set[i].dirty = true
+				c.stats.WriteHits++
+			} else {
+				c.stats.ReadHits++
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	if isWrite {
+		c.stats.WriteMisses++
+	} else {
+		c.stats.ReadMisses++
+	}
+
+	// Choose a victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+
+	var res Result
+	if set[victim].valid {
+		c.stats.Evictions++
+		if set[victim].dirty {
+			c.stats.Writebacks++
+			res.Writeback = true
+			res.WritebackAddr = c.rebuildAddr(set[victim].tag, lineAddr&c.setMask)
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: isWrite, used: c.clock}
+	return res
+}
+
+// Contains reports whether the line holding addr is present (no LRU update).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> popcount(c.setMask)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildAddr reconstructs a line-aligned byte address from tag and set.
+func (c *Cache) rebuildAddr(tag, setIdx uint64) uint64 {
+	return ((tag << popcount(c.setMask)) | setIdx) << c.lineShift
+}
+
+func popcount(mask uint64) uint {
+	var n uint
+	for mask != 0 {
+		n += uint(mask & 1)
+		mask >>= 1
+	}
+	return n
+}
+
+// Hierarchy chains an L1 and L2; misses in L1 look up L2, L1 writebacks are
+// installed into L2, and L2 misses/writebacks surface as memory traffic.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// MemoryOp is a DRAM access produced by a hierarchy miss.
+type MemoryOp struct {
+	// Addr is the line-aligned byte address.
+	Addr uint64
+	// IsWrite is true for writebacks reaching memory.
+	IsWrite bool
+	// Demand is true for the miss fill itself (the op the core waits on);
+	// false for writebacks.
+	Demand bool
+}
+
+// NewHierarchy builds a two-level private hierarchy.
+func NewHierarchy(l1, l2 Config) (*Hierarchy, error) {
+	c1, err := New(l1)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := New(l2)
+	if err != nil {
+		return nil, err
+	}
+	if l1.LineBytes != l2.LineBytes {
+		return nil, fmt.Errorf("cache: L1 line %d != L2 line %d", l1.LineBytes, l2.LineBytes)
+	}
+	return &Hierarchy{L1: c1, L2: c2}, nil
+}
+
+// Access runs one data access through the hierarchy. It returns the memory
+// operations that must reach DRAM: at most one demand fill and any
+// writebacks, in issue order. hitLevel is 1, 2 or 3 (3 = memory).
+func (h *Hierarchy) Access(addr uint64, isWrite bool) (ops []MemoryOp, hitLevel int) {
+	r1 := h.L1.Access(addr, isWrite)
+	if r1.Writeback {
+		// Dirty L1 victim lands in L2 (write-allocate there too).
+		r2 := h.L2.Access(r1.WritebackAddr, true)
+		if r2.Writeback {
+			ops = append(ops, MemoryOp{Addr: r2.WritebackAddr, IsWrite: true})
+		}
+		if !r2.Hit {
+			// Allocating the victim line in L2 fetches it first.
+			ops = append(ops, MemoryOp{Addr: r1.WritebackAddr, IsWrite: false})
+		}
+	}
+	if r1.Hit {
+		return ops, 1
+	}
+	r2 := h.L2.Access(addr, false) // fill is a read; dirtiness stays in L1
+	if r2.Writeback {
+		ops = append(ops, MemoryOp{Addr: r2.WritebackAddr, IsWrite: true})
+	}
+	if r2.Hit {
+		return ops, 2
+	}
+	ops = append(ops, MemoryOp{Addr: addr &^ uint64(h.L1.cfg.LineBytes-1), IsWrite: false, Demand: true})
+	return ops, 3
+}
+
+// PrefetchL2 brings the line holding addr into the L2 without touching the
+// L1 (prefetches fill the larger level to limit pollution). It returns the
+// memory operations the fill generates — at most one non-demand read plus a
+// victim writeback — and filled=false when the line was already cached.
+func (h *Hierarchy) PrefetchL2(addr uint64) (ops []MemoryOp, filled bool) {
+	if h.L1.Contains(addr) || h.L2.Contains(addr) {
+		return nil, false
+	}
+	r := h.L2.Access(addr, false)
+	if r.Writeback {
+		ops = append(ops, MemoryOp{Addr: r.WritebackAddr, IsWrite: true})
+	}
+	ops = append(ops, MemoryOp{Addr: addr &^ uint64(h.L1.cfg.LineBytes-1), IsWrite: false})
+	return ops, true
+}

@@ -1,0 +1,119 @@
+package cache
+
+// UMON is a utility monitor (Qureshi & Patt, MICRO 2006): for a sample of
+// sets it keeps a private full-associativity LRU tag stack per thread and
+// histograms hits by stack position. hist[p] is then "hits this thread
+// would gain from its (p+1)-th way", which drives utility-based way
+// allocation.
+type UMON struct {
+	ways     int
+	sample   uint64 // observe sets where set % sample == 0
+	stacks   map[uint64][]uint64
+	hist     []uint64
+	misses   uint64
+	accesses uint64
+}
+
+// NewUMON builds a monitor for a cache with the given associativity and
+// set count, sampling every `every`-th set.
+func NewUMON(ways, numSets, every int) *UMON {
+	if every < 1 {
+		every = 1
+	}
+	return &UMON{
+		ways:   ways,
+		sample: uint64(every),
+		stacks: make(map[uint64][]uint64),
+		hist:   make([]uint64, ways),
+	}
+}
+
+// Observe records one access to setIdx/tag (only sampled sets count).
+func (u *UMON) Observe(setIdx, tag uint64) {
+	if setIdx%u.sample != 0 {
+		return
+	}
+	u.accesses++
+	stack := u.stacks[setIdx]
+	for p, t := range stack {
+		if t == tag {
+			u.hist[p]++
+			// Move to front.
+			copy(stack[1:p+1], stack[:p])
+			stack[0] = tag
+			return
+		}
+	}
+	u.misses++
+	if len(stack) < u.ways {
+		stack = append(stack, 0)
+	}
+	copy(stack[1:], stack)
+	stack[0] = tag
+	u.stacks[setIdx] = stack
+}
+
+// MarginalUtility returns the extra sampled hits the thread would gain from
+// its (have+1)-th way.
+func (u *UMON) MarginalUtility(have int) uint64 {
+	if have < 0 || have >= len(u.hist) {
+		return 0
+	}
+	return u.hist[have]
+}
+
+// Hits returns cumulative sampled hits with w ways.
+func (u *UMON) Hits(w int) uint64 {
+	if w > len(u.hist) {
+		w = len(u.hist)
+	}
+	var sum uint64
+	for i := 0; i < w; i++ {
+		sum += u.hist[i]
+	}
+	return sum
+}
+
+// Reset clears the histograms for the next quantum (stacks persist so the
+// monitor stays warm).
+func (u *UMON) Reset() {
+	for i := range u.hist {
+		u.hist[i] = 0
+	}
+	u.misses = 0
+	u.accesses = 0
+}
+
+// ComputeUCP allocates totalWays among the monitored threads by greedy
+// marginal utility, with a minimum of one way each: repeatedly give the
+// next way to the thread whose next way yields the most sampled hits.
+func ComputeUCP(umons []*UMON, totalWays int) []int {
+	n := len(umons)
+	counts := make([]int, n)
+	if n == 0 || totalWays < n {
+		for i := range counts {
+			counts[i] = 1
+		}
+		return counts
+	}
+	for i := range counts {
+		counts[i] = 1
+	}
+	for given := n; given < totalWays; given++ {
+		best, bestGain := -1, uint64(0)
+		for t, u := range umons {
+			if counts[t] >= u.ways {
+				continue
+			}
+			gain := u.MarginalUtility(counts[t])
+			if best < 0 || gain > bestGain {
+				best, bestGain = t, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		counts[best]++
+	}
+	return counts
+}

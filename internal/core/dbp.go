@@ -1,0 +1,463 @@
+// Package core implements the paper's primary contribution: Dynamic Bank
+// Partitioning (DBP).
+//
+// DBP profiles each thread's memory behaviour at run time — memory
+// intensity (MPKI), bank-level parallelism (BLP) and row-buffer locality —
+// and re-divides the DRAM banks at every quantum:
+//
+//   - *light* threads (MPKI below a threshold) are merged into one shared
+//     bank pool: their sparse traffic interferes little, and sharing keeps
+//     their bank-level parallelism high;
+//   - *heavy* threads each receive a private bank group sized
+//     proportionally to their estimated bank demand (their measured BLP),
+//     compensating for the parallelism that equal partitioning destroys.
+//
+// Masks are applied through OS page coloring (internal/paging); recoloring
+// is lazy, with hysteresis to prevent partition thrash.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dbpsim/internal/addr"
+	"dbpsim/internal/bankpart"
+	"dbpsim/internal/paging"
+	"dbpsim/internal/profile"
+)
+
+// Estimator selects how a heavy thread's bank demand is estimated.
+type Estimator int
+
+// Demand estimators.
+const (
+	// EstimateBLP sizes a thread's partition by its *potential* bank-level
+	// parallelism — the distinct pages it keeps in flight (profile.MLP).
+	// Using achieved BLP instead would trap a squeezed thread: few banks
+	// suppress measured BLP, which keeps the partition small. This is the
+	// paper's estimator, realised with the potential-parallelism proxy.
+	EstimateBLP Estimator = iota
+	// EstimateMPKI sizes partitions by memory intensity instead (ablation).
+	EstimateMPKI
+	// EstimateAchievedBLP uses the raw achieved BLP (ablation: demonstrates
+	// the feedback trap).
+	EstimateAchievedBLP
+)
+
+// LightPlacement selects where light threads' pages go.
+type LightPlacement int
+
+// Light-thread placements.
+const (
+	// LightSharedPool gives all light threads one shared bank pool sized by
+	// the proportional rule (the paper's scheme).
+	LightSharedPool LightPlacement = iota
+	// LightSpreadAll lets light threads use every bank (ablation).
+	LightSpreadAll
+)
+
+// Config parameterises DBP.
+type Config struct {
+	// QuantumCPUCycles is the repartitioning period in CPU cycles.
+	QuantumCPUCycles uint64
+	// LightMPKI is the intensity threshold separating light from heavy.
+	LightMPKI float64
+	// HysteresisColors suppresses repartitioning unless some thread's
+	// allocation would change by at least this many colors.
+	HysteresisColors int
+	// MinQuantumMisses skips repartitioning for quanta with too little
+	// traffic to profile meaningfully.
+	MinQuantumMisses uint64
+	// Estimator selects the demand estimator.
+	Estimator Estimator
+	// LightPlacement selects the light-thread placement.
+	LightPlacement LightPlacement
+}
+
+// DefaultConfig returns the paper-style DBP parameters.
+func DefaultConfig() Config {
+	return Config{
+		QuantumCPUCycles: 5_000_000,
+		LightMPKI:        1.0,
+		HysteresisColors: 1,
+		MinQuantumMisses: 100,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.QuantumCPUCycles == 0 {
+		return fmt.Errorf("core: QuantumCPUCycles must be positive")
+	}
+	if c.LightMPKI < 0 {
+		return fmt.Errorf("core: LightMPKI must be non-negative, got %g", c.LightMPKI)
+	}
+	if c.HysteresisColors < 1 {
+		return fmt.Errorf("core: HysteresisColors must be at least 1, got %d", c.HysteresisColors)
+	}
+	return nil
+}
+
+// Allocation records one quantum's bank allocation, for the dynamics
+// experiment.
+type Allocation struct {
+	// Quantum is the repartition sequence number.
+	Quantum int
+	// Colors[t] is the number of bank colors assigned to thread t
+	// (light threads report the shared pool size).
+	Colors []int
+	// Heavy[t] marks the threads classified heavy this quantum.
+	Heavy []bool
+}
+
+// DBP is the dynamic bank partitioner. It implements bankpart.Policy.
+type DBP struct {
+	cfg        Config
+	numThreads int
+	numColors  int
+	spread     []int // channel-spread color order
+
+	// owned[u] is the ordered color list of unit u; units 0..numThreads-1
+	// are threads, unit numThreads is the shared light pool.
+	owned   [][]int
+	heavy   []bool
+	quantum int
+	history []Allocation
+}
+
+var _ bankpart.Policy = (*DBP)(nil)
+
+// New builds a DBP policy for numThreads threads over the geometry's banks.
+func New(cfg Config, numThreads int, g addr.Geometry) (*DBP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numThreads <= 0 {
+		return nil, fmt.Errorf("core: numThreads must be positive, got %d", numThreads)
+	}
+	n := g.NumColors()
+	if numThreads > n {
+		return nil, fmt.Errorf("core: %d threads exceed %d bank colors", numThreads, n)
+	}
+	d := &DBP{
+		cfg:        cfg,
+		numThreads: numThreads,
+		numColors:  n,
+		spread:     bankpart.SpreadOrder(g),
+		owned:      make([][]int, numThreads+1),
+		heavy:      make([]bool, numThreads),
+	}
+	d.resetEqual()
+	return d, nil
+}
+
+// resetEqual installs the equal starting partition (per thread, nothing in
+// the pool yet; every thread starts "heavy" until profiled).
+func (d *DBP) resetEqual() {
+	for u := range d.owned {
+		d.owned[u] = nil
+	}
+	k, rem := d.numColors/d.numThreads, d.numColors%d.numThreads
+	pos := 0
+	for t := 0; t < d.numThreads; t++ {
+		take := k
+		if t < rem {
+			take++
+		}
+		for j := 0; j < take; j++ {
+			d.owned[t] = append(d.owned[t], d.spread[pos])
+			pos++
+		}
+		d.heavy[t] = true
+	}
+}
+
+// Name implements bankpart.Policy.
+func (*DBP) Name() string { return "dbp" }
+
+// QuantumCPUCycles returns the configured repartition period.
+func (d *DBP) QuantumCPUCycles() uint64 { return d.cfg.QuantumCPUCycles }
+
+// History returns the allocation log (one entry per repartition decision).
+func (d *DBP) History() []Allocation {
+	out := make([]Allocation, len(d.history))
+	copy(out, d.history)
+	return out
+}
+
+// Initial implements bankpart.Policy: start from an equal partition.
+func (d *DBP) Initial() []paging.ColorSet {
+	return d.masks()
+}
+
+func (d *DBP) masks() []paging.ColorSet {
+	out := make([]paging.ColorSet, d.numThreads)
+	poolSet := paging.NewColorSet(d.numColors)
+	for _, c := range d.owned[d.numThreads] {
+		poolSet.Add(c)
+	}
+	full := paging.FullColorSet(d.numColors)
+	for t := 0; t < d.numThreads; t++ {
+		if d.heavy[t] {
+			s := paging.NewColorSet(d.numColors)
+			for _, c := range d.owned[t] {
+				s.Add(c)
+			}
+			out[t] = s
+			continue
+		}
+		if d.cfg.LightPlacement == LightSpreadAll {
+			out[t] = full.Clone()
+		} else {
+			out[t] = poolSet.Clone()
+		}
+	}
+	return out
+}
+
+// Quantum implements bankpart.Policy: reclassify, re-estimate demands, and
+// repartition when the change clears the hysteresis threshold.
+func (d *DBP) Quantum(samples []profile.ThreadSample) ([]paging.ColorSet, bool) {
+	var totalMisses uint64
+	prof := make([]profile.ThreadSample, d.numThreads)
+	for _, s := range samples {
+		if s.Thread < 0 || s.Thread >= d.numThreads {
+			continue
+		}
+		prof[s.Thread] = s
+		totalMisses += s.Misses
+	}
+	if totalMisses < d.cfg.MinQuantumMisses {
+		return nil, false
+	}
+	d.quantum++
+
+	// 1. Classify.
+	newHeavy := make([]bool, d.numThreads)
+	heavyIDs := make([]int, 0, d.numThreads)
+	for t := 0; t < d.numThreads; t++ {
+		if prof[t].MPKI >= d.cfg.LightMPKI {
+			newHeavy[t] = true
+			heavyIDs = append(heavyIDs, t)
+		}
+	}
+
+	// 2. Estimate demand per allocation unit.
+	demand := func(t int) float64 {
+		switch d.cfg.Estimator {
+		case EstimateMPKI:
+			return maxf(1, prof[t].MPKI)
+		case EstimateAchievedBLP:
+			return maxf(1, prof[t].BLP)
+		default:
+			return maxf(1, minf(prof[t].MLP, float64(d.numColors)))
+		}
+	}
+
+	// Cap the number of private units at the color budget: the
+	// lowest-demand heavy threads fold into the light pool if needed.
+	poolNeeded := d.cfg.LightPlacement == LightSharedPool && len(heavyIDs) < d.numThreads
+	maxPrivate := d.numColors
+	if poolNeeded {
+		maxPrivate--
+	}
+	if len(heavyIDs) > maxPrivate {
+		sort.Slice(heavyIDs, func(i, j int) bool { return demand(heavyIDs[i]) > demand(heavyIDs[j]) })
+		for _, t := range heavyIDs[maxPrivate:] {
+			newHeavy[t] = false
+			poolNeeded = true
+		}
+		heavyIDs = heavyIDs[:maxPrivate]
+		sort.Ints(heavyIDs)
+	}
+
+	// 3. Build units: heavy threads, plus the light pool.
+	units := make([]allocUnit, 0, len(heavyIDs)+1)
+	for _, t := range heavyIDs {
+		units = append(units, allocUnit{id: t, demand: demand(t)})
+	}
+	if poolNeeded {
+		var poolDemand float64
+		for t := 0; t < d.numThreads; t++ {
+			if !newHeavy[t] {
+				poolDemand = maxf(poolDemand, maxf(1, minf(prof[t].MLP, float64(d.numColors))))
+			}
+		}
+		units = append(units, allocUnit{id: d.numThreads, demand: poolDemand})
+	}
+	if len(units) == 0 {
+		// Everything is light and spread-all: give everyone every bank.
+		for t := range newHeavy {
+			d.heavy[t] = false
+		}
+		d.owned[d.numThreads] = nil
+		return d.masks(), true
+	}
+
+	// 4. Proportional allocation with largest-remainder rounding and a
+	// minimum of one color per unit.
+	targets := d.apportion(units)
+
+	// 5. Hysteresis: keep the current partition for small deltas, but
+	// always repartition when classifications changed.
+	classChanged := false
+	for t := range newHeavy {
+		if newHeavy[t] != d.heavy[t] {
+			classChanged = true
+			break
+		}
+	}
+	if !classChanged {
+		maxDelta := 0
+		for i, u := range units {
+			delta := targets[i] - len(d.owned[u.id])
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+		}
+		if maxDelta < d.cfg.HysteresisColors {
+			return nil, false
+		}
+	}
+
+	// 6. Stable reassignment: units keep colors they already own.
+	d.heavy = newHeavy
+	targetOf := make(map[int]int, len(units))
+	for i, u := range units {
+		targetOf[u.id] = targets[i]
+	}
+	d.reassign(targetOf)
+
+	// Log the decision.
+	rec := Allocation{Quantum: d.quantum, Colors: make([]int, d.numThreads), Heavy: append([]bool(nil), newHeavy...)}
+	for t := 0; t < d.numThreads; t++ {
+		if newHeavy[t] {
+			rec.Colors[t] = len(d.owned[t])
+		} else {
+			rec.Colors[t] = len(d.owned[d.numThreads])
+		}
+	}
+	d.history = append(d.history, rec)
+	return d.masks(), true
+}
+
+// allocUnit is one recipient in the proportional allocation: a heavy thread
+// or the shared light pool (id == numThreads).
+type allocUnit struct {
+	id     int
+	demand float64
+}
+
+// apportion distributes numColors among units proportionally to demand with
+// a minimum of 1 each, using largest-remainder rounding.
+func (d *DBP) apportion(units []allocUnit) []int {
+	n := len(units)
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = 1
+	}
+	extra := d.numColors - n
+	if extra <= 0 {
+		return targets
+	}
+	var total float64
+	for _, u := range units {
+		total += u.demand
+	}
+	if total <= 0 {
+		total = float64(n)
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, n)
+	assigned := 0
+	for i, u := range units {
+		share := u.demand / total * float64(extra)
+		whole := int(share)
+		targets[i] += whole
+		assigned += whole
+		fracs[i] = frac{idx: i, rem: share - float64(whole)}
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for i := 0; i < extra-assigned; i++ {
+		targets[fracs[i%n].idx]++
+	}
+	return targets
+}
+
+// reassign moves colors between units to meet targets while keeping as many
+// colors in place as possible (lazy recoloring works best when partitions
+// are stable). Units absent from targetOf lose all their colors.
+func (d *DBP) reassign(targetOf map[int]int) {
+	var free []int
+	inUse := make([]bool, d.numColors)
+	// Shrink or clear every unit.
+	for u := range d.owned {
+		target, live := targetOf[u]
+		if !live {
+			free = append(free, d.owned[u]...)
+			d.owned[u] = nil
+			continue
+		}
+		if len(d.owned[u]) > target {
+			free = append(free, d.owned[u][target:]...)
+			d.owned[u] = d.owned[u][:target]
+		}
+		for _, c := range d.owned[u] {
+			inUse[c] = true
+		}
+	}
+	// Free pool in spread order for channel balance, preferring released
+	// colors first (map lookups stay deterministic via the spread walk).
+	freeSet := make([]bool, d.numColors)
+	for _, c := range free {
+		freeSet[c] = true
+	}
+	for _, c := range d.spread {
+		if !inUse[c] && !freeSet[c] {
+			freeSet[c] = true
+		}
+	}
+	ordered := make([]int, 0, d.numColors)
+	for _, c := range d.spread {
+		if freeSet[c] {
+			ordered = append(ordered, c)
+		}
+	}
+	// Grow units that need more.
+	pos := 0
+	for u := 0; u <= d.numThreads; u++ {
+		target, live := targetOf[u]
+		if !live {
+			continue
+		}
+		for len(d.owned[u]) < target && pos < len(ordered) {
+			d.owned[u] = append(d.owned[u], ordered[pos])
+			pos++
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbpsim/internal/addr"
+	"dbpsim/internal/paging"
+	"dbpsim/internal/profile"
+)
+
+func geom() addr.Geometry { return addr.DefaultGeometry() } // 16 colors
+
+func sample(t int, mpki, blp float64, misses uint64) profile.ThreadSample {
+	// The tests drive demand through the blp argument; the default
+	// estimator reads potential parallelism (MLP), so set both.
+	return profile.ThreadSample{Thread: t, MPKI: mpki, BLP: blp, MLP: blp, Misses: misses, Instructions: 1_000_000}
+}
+
+// checkDisjoint verifies that heavy threads' masks are pairwise disjoint
+// and that every thread has at least one color.
+func checkDisjoint(t *testing.T, d *DBP, masks []paging.ColorSet) {
+	t.Helper()
+	n := masks[0].Universe()
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for tid, m := range masks {
+		if m.Empty() {
+			t.Fatalf("thread %d has an empty mask", tid)
+		}
+		if !d.heavy[tid] {
+			continue // light threads share by design
+		}
+		for _, c := range m.Colors() {
+			if owner[c] >= 0 {
+				t.Fatalf("color %d owned by both threads %d and %d", c, owner[c], tid)
+			}
+			owner[c] = tid
+		}
+	}
+	// Light-pool colors must not collide with any heavy thread's colors.
+	for tid, m := range masks {
+		if d.heavy[tid] {
+			continue
+		}
+		for _, c := range m.Colors() {
+			if owner[c] >= 0 && d.cfg.LightPlacement == LightSharedPool {
+				t.Fatalf("pool color %d collides with heavy thread %d", c, owner[c])
+			}
+		}
+		break // all light threads share the same mask
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.QuantumCPUCycles = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	bad = DefaultConfig()
+	bad.LightMPKI = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	bad = DefaultConfig()
+	bad.HysteresisColors = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero hysteresis accepted")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(DefaultConfig(), 0, geom()); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := New(DefaultConfig(), 17, geom()); err == nil {
+		t.Error("more threads than colors accepted")
+	}
+	bad := DefaultConfig()
+	bad.QuantumCPUCycles = 0
+	if _, err := New(bad, 4, geom()); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestInitialIsEqualPartition(t *testing.T) {
+	d, err := New(DefaultConfig(), 4, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks := d.Initial()
+	seen := paging.NewColorSet(16)
+	for tid, m := range masks {
+		if got := m.Count(); got != 4 {
+			t.Errorf("thread %d starts with %d colors, want 4", tid, got)
+		}
+		for _, c := range m.Colors() {
+			if seen.Has(c) {
+				t.Errorf("color %d assigned twice at start", c)
+			}
+			seen.Add(c)
+		}
+	}
+	if seen.Count() != 16 {
+		t.Errorf("initial partition covers %d colors, want 16", seen.Count())
+	}
+}
+
+func TestInitialSpansChannels(t *testing.T) {
+	g := geom()
+	d, err := New(DefaultConfig(), 8, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid, m := range d.Initial() {
+		chans := map[int]bool{}
+		for _, c := range m.Colors() {
+			ch, _, _ := g.ColorParts(c)
+			chans[ch] = true
+		}
+		if len(chans) != g.Channels {
+			t.Errorf("thread %d spans %d channels, want %d", tid, len(chans), g.Channels)
+		}
+	}
+}
+
+func TestProportionalToBLP(t *testing.T) {
+	d, err := New(DefaultConfig(), 4, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All heavy; thread 0 has 4× the BLP of the others.
+	masks, changed := d.Quantum([]profile.ThreadSample{
+		sample(0, 20, 8, 10000),
+		sample(1, 20, 2, 10000),
+		sample(2, 20, 2, 10000),
+		sample(3, 20, 2, 10000),
+	})
+	if !changed {
+		t.Fatal("expected repartition")
+	}
+	checkDisjoint(t, d, masks)
+	// 16 colors over demands (8,2,2,2): ~(8,3,3,2) with min-1 rule
+	// (1 each + 12 × share).
+	if masks[0].Count() <= masks[1].Count() {
+		t.Errorf("high-BLP thread got %d colors vs %d", masks[0].Count(), masks[1].Count())
+	}
+	total := 0
+	for _, m := range masks {
+		total += m.Count()
+	}
+	if total != 16 {
+		t.Errorf("all-heavy allocation sums to %d, want 16", total)
+	}
+	if masks[0].Count() < 6 {
+		t.Errorf("high-BLP thread got only %d colors", masks[0].Count())
+	}
+}
+
+func TestLightThreadsShareOnePool(t *testing.T) {
+	d, err := New(DefaultConfig(), 4, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, changed := d.Quantum([]profile.ThreadSample{
+		sample(0, 30, 4, 20000), // heavy
+		sample(1, 25, 4, 20000), // heavy
+		sample(2, 0.2, 1, 50),   // light
+		sample(3, 0.1, 1, 20),   // light
+	})
+	if !changed {
+		t.Fatal("expected repartition")
+	}
+	checkDisjoint(t, d, masks)
+	if !masks[2].Equal(masks[3]) {
+		t.Error("light threads do not share the same pool")
+	}
+	if masks[2].Count() >= masks[0].Count() {
+		t.Errorf("light pool (%d) should be smaller than heavy partitions (%d)",
+			masks[2].Count(), masks[0].Count())
+	}
+}
+
+func TestHysteresisSuppressesNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HysteresisColors = 2
+	d, err := New(cfg, 4, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []profile.ThreadSample{
+		sample(0, 20, 8, 10000), sample(1, 20, 2, 10000),
+		sample(2, 20, 2, 10000), sample(3, 20, 2, 10000),
+	}
+	if _, changed := d.Quantum(s); !changed {
+		t.Fatal("first quantum should repartition")
+	}
+	// Identical profile: nothing should change.
+	if _, changed := d.Quantum(s); changed {
+		t.Error("identical profile triggered a repartition")
+	}
+	// A tiny BLP wiggle below the hysteresis threshold: still no change.
+	s[1] = sample(1, 20, 2.4, 10000)
+	if _, changed := d.Quantum(s); changed {
+		t.Error("sub-threshold change triggered a repartition")
+	}
+	// A large shift must repartition.
+	s[1] = sample(1, 20, 9, 10000)
+	if _, changed := d.Quantum(s); !changed {
+		t.Error("large BLP shift did not repartition")
+	}
+}
+
+func TestMinQuantumMissesSkipsIdleQuanta(t *testing.T) {
+	d, err := New(DefaultConfig(), 2, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, changed := d.Quantum([]profile.ThreadSample{
+		sample(0, 0.1, 1, 10), sample(1, 0.1, 1, 5),
+	}); changed {
+		t.Error("idle quantum repartitioned")
+	}
+	if len(d.History()) != 0 {
+		t.Error("idle quantum logged")
+	}
+}
+
+func TestClassChangeAlwaysRepartitions(t *testing.T) {
+	d, err := New(DefaultConfig(), 2, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []profile.ThreadSample{sample(0, 20, 4, 10000), sample(1, 20, 4, 10000)}
+	d.Quantum(s)
+	// Thread 1 turns light: must repartition even if counts look similar.
+	s[1] = sample(1, 0.1, 1, 200)
+	if _, changed := d.Quantum(s); !changed {
+		t.Error("classification change did not repartition")
+	}
+}
+
+func TestStableAssignmentKeepsColors(t *testing.T) {
+	d, err := New(DefaultConfig(), 4, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []profile.ThreadSample{
+		sample(0, 20, 8, 10000), sample(1, 20, 2, 10000),
+		sample(2, 20, 2, 10000), sample(3, 20, 2, 10000),
+	}
+	masks1, _ := d.Quantum(s)
+	// Shift demand slightly: thread 0 shrinks a little.
+	s[0] = sample(0, 20, 6, 10000)
+	s[1] = sample(1, 20, 4, 10000)
+	masks2, changed := d.Quantum(s)
+	if !changed {
+		t.Skip("hysteresis absorbed the change")
+	}
+	// Thread 0's new mask must be a subset-or-overlap of the old one:
+	// count retained colors.
+	retained := 0
+	for _, c := range masks2[0].Colors() {
+		if masks1[0].Has(c) {
+			retained++
+		}
+	}
+	if retained < masks2[0].Count()-1 {
+		t.Errorf("thread 0 kept only %d of %d colors across a small shift",
+			retained, masks2[0].Count())
+	}
+}
+
+func TestAllLightSpreadAll(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LightPlacement = LightSpreadAll
+	d, err := New(cfg, 2, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, changed := d.Quantum([]profile.ThreadSample{
+		sample(0, 0.5, 1, 200), sample(1, 0.4, 1, 200),
+	})
+	if !changed {
+		t.Fatal("expected initial repartition")
+	}
+	for tid, m := range masks {
+		if m.Count() != 16 {
+			t.Errorf("spread-all light thread %d has %d colors, want 16", tid, m.Count())
+		}
+	}
+}
+
+func TestLightSpreadAllHeavyStillPrivate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LightPlacement = LightSpreadAll
+	d, err := New(cfg, 3, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, _ := d.Quantum([]profile.ThreadSample{
+		sample(0, 30, 4, 20000),
+		sample(1, 30, 4, 20000),
+		sample(2, 0.1, 1, 100),
+	})
+	if masks[2].Count() != 16 {
+		t.Errorf("light thread has %d colors, want 16", masks[2].Count())
+	}
+	// The two heavy threads still get disjoint privates covering all banks.
+	for _, c := range masks[0].Colors() {
+		if masks[1].Has(c) {
+			t.Fatalf("heavy threads overlap on color %d", c)
+		}
+	}
+	if masks[0].Count()+masks[1].Count() != 16 {
+		t.Errorf("heavy partitions sum to %d, want 16", masks[0].Count()+masks[1].Count())
+	}
+}
+
+func TestEstimateMPKIAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Estimator = EstimateMPKI
+	d, err := New(cfg, 2, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same BLP, very different MPKI: the MPKI estimator must differentiate.
+	masks, _ := d.Quantum([]profile.ThreadSample{
+		sample(0, 45, 4, 45000),
+		sample(1, 5, 4, 5000),
+	})
+	if masks[0].Count() <= masks[1].Count() {
+		t.Errorf("MPKI estimator: %d vs %d colors", masks[0].Count(), masks[1].Count())
+	}
+}
+
+func TestHistoryRecordsDecisions(t *testing.T) {
+	d, err := New(DefaultConfig(), 2, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Quantum([]profile.ThreadSample{sample(0, 20, 6, 10000), sample(1, 20, 2, 10000)})
+	h := d.History()
+	if len(h) != 1 {
+		t.Fatalf("history length = %d", len(h))
+	}
+	if h[0].Colors[0]+h[0].Colors[1] != 16 {
+		t.Errorf("history colors = %v", h[0].Colors)
+	}
+	if !h[0].Heavy[0] || !h[0].Heavy[1] {
+		t.Errorf("history heavy flags = %v", h[0].Heavy)
+	}
+}
+
+func TestQuantumInvariantsProperty(t *testing.T) {
+	// Random profiles must always yield: non-empty masks, disjoint heavy
+	// partitions, and full coverage when everything is heavy.
+	f := func(blps []uint8, mpkis []uint8) bool {
+		d, err := New(DefaultConfig(), 4, geom())
+		if err != nil {
+			return false
+		}
+		for q := 0; q < 4; q++ {
+			samples := make([]profile.ThreadSample, 4)
+			for t := 0; t < 4; t++ {
+				b := 1.0
+				if len(blps) > 0 {
+					b = 1 + float64(blps[(q*4+t)%len(blps)]%12)
+				}
+				m := 0.1
+				if len(mpkis) > 0 {
+					m = float64(mpkis[(q*4+t)%len(mpkis)] % 40)
+				}
+				samples[t] = sample(t, m, b, 10000)
+			}
+			masks, changed := d.Quantum(samples)
+			if !changed {
+				continue
+			}
+			owner := make([]int, 16)
+			for i := range owner {
+				owner[i] = -1
+			}
+			for tid, msk := range masks {
+				if msk.Empty() {
+					return false
+				}
+				if !d.heavy[tid] {
+					continue
+				}
+				for _, c := range msk.Colors() {
+					if owner[c] >= 0 {
+						return false
+					}
+					owner[c] = tid
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantumIgnoresOutOfRangeThreads(t *testing.T) {
+	d, err := New(DefaultConfig(), 2, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, changed := d.Quantum([]profile.ThreadSample{
+		sample(0, 20, 6, 10000), sample(1, 20, 2, 10000),
+		sample(9, 99, 9, 99999), sample(-1, 99, 9, 99999),
+	})
+	if !changed || len(masks) != 2 {
+		t.Errorf("out-of-range samples corrupted the partition: %v %v", masks, changed)
+	}
+}
+
+func TestNameAndQuantumCycles(t *testing.T) {
+	d, err := New(DefaultConfig(), 2, geom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "dbp" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if d.QuantumCPUCycles() != DefaultConfig().QuantumCPUCycles {
+		t.Error("QuantumCPUCycles mismatch")
+	}
+}

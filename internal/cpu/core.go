@@ -1,0 +1,395 @@
+// Package cpu implements the trace-driven core model: a reorder-buffer
+// window with bounded issue/retire width and MSHR-limited outstanding
+// misses, so memory-level parallelism (and hence each thread's bank-level
+// parallelism) emerges from the window exactly as in the paper's simulator.
+package cpu
+
+import (
+	"fmt"
+
+	"dbpsim/internal/cache"
+	"dbpsim/internal/prefetch"
+	"dbpsim/internal/trace"
+)
+
+// Translator maps virtual to physical addresses (implemented by
+// paging.PageTable).
+type Translator interface {
+	Translate(vaddr uint64) (paddr uint64, allocated bool, err error)
+}
+
+// Memory accepts line requests from the core (implemented by the simulation
+// kernel, which routes to the right channel controller).
+type Memory interface {
+	// Submit tries to enqueue a line request; it returns false when the
+	// controller queue is full and the core must retry. onDone may be nil
+	// for posted (non-demand) traffic.
+	Submit(thread int, paddr uint64, isWrite, demand bool, onDone func()) bool
+}
+
+// Config holds core parameters.
+type Config struct {
+	// ROBSize is the instruction window size.
+	ROBSize int
+	// Width is the per-cycle issue and retire width.
+	Width int
+	// MSHRs bounds outstanding demand misses.
+	MSHRs int
+	// L1Latency and L2Latency are load-to-use latencies in CPU cycles.
+	L1Latency int
+	// L2Latency is the L2 hit latency.
+	L2Latency int
+	// PrefetchDegree enables a stride prefetcher emitting this many
+	// candidates per trained access (0 disables prefetching).
+	PrefetchDegree int
+	// PrefetchTableSize is the stride table size (power of two; defaulted
+	// to 64 when PrefetchDegree > 0 and this is 0).
+	PrefetchTableSize int
+}
+
+// DefaultConfig returns the paper-style core: 128-entry window, 4-wide,
+// 16 MSHRs, 4/12-cycle caches.
+func DefaultConfig() Config {
+	return Config{ROBSize: 128, Width: 4, MSHRs: 16, L1Latency: 4, L2Latency: 12}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ROBSize <= 0 || c.Width <= 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("cpu: ROBSize/Width/MSHRs must be positive (%+v)", c)
+	}
+	if c.L1Latency <= 0 || c.L2Latency < c.L1Latency {
+		return fmt.Errorf("cpu: need 0 < L1Latency ≤ L2Latency (%+v)", c)
+	}
+	if c.PrefetchDegree < 0 {
+		return fmt.Errorf("cpu: PrefetchDegree must be non-negative, got %d", c.PrefetchDegree)
+	}
+	return nil
+}
+
+type robEntry struct {
+	done    bool
+	readyAt uint64
+	isLoad  bool
+}
+
+// pendingOp is cache-generated memory traffic waiting for controller space.
+type pendingOp struct {
+	addr    uint64
+	isWrite bool
+}
+
+// Stats exposes the core's counters.
+type Stats struct {
+	// Retired is the number of retired instructions.
+	Retired uint64
+	// Cycles is the number of ticks executed.
+	Cycles uint64
+	// MemAccesses counts data accesses (loads + stores).
+	MemAccesses uint64
+	// DemandMisses counts load misses that reached DRAM.
+	DemandMisses uint64
+	// StallCycles counts cycles in which nothing retired.
+	StallCycles uint64
+	// SubmitRetries counts failed Submit attempts (backpressure).
+	SubmitRetries uint64
+	// PrefetchesIssued counts prefetch fills sent toward memory.
+	PrefetchesIssued uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// Core is one trace-driven hardware thread.
+type Core struct {
+	id    int
+	cfg   Config
+	gen   trace.Generator
+	xlate Translator
+	hier  *cache.Hierarchy
+	mem   Memory
+
+	rob   []robEntry
+	head  int
+	tail  int
+	count int
+
+	// trace cursor
+	haveItem bool
+	item     trace.Item
+	gapLeft  int
+
+	outstandingLoads int // incomplete loads (for dependence chains)
+	demandInFlight   int // MSHR occupancy
+	pendingOps       []pendingOp
+	pf               *prefetch.Stride
+
+	llc        *cache.Shared
+	llcLatency int
+
+	stats Stats
+	now   uint64
+}
+
+// New builds a core. All collaborators are required.
+func New(id int, cfg Config, gen trace.Generator, xlate Translator, hier *cache.Hierarchy, mem Memory) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || xlate == nil || hier == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: nil collaborator for core %d", id)
+	}
+	core := &Core{
+		id:    id,
+		cfg:   cfg,
+		gen:   gen,
+		xlate: xlate,
+		hier:  hier,
+		mem:   mem,
+		rob:   make([]robEntry, cfg.ROBSize),
+	}
+	if cfg.PrefetchDegree > 0 {
+		size := cfg.PrefetchTableSize
+		if size == 0 {
+			size = 64
+		}
+		pf, err := prefetch.NewStride(size, cfg.PrefetchDegree)
+		if err != nil {
+			return nil, err
+		}
+		core.pf = pf
+	}
+	return core, nil
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// AttachLLC connects an optional shared last-level cache between the
+// private hierarchy and memory; latency is the L3 hit latency in CPU
+// cycles. Call before the first Tick.
+func (c *Core) AttachLLC(llc *cache.Shared, latency int) {
+	c.llc = llc
+	c.llcLatency = latency
+}
+
+// Stats returns a copy of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Hierarchy returns the core's private cache hierarchy.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Retired returns the retired-instruction count (for quantum profiling).
+func (c *Core) Retired() uint64 { return c.stats.Retired }
+
+// DemandMisses returns the DRAM-level load miss count.
+func (c *Core) DemandMisses() uint64 { return c.stats.DemandMisses }
+
+// Tick advances the core by one CPU cycle. It returns an error only for
+// unrecoverable conditions (page allocation failure).
+func (c *Core) Tick() error {
+	now := c.now
+	c.now++
+	c.stats.Cycles++
+
+	// Retire in order, up to Width.
+	retiredThisCycle := 0
+	for retiredThisCycle < c.cfg.Width && c.count > 0 {
+		e := &c.rob[c.head]
+		if !e.done || e.readyAt > now {
+			break
+		}
+		if e.isLoad {
+			c.outstandingLoads--
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.stats.Retired++
+		retiredThisCycle++
+	}
+	if retiredThisCycle == 0 {
+		c.stats.StallCycles++
+	}
+
+	// Retry spilled cache traffic before generating more.
+	c.flushPendingOps()
+
+	// Fill up to Width new instructions.
+	for filled := 0; filled < c.cfg.Width && c.count < len(c.rob); filled++ {
+		if !c.haveItem {
+			c.item = c.gen.Next()
+			c.gapLeft = c.item.Gap
+			c.haveItem = true
+		}
+		if c.gapLeft > 0 {
+			c.insert(robEntry{done: true, readyAt: now + 1})
+			c.gapLeft--
+			continue
+		}
+		// Backpressure: don't start new accesses while spilled traffic
+		// waits, so cache-order reaches the controllers.
+		if len(c.pendingOps) > 0 {
+			break
+		}
+		if c.item.Dependent && c.outstandingLoads > 0 {
+			break // serialised pointer chase
+		}
+		ok, err := c.issueMemAccess(now)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break // MSHRs or controller full; retry next cycle
+		}
+		c.haveItem = false
+	}
+	return nil
+}
+
+func (c *Core) insert(e robEntry) {
+	c.rob[c.tail] = e
+	c.tail = (c.tail + 1) % len(c.rob)
+	c.count++
+}
+
+func (c *Core) flushPendingOps() {
+	for len(c.pendingOps) > 0 {
+		op := c.pendingOps[0]
+		if !c.mem.Submit(c.id, op.addr, op.isWrite, false, nil) {
+			c.stats.SubmitRetries++
+			return
+		}
+		c.pendingOps = c.pendingOps[1:]
+	}
+	if len(c.pendingOps) == 0 && cap(c.pendingOps) > 64 {
+		c.pendingOps = nil // don't let a burst pin a large backing array
+	}
+}
+
+// issueMemAccess runs the current item through translation and the caches,
+// submitting any DRAM traffic. It reports ok=false when the access must be
+// retried next cycle.
+func (c *Core) issueMemAccess(now uint64) (ok bool, err error) {
+	it := c.item
+	paddr, _, err := c.xlate.Translate(it.Addr)
+	if err != nil {
+		return false, fmt.Errorf("cpu: core %d translate %#x: %w", c.id, it.Addr, err)
+	}
+	// A load miss needs an MSHR before we commit the cache state change.
+	// Peek: we can't know hit/miss without accessing, and the cache access
+	// mutates state, so gate conservatively on MSHR availability for loads.
+	if !it.IsWrite && c.demandInFlight >= c.cfg.MSHRs {
+		return false, nil
+	}
+
+	ops, hitLevel := c.hier.Access(paddr, it.IsWrite)
+	c.stats.MemAccesses++
+
+	var entry robEntry
+	switch {
+	case it.IsWrite:
+		// Stores retire from a store buffer: one cycle.
+		entry = robEntry{done: true, readyAt: now + 1}
+	case hitLevel == 1:
+		entry = robEntry{done: true, readyAt: now + uint64(c.cfg.L1Latency), isLoad: true}
+	case hitLevel == 2:
+		entry = robEntry{done: true, readyAt: now + uint64(c.cfg.L2Latency), isLoad: true}
+	default:
+		entry = robEntry{isLoad: true}
+	}
+
+	for _, op := range ops {
+		if op.Demand && !it.IsWrite {
+			// The load's own fill. A shared LLC, when attached, may
+			// satisfy it without DRAM.
+			if c.llc != nil {
+				wb, hit := c.llc.Access(c.id, op.Addr, false)
+				if wb.Writeback {
+					c.post(wb.WritebackAddr, true)
+				}
+				if hit {
+					entry = robEntry{done: true, readyAt: now + uint64(c.llcLatency), isLoad: true}
+					continue
+				}
+			}
+			slot := c.tail // entry inserted below lands here
+			c.demandInFlight++
+			c.stats.DemandMisses++
+			submitted := c.mem.Submit(c.id, op.Addr, false, true, func() {
+				c.rob[slot].done = true
+				c.demandInFlight--
+			})
+			if !submitted {
+				// Roll back the MSHR; the cache already allocated the
+				// line, but re-access next cycle will simply hit — model
+				// it as a retry with the line present (an L2 hit), which
+				// slightly underestimates the miss penalty only under
+				// extreme backpressure.
+				c.demandInFlight--
+				c.stats.DemandMisses--
+				c.stats.SubmitRetries++
+				return false, nil
+			}
+		} else {
+			// Posted traffic: writebacks, store fills — routed through the
+			// LLC when one is attached.
+			c.routePosted(op.Addr, op.IsWrite)
+		}
+	}
+	if entry.isLoad {
+		c.outstandingLoads++
+	}
+	c.insert(entry)
+	c.maybePrefetch(paddr, it.IsWrite)
+	return true, nil
+}
+
+// post submits (or spills) one posted line transfer toward DRAM.
+func (c *Core) post(addr uint64, isWrite bool) {
+	if !c.mem.Submit(c.id, addr, isWrite, false, nil) {
+		c.pendingOps = append(c.pendingOps, pendingOp{addr: addr, isWrite: isWrite})
+		c.stats.SubmitRetries++
+	}
+}
+
+// routePosted sends posted traffic through the shared LLC when attached:
+// writebacks land in the LLC (their dirty victims go to DRAM); fills that
+// hit the LLC generate no DRAM traffic at all.
+func (c *Core) routePosted(addr uint64, isWrite bool) {
+	if c.llc == nil {
+		c.post(addr, isWrite)
+		return
+	}
+	wb, hit := c.llc.Access(c.id, addr, isWrite)
+	if wb.Writeback {
+		c.post(wb.WritebackAddr, true)
+	}
+	if !hit && !isWrite {
+		// A fill the LLC also missed: fetch the line from DRAM (posted).
+		c.post(addr, false)
+	}
+}
+
+// maybePrefetch trains the stride detector on the access and issues posted
+// L2 fills for confident candidates. Prefetch traffic never takes MSHRs and
+// is throttled when earlier posted traffic is still waiting.
+func (c *Core) maybePrefetch(paddr uint64, isWrite bool) {
+	if c.pf == nil || isWrite || len(c.pendingOps) > 0 {
+		return
+	}
+	for _, cand := range c.pf.Observe(paddr) {
+		ops, filled := c.hier.PrefetchL2(cand)
+		if !filled {
+			continue
+		}
+		c.stats.PrefetchesIssued++
+		for _, op := range ops {
+			c.routePosted(op.Addr, op.IsWrite)
+		}
+	}
+}

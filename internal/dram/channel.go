@@ -1,0 +1,289 @@
+package dram
+
+import "fmt"
+
+// bankState tracks the timing state of one bank.
+type bankState struct {
+	open bool
+	row  int
+	// actAllowed is the earliest cycle an ACT may be issued (tRP, tRC, tRFC).
+	actAllowed uint64
+	// colAllowed is the earliest cycle a RD/WR may be issued (tRCD).
+	colAllowed uint64
+	// preAllowed is the earliest cycle a PRE may be issued
+	// (tRAS, tRTP, write recovery).
+	preAllowed uint64
+}
+
+// rankState tracks per-rank constraints: tRRD, tFAW and refresh.
+type rankState struct {
+	banks []bankState
+	// lastAct is the cycle of the most recent ACT on this rank.
+	lastAct uint64
+	// actWindow holds the cycles of the last four ACTs, for tFAW.
+	actWindow [4]uint64
+	actCount  int
+	// refreshDue is when the next REF must be scheduled.
+	refreshDue uint64
+	// refreshBusyUntil marks the end of an in-flight refresh.
+	refreshBusyUntil uint64
+}
+
+// Stats are the per-channel command counters.
+type Stats struct {
+	Activates  uint64
+	Precharges uint64
+	Reads      uint64
+	Writes     uint64
+	Refreshes  uint64
+}
+
+// Channel models one memory channel: its ranks, banks, command timing and
+// shared data bus.
+type Channel struct {
+	timing Timing
+	ranks  []rankState
+	// busFreeAt is when the data bus finishes its current burst.
+	busFreeAt uint64
+	// lastBusWasWrite records the direction of the last data burst, for
+	// turnaround penalties.
+	lastBusWasWrite bool
+	// writeDataEnd is when the most recent write burst finishes (tWTR).
+	writeDataEnd uint64
+	// colAllowed is the earliest next column command on this channel (tCCD).
+	colAllowed uint64
+
+	stats Stats
+}
+
+// NewChannel builds a channel with the given rank/bank counts and timing.
+func NewChannel(ranks, banksPerRank int, t Timing) (*Channel, error) {
+	if ranks <= 0 || banksPerRank <= 0 {
+		return nil, fmt.Errorf("dram: ranks (%d) and banks (%d) must be positive", ranks, banksPerRank)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Channel{timing: t, ranks: make([]rankState, ranks)}
+	for i := range c.ranks {
+		c.ranks[i].banks = make([]bankState, banksPerRank)
+		if t.RefreshEnabled {
+			// Stagger refreshes across ranks to avoid lockstep stalls.
+			c.ranks[i].refreshDue = uint64(t.TREFI) + uint64(i)*uint64(t.TREFI)/uint64(ranks)
+		}
+	}
+	return c, nil
+}
+
+// Timing returns the channel's timing parameters.
+func (c *Channel) Timing() Timing { return c.timing }
+
+// Stats returns the channel's command counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// NumRanks returns the number of ranks on the channel.
+func (c *Channel) NumRanks() int { return len(c.ranks) }
+
+// NumBanksPerRank returns the banks per rank.
+func (c *Channel) NumBanksPerRank() int { return len(c.ranks[0].banks) }
+
+// OpenRow reports the currently open row of a bank.
+func (c *Channel) OpenRow(rank, bank int) (row int, open bool) {
+	b := &c.ranks[rank].banks[bank]
+	return b.row, b.open
+}
+
+// RefreshDue reports whether the rank's refresh deadline has passed and the
+// controller should work toward issuing a REF.
+func (c *Channel) RefreshDue(rank int, now uint64) bool {
+	r := &c.ranks[rank]
+	return c.timing.RefreshEnabled && now >= r.refreshDue
+}
+
+// Refreshing reports whether the rank is currently busy with a refresh.
+func (c *Channel) Refreshing(rank int, now uint64) bool {
+	return now < c.ranks[rank].refreshBusyUntil
+}
+
+// AllBanksClosed reports whether every bank of the rank is precharged.
+func (c *Channel) AllBanksClosed(rank int) bool {
+	for i := range c.ranks[rank].banks {
+		if c.ranks[rank].banks[i].open {
+			return false
+		}
+	}
+	return true
+}
+
+// fawOK reports whether a new ACT at `now` keeps at most four activates in
+// any tFAW window.
+func (r *rankState) fawOK(now uint64, tfaw int) bool {
+	if r.actCount < 4 {
+		return true
+	}
+	oldest := r.actWindow[0]
+	return now >= oldest+uint64(tfaw)
+}
+
+func (r *rankState) recordAct(now uint64) {
+	if r.actCount < 4 {
+		r.actWindow[r.actCount] = now
+		r.actCount++
+	} else {
+		copy(r.actWindow[:3], r.actWindow[1:])
+		r.actWindow[3] = now
+	}
+	r.lastAct = now
+}
+
+// CanIssue reports whether the command may legally be issued at cycle now.
+// For CmdRead/CmdWrite, row must match the open row. For CmdRefresh, bank
+// and row are ignored.
+func (c *Channel) CanIssue(cmd Command, rank, bank, row int, now uint64) bool {
+	r := &c.ranks[rank]
+	if now < r.refreshBusyUntil {
+		return false
+	}
+	switch cmd {
+	case CmdActivate:
+		b := &r.banks[bank]
+		if b.open {
+			return false
+		}
+		if now < b.actAllowed {
+			return false
+		}
+		if r.actCount > 0 && now < r.lastAct+uint64(c.timing.TRRD) {
+			return false
+		}
+		return r.fawOK(now, c.timing.TFAW)
+	case CmdPrecharge:
+		b := &r.banks[bank]
+		return b.open && now >= b.preAllowed
+	case CmdRead:
+		b := &r.banks[bank]
+		if !b.open || b.row != row || now < b.colAllowed || now < c.colAllowed {
+			return false
+		}
+		// Write-to-read: the rank needs tWTR after the last write burst.
+		if now < c.writeDataEnd+uint64(c.timing.TWTR) {
+			return false
+		}
+		return c.busFreeForData(now+uint64(c.timing.CL), false)
+	case CmdWrite:
+		b := &r.banks[bank]
+		if !b.open || b.row != row || now < b.colAllowed || now < c.colAllowed {
+			return false
+		}
+		return c.busFreeForData(now+uint64(c.timing.CWL), true)
+	case CmdRefresh:
+		if !c.AllBanksClosed(rank) {
+			return false
+		}
+		for i := range r.banks {
+			if now < r.banks[i].actAllowed {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// busFreeForData reports whether a burst starting at dataStart fits on the
+// bus, including direction-turnaround penalties.
+func (c *Channel) busFreeForData(dataStart uint64, isWrite bool) bool {
+	free := c.busFreeAt
+	if c.lastBusWasWrite != isWrite && free > 0 {
+		free += uint64(c.timing.TRTW)
+	}
+	return dataStart >= free
+}
+
+// IssueAutoPrecharge performs a RD or WR with auto-precharge (RDA/WRA): the
+// bank closes itself once the access completes, without consuming a command
+// slot — the primitive behind closed-page controller policies. The bank may
+// be re-activated after max(tRAS, read/write recovery) + tRP.
+func (c *Channel) IssueAutoPrecharge(cmd Command, rank, bank, row int, now uint64) (dataEnd uint64) {
+	if cmd != CmdRead && cmd != CmdWrite {
+		panic(fmt.Sprintf("dram: auto-precharge only applies to RD/WR, got %s", cmd))
+	}
+	dataEnd = c.Issue(cmd, rank, bank, row, now)
+	b := &c.ranks[rank].banks[bank]
+	b.open = false
+	// The internal precharge starts once both tRAS and the column
+	// recovery (tracked in preAllowed by Issue) are satisfied.
+	preStart := b.preAllowed
+	if na := preStart + uint64(c.timing.TRP); na > b.actAllowed {
+		b.actAllowed = na
+	}
+	c.stats.Precharges++
+	return dataEnd
+}
+
+// Issue performs the command at cycle now and returns, for column commands,
+// the cycle at which the data burst completes. Issue panics when the command
+// is illegal; callers must gate with CanIssue.
+func (c *Channel) Issue(cmd Command, rank, bank, row int, now uint64) (dataEnd uint64) {
+	if !c.CanIssue(cmd, rank, bank, row, now) {
+		panic(fmt.Sprintf("dram: illegal %s rank=%d bank=%d row=%d at cycle %d", cmd, rank, bank, row, now))
+	}
+	r := &c.ranks[rank]
+	t := &c.timing
+	switch cmd {
+	case CmdActivate:
+		b := &r.banks[bank]
+		b.open = true
+		b.row = row
+		b.colAllowed = now + uint64(t.TRCD)
+		b.preAllowed = now + uint64(t.TRAS)
+		b.actAllowed = now + uint64(t.TRC)
+		r.recordAct(now)
+		c.stats.Activates++
+	case CmdPrecharge:
+		b := &r.banks[bank]
+		b.open = false
+		if na := now + uint64(t.TRP); na > b.actAllowed {
+			b.actAllowed = na
+		}
+		c.stats.Precharges++
+	case CmdRead:
+		b := &r.banks[bank]
+		start := now + uint64(t.CL)
+		dataEnd = start + uint64(t.TBL)
+		c.busFreeAt = dataEnd
+		c.lastBusWasWrite = false
+		c.colAllowed = now + uint64(t.TCCD)
+		if p := now + uint64(t.TRTP); p > b.preAllowed {
+			b.preAllowed = p
+		}
+		c.stats.Reads++
+	case CmdWrite:
+		b := &r.banks[bank]
+		start := now + uint64(t.CWL)
+		dataEnd = start + uint64(t.TBL)
+		c.busFreeAt = dataEnd
+		c.lastBusWasWrite = true
+		c.writeDataEnd = dataEnd
+		c.colAllowed = now + uint64(t.TCCD)
+		if p := dataEnd + uint64(t.TWR); p > b.preAllowed {
+			b.preAllowed = p
+		}
+		c.stats.Writes++
+	case CmdRefresh:
+		r.refreshBusyUntil = now + uint64(t.TRFC)
+		r.refreshDue += uint64(t.TREFI)
+		if r.refreshDue <= now {
+			// Catch up if the controller fell far behind.
+			r.refreshDue = now + uint64(t.TREFI)
+		}
+		for i := range r.banks {
+			if na := now + uint64(t.TRFC); na > r.banks[i].actAllowed {
+				r.banks[i].actAllowed = na
+			}
+		}
+		c.stats.Refreshes++
+	}
+	return dataEnd
+}

@@ -1,0 +1,424 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testTiming() Timing {
+	t := DDR3_1600()
+	t.RefreshEnabled = false
+	return t
+}
+
+func mustChannel(t *testing.T, ranks, banks int, tm Timing) *Channel {
+	t.Helper()
+	c, err := NewChannel(ranks, banks, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCommandString(t *testing.T) {
+	cases := map[Command]string{
+		CmdActivate: "ACT", CmdPrecharge: "PRE", CmdRead: "RD",
+		CmdWrite: "WR", CmdRefresh: "REF", Command(99): "Command(99)",
+	}
+	for cmd, want := range cases {
+		if got := cmd.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(cmd), got, want)
+		}
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := DDR3_1600().Validate(); err != nil {
+		t.Errorf("DDR3_1600 invalid: %v", err)
+	}
+	bad := DDR3_1600()
+	bad.TRCD = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("TRCD=0 should be invalid")
+	}
+	bad = DDR3_1600()
+	bad.TRC = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("TRC < TRAS+TRP should be invalid")
+	}
+	bad = DDR3_1600()
+	bad.TRFC = bad.TREFI + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("TRFC >= TREFI should be invalid")
+	}
+	bad = DDR3_1600()
+	bad.TRTW = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative TRTW should be invalid")
+	}
+}
+
+func TestNewChannelErrors(t *testing.T) {
+	if _, err := NewChannel(0, 8, testTiming()); err == nil {
+		t.Error("0 ranks should fail")
+	}
+	if _, err := NewChannel(1, 0, testTiming()); err == nil {
+		t.Error("0 banks should fail")
+	}
+	badT := testTiming()
+	badT.CL = 0
+	if _, err := NewChannel(1, 8, badT); err == nil {
+		t.Error("bad timing should fail")
+	}
+}
+
+func TestActivateThenRead(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+
+	if c.CanIssue(CmdRead, 0, 0, 7, 0) {
+		t.Fatal("read allowed on closed bank")
+	}
+	if !c.CanIssue(CmdActivate, 0, 0, 7, 0) {
+		t.Fatal("activate should be allowed at cycle 0")
+	}
+	c.Issue(CmdActivate, 0, 0, 7, 0)
+	if row, open := c.OpenRow(0, 0); !open || row != 7 {
+		t.Fatalf("OpenRow = %d,%v; want 7,true", row, open)
+	}
+	// Column command must wait tRCD.
+	if c.CanIssue(CmdRead, 0, 0, 7, uint64(tm.TRCD)-1) {
+		t.Error("read allowed before tRCD")
+	}
+	if !c.CanIssue(CmdRead, 0, 0, 7, uint64(tm.TRCD)) {
+		t.Error("read refused at tRCD")
+	}
+	// Wrong row must be refused.
+	if c.CanIssue(CmdRead, 0, 0, 8, uint64(tm.TRCD)) {
+		t.Error("read allowed on wrong row")
+	}
+	end := c.Issue(CmdRead, 0, 0, 7, uint64(tm.TRCD))
+	want := uint64(tm.TRCD) + uint64(tm.CL) + uint64(tm.TBL)
+	if end != want {
+		t.Errorf("read data end = %d, want %d", end, want)
+	}
+	if c.Stats().Activates != 1 || c.Stats().Reads != 1 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestPrechargeRespectsTRASAndTRP(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	if c.CanIssue(CmdPrecharge, 0, 0, 0, uint64(tm.TRAS)-1) {
+		t.Error("precharge allowed before tRAS")
+	}
+	if !c.CanIssue(CmdPrecharge, 0, 0, 0, uint64(tm.TRAS)) {
+		t.Error("precharge refused at tRAS")
+	}
+	c.Issue(CmdPrecharge, 0, 0, 0, uint64(tm.TRAS))
+	if _, open := c.OpenRow(0, 0); open {
+		t.Error("bank still open after precharge")
+	}
+	// Re-activation must wait tRP after PRE and tRC after the first ACT.
+	earliest := uint64(tm.TRAS + tm.TRP)
+	if uint64(tm.TRC) > earliest {
+		earliest = uint64(tm.TRC)
+	}
+	if c.CanIssue(CmdActivate, 0, 0, 5, earliest-1) {
+		t.Error("activate allowed before tRP/tRC")
+	}
+	if !c.CanIssue(CmdActivate, 0, 0, 5, earliest) {
+		t.Error("activate refused after tRP/tRC")
+	}
+}
+
+func TestReadToPrechargeTRTP(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	rd := uint64(tm.TRAS) // read late so tRAS is already satisfied
+	c.Issue(CmdRead, 0, 0, 3, rd)
+	if c.CanIssue(CmdPrecharge, 0, 0, 0, rd+uint64(tm.TRTP)-1) {
+		t.Error("precharge allowed before tRTP after read")
+	}
+	if !c.CanIssue(CmdPrecharge, 0, 0, 0, rd+uint64(tm.TRTP)) {
+		t.Error("precharge refused at tRTP after read")
+	}
+}
+
+func TestWriteRecovery(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	wr := uint64(tm.TRAS)
+	end := c.Issue(CmdWrite, 0, 0, 3, wr)
+	wantEnd := wr + uint64(tm.CWL) + uint64(tm.TBL)
+	if end != wantEnd {
+		t.Fatalf("write data end = %d, want %d", end, wantEnd)
+	}
+	preOK := end + uint64(tm.TWR)
+	if c.CanIssue(CmdPrecharge, 0, 0, 0, preOK-1) {
+		t.Error("precharge allowed before write recovery")
+	}
+	if !c.CanIssue(CmdPrecharge, 0, 0, 0, preOK) {
+		t.Error("precharge refused after write recovery")
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	c.Issue(CmdActivate, 0, 1, 4, uint64(tm.TRRD))
+	wr := uint64(tm.TRCD + tm.TRRD)
+	wEnd := c.Issue(CmdWrite, 0, 0, 3, wr)
+	// A read on another bank must wait tWTR after the write burst ends.
+	tooEarly := wEnd + uint64(tm.TWTR) - 1
+	if c.CanIssue(CmdRead, 0, 1, 4, tooEarly) {
+		t.Error("read allowed inside tWTR window")
+	}
+	if !c.CanIssue(CmdRead, 0, 1, 4, wEnd+uint64(tm.TWTR)) {
+		t.Error("read refused after tWTR")
+	}
+}
+
+func TestTCCDSpacing(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	rd := uint64(tm.TRCD)
+	c.Issue(CmdRead, 0, 0, 3, rd)
+	if c.CanIssue(CmdRead, 0, 0, 3, rd+uint64(tm.TCCD)-1) {
+		t.Error("second read allowed inside tCCD")
+	}
+	if !c.CanIssue(CmdRead, 0, 0, 3, rd+uint64(tm.TCCD)) {
+		t.Error("second read refused at tCCD")
+	}
+}
+
+func TestTRRDAndTFAW(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	// Issue four activates at the minimum tRRD spacing.
+	var now uint64
+	for b := 0; b < 4; b++ {
+		if !c.CanIssue(CmdActivate, 0, b, 1, now) {
+			t.Fatalf("ACT %d refused at %d", b, now)
+		}
+		c.Issue(CmdActivate, 0, b, 1, now)
+		if b < 3 {
+			if c.CanIssue(CmdActivate, 0, b+1, 1, now+uint64(tm.TRRD)-1) {
+				t.Fatalf("ACT %d allowed inside tRRD", b+1)
+			}
+			now += uint64(tm.TRRD)
+		}
+	}
+	// Fifth activate must wait for the tFAW window from the first.
+	fifthEarliest := uint64(tm.TFAW)
+	if c.CanIssue(CmdActivate, 0, 4, 1, fifthEarliest-1) {
+		t.Error("fifth ACT allowed inside tFAW")
+	}
+	if !c.CanIssue(CmdActivate, 0, 4, 1, fifthEarliest) {
+		t.Error("fifth ACT refused at tFAW boundary")
+	}
+}
+
+func TestActivateOnOpenBankRefused(t *testing.T) {
+	c := mustChannel(t, 1, 8, testTiming())
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	if c.CanIssue(CmdActivate, 0, 0, 4, 1000) {
+		t.Error("activate allowed on open bank")
+	}
+}
+
+func TestIssuePanicsOnIllegal(t *testing.T) {
+	c := mustChannel(t, 1, 8, testTiming())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on illegal command")
+		}
+	}()
+	c.Issue(CmdRead, 0, 0, 0, 0)
+}
+
+func TestRefreshLifecycle(t *testing.T) {
+	tm := DDR3_1600() // refresh on
+	c := mustChannel(t, 1, 8, tm)
+	if c.RefreshDue(0, 0) {
+		t.Error("refresh due at cycle 0")
+	}
+	due := uint64(tm.TREFI)
+	if !c.RefreshDue(0, due) {
+		t.Error("refresh not due at tREFI")
+	}
+	if !c.CanIssue(CmdRefresh, 0, 0, 0, due) {
+		t.Fatal("refresh refused with all banks closed")
+	}
+	c.Issue(CmdRefresh, 0, 0, 0, due)
+	if !c.Refreshing(0, due+1) {
+		t.Error("rank not refreshing after REF")
+	}
+	if c.CanIssue(CmdActivate, 0, 0, 1, due+uint64(tm.TRFC)-1) {
+		t.Error("activate allowed during tRFC")
+	}
+	if !c.CanIssue(CmdActivate, 0, 0, 1, due+uint64(tm.TRFC)) {
+		t.Error("activate refused after tRFC")
+	}
+	if c.RefreshDue(0, due+uint64(tm.TRFC)) {
+		t.Error("refresh still due immediately after REF")
+	}
+	if c.Stats().Refreshes != 1 {
+		t.Errorf("refresh count = %d", c.Stats().Refreshes)
+	}
+}
+
+func TestRefreshRequiresClosedBanks(t *testing.T) {
+	tm := DDR3_1600()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 2, 9, 0)
+	if c.CanIssue(CmdRefresh, 0, 0, 0, uint64(tm.TREFI)) {
+		t.Error("refresh allowed with an open bank")
+	}
+	if c.AllBanksClosed(0) {
+		t.Error("AllBanksClosed true with an open bank")
+	}
+}
+
+func TestRefreshStaggeredAcrossRanks(t *testing.T) {
+	tm := DDR3_1600()
+	c := mustChannel(t, 2, 8, tm)
+	// Rank 1's first refresh should come later than rank 0's.
+	r0 := uint64(tm.TREFI)
+	if !c.RefreshDue(0, r0) {
+		t.Error("rank 0 refresh not due at tREFI")
+	}
+	if c.RefreshDue(1, r0) {
+		t.Error("rank 1 refresh due at the same time as rank 0")
+	}
+}
+
+// TestTimingInvariantProperty drives a channel with a legal random command
+// sequence and checks the core safety property: Issue never panics when
+// CanIssue approved, and data-bus bursts never overlap.
+func TestTimingInvariantProperty(t *testing.T) {
+	tm := testTiming()
+	f := func(seed uint32, steps uint8) bool {
+		c, err := NewChannel(1, 4, tm)
+		if err != nil {
+			return false
+		}
+		rng := seed
+		next := func(n uint32) uint32 {
+			rng = rng*1664525 + 1013904223
+			return rng % n
+		}
+		var now uint64
+		var lastDataEnd, lastDataStart uint64
+		var prevEnd uint64
+		for i := 0; i < int(steps); i++ {
+			cmd := Command(next(4))
+			bank := int(next(4))
+			row := int(next(8))
+			if c.CanIssue(cmd, 0, bank, row, now) {
+				end := c.Issue(cmd, 0, bank, row, now)
+				if cmd == CmdRead || cmd == CmdWrite {
+					var start uint64
+					if cmd == CmdRead {
+						start = now + uint64(tm.CL)
+					} else {
+						start = now + uint64(tm.CWL)
+					}
+					if start < prevEnd {
+						return false // overlapping bursts
+					}
+					lastDataStart, lastDataEnd = start, end
+					_ = lastDataStart
+					prevEnd = lastDataEnd
+				}
+			}
+			now += uint64(next(6) + 1)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelAccessors(t *testing.T) {
+	c := mustChannel(t, 2, 8, testTiming())
+	if c.NumRanks() != 2 || c.NumBanksPerRank() != 8 {
+		t.Errorf("geometry accessors: %d ranks, %d banks", c.NumRanks(), c.NumBanksPerRank())
+	}
+	if c.Timing().TRCD != testTiming().TRCD {
+		t.Error("Timing accessor mismatch")
+	}
+}
+
+func TestAutoPrechargeClosesBank(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	rd := uint64(tm.TRAS) // tRAS already satisfied when the read lands
+	end := c.IssueAutoPrecharge(CmdRead, 0, 0, 3, rd)
+	if want := rd + uint64(tm.CL) + uint64(tm.TBL); end != want {
+		t.Fatalf("data end = %d, want %d", end, want)
+	}
+	if _, open := c.OpenRow(0, 0); open {
+		t.Fatal("bank still open after auto-precharge read")
+	}
+	if c.Stats().Precharges != 1 {
+		t.Errorf("precharges = %d, want 1", c.Stats().Precharges)
+	}
+	// Re-activation must wait the read-to-precharge point plus tRP.
+	earliest := rd + uint64(tm.TRTP) + uint64(tm.TRP)
+	if c.CanIssue(CmdActivate, 0, 0, 9, earliest-1) {
+		t.Error("activate allowed before internal precharge completes")
+	}
+	if !c.CanIssue(CmdActivate, 0, 0, 9, earliest) {
+		t.Error("activate refused after internal precharge")
+	}
+}
+
+func TestAutoPrechargeWriteRecovery(t *testing.T) {
+	tm := testTiming()
+	c := mustChannel(t, 1, 8, tm)
+	c.Issue(CmdActivate, 0, 0, 3, 0)
+	wr := uint64(tm.TRAS)
+	end := c.IssueAutoPrecharge(CmdWrite, 0, 0, 3, wr)
+	earliest := end + uint64(tm.TWR) + uint64(tm.TRP)
+	if c.CanIssue(CmdActivate, 0, 0, 9, earliest-1) {
+		t.Error("activate allowed inside write recovery + tRP")
+	}
+	if !c.CanIssue(CmdActivate, 0, 0, 9, earliest) {
+		t.Error("activate refused after write recovery + tRP")
+	}
+}
+
+func TestAutoPrechargePanicsOnNonColumn(t *testing.T) {
+	c := mustChannel(t, 1, 8, testTiming())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for ACT with auto-precharge")
+		}
+	}()
+	c.IssueAutoPrecharge(CmdActivate, 0, 0, 0, 0)
+}
+
+func TestDDR4Preset(t *testing.T) {
+	tm := DDR4_2400()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A DDR4 channel must behave like any other timing set.
+	c, err := NewChannel(1, 8, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Issue(CmdActivate, 0, 0, 1, 0)
+	if !c.CanIssue(CmdRead, 0, 0, 1, uint64(tm.TRCD)) {
+		t.Error("DDR4 read refused at tRCD")
+	}
+}

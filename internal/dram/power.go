@@ -1,0 +1,81 @@
+package dram
+
+import "fmt"
+
+// PowerParams model DRAM energy per command plus background power, in
+// nanojoules and nanojoules-per-memory-cycle. The defaults are derived from
+// DDR3-1600 datasheet IDD values the way DRAMPower-style tools do it
+// (activation energy from IDD0 minus background, burst energy from
+// IDD4R/IDD4W, refresh from IDD5); they are representative constants, not a
+// per-vendor calibration — the evaluation uses them for *relative*
+// energy comparisons between policies on identical hardware.
+type PowerParams struct {
+	// EActivate is the energy of one ACT/PRE pair (opening+closing a row).
+	EActivate float64
+	// ERead is the energy of one read burst.
+	ERead float64
+	// EWrite is the energy of one write burst.
+	EWrite float64
+	// ERefresh is the energy of one refresh command.
+	ERefresh float64
+	// EBackground is the standby energy per rank per memory cycle.
+	EBackground float64
+}
+
+// DDR3Power returns representative DDR3-1600 energy constants (nJ).
+func DDR3Power() PowerParams {
+	return PowerParams{
+		EActivate:   2.5,
+		ERead:       1.2,
+		EWrite:      1.3,
+		ERefresh:    28.0,
+		EBackground: 0.06,
+	}
+}
+
+// Validate reports parameter errors.
+func (p PowerParams) Validate() error {
+	if p.EActivate < 0 || p.ERead < 0 || p.EWrite < 0 || p.ERefresh < 0 || p.EBackground < 0 {
+		return fmt.Errorf("dram: power parameters must be non-negative (%+v)", p)
+	}
+	return nil
+}
+
+// EnergyBreakdown itemises where the energy went (nanojoules).
+type EnergyBreakdown struct {
+	Activate   float64
+	Read       float64
+	Write      float64
+	Refresh    float64
+	Background float64
+}
+
+// Total returns the summed energy in nanojoules.
+func (e EnergyBreakdown) Total() float64 {
+	return e.Activate + e.Read + e.Write + e.Refresh + e.Background
+}
+
+// Energy computes the energy of a command mix over the given number of
+// memory cycles on `ranks` ranks.
+func (p PowerParams) Energy(s Stats, memCycles uint64, ranks int) EnergyBreakdown {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return EnergyBreakdown{
+		Activate:   float64(s.Activates) * p.EActivate,
+		Read:       float64(s.Reads) * p.ERead,
+		Write:      float64(s.Writes) * p.EWrite,
+		Refresh:    float64(s.Refreshes) * p.ERefresh,
+		Background: float64(memCycles) * float64(ranks) * p.EBackground,
+	}
+}
+
+// EnergyPerAccess returns average nanojoules per data transfer (0 when
+// idle) — the efficiency figure reported alongside throughput.
+func (p PowerParams) EnergyPerAccess(s Stats, memCycles uint64, ranks int) float64 {
+	transfers := s.Reads + s.Writes
+	if transfers == 0 {
+		return 0
+	}
+	return p.Energy(s, memCycles, ranks).Total() / float64(transfers)
+}

@@ -1,0 +1,80 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerValidate(t *testing.T) {
+	if err := DDR3Power().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DDR3Power()
+	bad.ERead = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative energy accepted")
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	p := PowerParams{EActivate: 2, ERead: 1, EWrite: 3, ERefresh: 10, EBackground: 0.5}
+	s := Stats{Activates: 4, Reads: 10, Writes: 2, Refreshes: 1}
+	e := p.Energy(s, 100, 2)
+	if e.Activate != 8 || e.Read != 10 || e.Write != 6 || e.Refresh != 10 {
+		t.Errorf("breakdown = %+v", e)
+	}
+	if e.Background != 100 {
+		t.Errorf("background = %g, want 100 (100 cycles × 2 ranks × 0.5)", e.Background)
+	}
+	if got := e.Total(); math.Abs(got-134) > 1e-9 {
+		t.Errorf("total = %g, want 134", got)
+	}
+}
+
+func TestEnergyZeroRanksClamped(t *testing.T) {
+	p := DDR3Power()
+	e := p.Energy(Stats{}, 10, 0)
+	if e.Background != 10*p.EBackground {
+		t.Errorf("zero ranks not clamped to 1: %g", e.Background)
+	}
+}
+
+func TestEnergyPerAccess(t *testing.T) {
+	p := PowerParams{ERead: 2, EWrite: 2}
+	s := Stats{Reads: 3, Writes: 1}
+	if got := p.EnergyPerAccess(s, 0, 1); got != 2 {
+		t.Errorf("energy/access = %g, want 2", got)
+	}
+	if got := p.EnergyPerAccess(Stats{}, 100, 1); got != 0 {
+		t.Errorf("idle energy/access = %g, want 0", got)
+	}
+}
+
+// Property: energy is monotone in every command count.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	p := DDR3Power()
+	f := func(acts, reads, writes, refs uint16, extra uint8) bool {
+		s := Stats{Activates: uint64(acts), Reads: uint64(reads), Writes: uint64(writes), Refreshes: uint64(refs)}
+		base := p.Energy(s, 1000, 1).Total()
+		s2 := s
+		s2.Reads += uint64(extra)
+		s2.Activates += uint64(extra)
+		more := p.Energy(s2, 1000, 1).Total()
+		return more >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a higher row-hit workload (fewer activates per read) costs less
+// energy for the same data moved.
+func TestRowHitsSaveEnergy(t *testing.T) {
+	p := DDR3Power()
+	streaming := Stats{Activates: 10, Reads: 640} // 64 hits per row
+	random := Stats{Activates: 640, Reads: 640}   // every read opens a row
+	if p.Energy(streaming, 1000, 1).Total() >= p.Energy(random, 1000, 1).Total() {
+		t.Error("row-hit-heavy workload should cost less energy")
+	}
+}

@@ -1,0 +1,161 @@
+// Package dram models DRAM devices at command granularity: banks, ranks and
+// channels with the JEDEC-style timing constraints that create the
+// interference effects the paper studies — row-buffer conflicts, bank
+// conflicts, activation-window throttling (tFAW) and data-bus contention.
+//
+// All times are expressed in memory-controller clock cycles. The controller
+// (package memctrl) drives a Channel by asking CanIssue and then Issue for
+// one command per cycle.
+package dram
+
+import "fmt"
+
+// Command is a DRAM command type.
+type Command int
+
+// DRAM command types.
+const (
+	CmdActivate Command = iota
+	CmdPrecharge
+	CmdRead
+	CmdWrite
+	CmdRefresh
+)
+
+// String returns the conventional mnemonic for the command.
+func (c Command) String() string {
+	switch c {
+	case CmdActivate:
+		return "ACT"
+	case CmdPrecharge:
+		return "PRE"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdRefresh:
+		return "REF"
+	default:
+		return fmt.Sprintf("Command(%d)", int(c))
+	}
+}
+
+// Timing holds DRAM timing parameters in memory-controller cycles.
+type Timing struct {
+	// TRCD is the ACT-to-column-command delay.
+	TRCD int
+	// TRP is the precharge period (PRE to ACT).
+	TRP int
+	// CL is the read column-access latency (RD to first data).
+	CL int
+	// CWL is the write column-access latency (WR to first data).
+	CWL int
+	// TRAS is the minimum ACT-to-PRE time.
+	TRAS int
+	// TRC is the minimum ACT-to-ACT time for the same bank.
+	TRC int
+	// TWR is the write recovery time (end of write data to PRE).
+	TWR int
+	// TRTP is the read-to-precharge delay.
+	TRTP int
+	// TCCD is the minimum column-command spacing.
+	TCCD int
+	// TRRD is the minimum ACT-to-ACT spacing between banks of one rank.
+	TRRD int
+	// TFAW is the four-activate window per rank.
+	TFAW int
+	// TWTR is the write-data-end to read-command delay (same rank).
+	TWTR int
+	// TRTW is the extra bus-turnaround penalty from read data to write data.
+	TRTW int
+	// TBL is the data burst length on the bus (cycles per transfer).
+	TBL int
+	// TREFI is the average refresh interval per rank.
+	TREFI int
+	// TRFC is the refresh cycle time (rank busy after REF).
+	TRFC int
+	// RefreshEnabled turns periodic refresh on.
+	RefreshEnabled bool
+}
+
+// DDR3_1600 returns DDR3-1600K-style timings (11-11-11) in units of the
+// 800 MHz memory-controller clock.
+func DDR3_1600() Timing {
+	return Timing{
+		TRCD:           11,
+		TRP:            11,
+		CL:             11,
+		CWL:            8,
+		TRAS:           28,
+		TRC:            39,
+		TWR:            12,
+		TRTP:           6,
+		TCCD:           4,
+		TRRD:           5,
+		TFAW:           24,
+		TWTR:           6,
+		TRTW:           2,
+		TBL:            4,
+		TREFI:          6240,
+		TRFC:           208,
+		RefreshEnabled: true,
+	}
+}
+
+// Validate checks that the timing parameters are internally consistent.
+func (t Timing) Validate() error {
+	type field struct {
+		name string
+		v    int
+	}
+	for _, f := range []field{
+		{"TRCD", t.TRCD}, {"TRP", t.TRP}, {"CL", t.CL}, {"CWL", t.CWL},
+		{"TRAS", t.TRAS}, {"TRC", t.TRC}, {"TWR", t.TWR}, {"TRTP", t.TRTP},
+		{"TCCD", t.TCCD}, {"TRRD", t.TRRD}, {"TFAW", t.TFAW}, {"TWTR", t.TWTR},
+		{"TBL", t.TBL},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("dram: %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if t.TRTW < 0 {
+		return fmt.Errorf("dram: TRTW must be non-negative, got %d", t.TRTW)
+	}
+	if t.TRC < t.TRAS+t.TRP {
+		return fmt.Errorf("dram: TRC (%d) must be at least TRAS+TRP (%d)", t.TRC, t.TRAS+t.TRP)
+	}
+	if t.RefreshEnabled {
+		if t.TREFI <= 0 || t.TRFC <= 0 {
+			return fmt.Errorf("dram: refresh enabled but TREFI=%d TRFC=%d", t.TREFI, t.TRFC)
+		}
+		if t.TRFC >= t.TREFI {
+			return fmt.Errorf("dram: TRFC (%d) must be below TREFI (%d)", t.TRFC, t.TREFI)
+		}
+	}
+	return nil
+}
+
+// DDR4_2400 returns DDR4-2400R-style timings (17-17-17) in units of the
+// 1200 MHz memory-controller clock — a faster, higher-latency-in-cycles
+// alternative to the DDR3 default for sensitivity studies.
+func DDR4_2400() Timing {
+	return Timing{
+		TRCD:           17,
+		TRP:            17,
+		CL:             17,
+		CWL:            12,
+		TRAS:           39,
+		TRC:            56,
+		TWR:            18,
+		TRTP:           9,
+		TCCD:           6,
+		TRRD:           6,
+		TFAW:           26,
+		TWTR:           9,
+		TRTW:           3,
+		TBL:            4,
+		TREFI:          9360,
+		TRFC:           420,
+		RefreshEnabled: true,
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"dbpsim/internal/sim"
+	"dbpsim/internal/workload"
+)
+
+// TestPaperShape is the reproduction's regression guard: it asserts the
+// paper's qualitative orderings on one medium mix at evaluation budgets.
+// Skipped under -short (it runs several full-length simulations).
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape regression needs full-length runs")
+	}
+	e := sim.NewExperiment(sim.DefaultConfig(8), 200_000, 400_000)
+	mix, _ := workload.MixByName("W8-M1")
+
+	run := func(s sim.SchedulerKind, p sim.PartitionKind) (ws, ms float64) {
+		r, err := e.RunMix(mix, s, p)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", s, p, err)
+		}
+		return r.Metrics.WeightedSpeedup, r.Metrics.MaxSlowdown
+	}
+
+	frWS, frMS := run(sim.SchedFRFCFS, sim.PartNone)
+	eqWS, eqMS := run(sim.SchedFRFCFS, sim.PartEqual)
+	dbpWS, dbpMS := run(sim.SchedFRFCFS, sim.PartDBP)
+	tcmWS, tcmMS := run(sim.SchedTCM, sim.PartNone)
+	comboWS, comboMS := run(sim.SchedTCM, sim.PartDBP)
+	mcpWS, mcpMS := run(sim.SchedFRFCFS, sim.PartMCP)
+
+	t.Logf("FRFCFS %.3f/%.3f EqualBP %.3f/%.3f DBP %.3f/%.3f TCM %.3f/%.3f DBP-TCM %.3f/%.3f MCP %.3f/%.3f",
+		frWS, frMS, eqWS, eqMS, dbpWS, dbpMS, tcmWS, tcmMS, comboWS, comboMS, mcpWS, mcpMS)
+
+	// Abstract claim 1: DBP beats equal bank partitioning on both metrics.
+	if dbpWS <= eqWS {
+		t.Errorf("DBP WS %.3f not above EqualBP %.3f", dbpWS, eqWS)
+	}
+	if dbpMS >= eqMS {
+		t.Errorf("DBP MS %.3f not below EqualBP %.3f", dbpMS, eqMS)
+	}
+	// Abstract claim 2: DBP-TCM beats TCM on both metrics.
+	if comboWS <= tcmWS {
+		t.Errorf("DBP-TCM WS %.3f not above TCM %.3f", comboWS, tcmWS)
+	}
+	if comboMS >= tcmMS {
+		t.Errorf("DBP-TCM MS %.3f not below TCM %.3f", comboMS, tcmMS)
+	}
+	// Abstract claim 3: DBP-TCM beats MCP on both metrics, with a large
+	// fairness margin (the paper reports +37%).
+	if comboWS <= mcpWS {
+		t.Errorf("DBP-TCM WS %.3f not above MCP %.3f", comboWS, mcpWS)
+	}
+	if comboMS >= mcpMS*0.9 {
+		t.Errorf("DBP-TCM MS %.3f lacks a clear fairness margin over MCP %.3f", comboMS, mcpMS)
+	}
+	// Motivation: partitioning changes fairness relative to FR-FCFS; the
+	// combined scheme must not be less fair than the unmanaged baseline.
+	if comboMS > frMS*1.05 {
+		t.Errorf("DBP-TCM MS %.3f worse than unmanaged FR-FCFS %.3f", comboMS, frMS)
+	}
+}

@@ -1,0 +1,229 @@
+// Package mcp implements Memory Channel Partitioning (Muralidhara et al.,
+// MICRO 2011), the channel-granularity partitioning baseline the paper
+// compares DBP-TCM against.
+//
+// Each quantum, threads are grouped by memory intensity and row-buffer
+// locality:
+//
+//   - low-intensity threads keep access to every channel and receive a
+//     scheduler priority boost (the paper's "integrated" scheme, IMPS);
+//   - high-intensity high-RBL and high-intensity low-RBL threads are
+//     steered to disjoint channel sets, sized proportionally to each
+//     group's bandwidth demand.
+//
+// Because whole channels are the allocation grain, intensive threads are
+// physically crammed into a fraction of the system's bandwidth — the
+// unfairness DBP's abstract calls out and the evaluation reproduces.
+package mcp
+
+import (
+	"fmt"
+
+	"dbpsim/internal/addr"
+	"dbpsim/internal/bankpart"
+	"dbpsim/internal/paging"
+	"dbpsim/internal/profile"
+)
+
+// Config parameterises MCP.
+type Config struct {
+	// QuantumCPUCycles is the repartitioning period.
+	QuantumCPUCycles uint64
+	// LowMPKI is the intensity threshold below which a thread is
+	// unrestricted (and boosted).
+	LowMPKI float64
+	// HighRBL splits the intensive threads into row-locality groups.
+	HighRBL float64
+	// MinQuantumMisses skips decisions on idle quanta.
+	MinQuantumMisses uint64
+}
+
+// DefaultConfig returns paper-style MCP parameters.
+func DefaultConfig() Config {
+	return Config{
+		QuantumCPUCycles: 5_000_000,
+		LowMPKI:          1.5,
+		HighRBL:          0.75,
+		MinQuantumMisses: 100,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.QuantumCPUCycles == 0 {
+		return fmt.Errorf("mcp: QuantumCPUCycles must be positive")
+	}
+	if c.LowMPKI < 0 {
+		return fmt.Errorf("mcp: LowMPKI must be non-negative, got %g", c.LowMPKI)
+	}
+	if c.HighRBL < 0 || c.HighRBL > 1 {
+		return fmt.Errorf("mcp: HighRBL must be in [0,1], got %g", c.HighRBL)
+	}
+	return nil
+}
+
+// PriorityNotifier receives the per-thread scheduler boost MCP's integrated
+// scheme assigns (implemented by sched.ThreadPriority).
+type PriorityNotifier interface {
+	SetLevel(thread, level int)
+}
+
+// MCP is the channel-partitioning policy. It implements bankpart.Policy.
+type MCP struct {
+	cfg        Config
+	geom       addr.Geometry
+	numThreads int
+	notifier   PriorityNotifier
+
+	channelMasks []paging.ColorSet // all colors of each channel
+	lastGroups   []int             // per-thread group, for reporting
+}
+
+var _ bankpart.Policy = (*MCP)(nil)
+
+// Thread groups (for reporting/tests).
+const (
+	GroupLow     = 0
+	GroupHighRBL = 1
+	GroupLowRBL  = 2
+)
+
+// New builds an MCP policy. notifier may be nil (partitioning only, no
+// scheduler boost).
+func New(cfg Config, numThreads int, g addr.Geometry, notifier PriorityNotifier) (*MCP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numThreads <= 0 {
+		return nil, fmt.Errorf("mcp: numThreads must be positive, got %d", numThreads)
+	}
+	m := &MCP{
+		cfg:        cfg,
+		geom:       g,
+		numThreads: numThreads,
+		notifier:   notifier,
+		lastGroups: make([]int, numThreads),
+	}
+	m.channelMasks = make([]paging.ColorSet, g.Channels)
+	for ch := 0; ch < g.Channels; ch++ {
+		s := paging.NewColorSet(g.NumColors())
+		for r := 0; r < g.RanksPerChannel; r++ {
+			for b := 0; b < g.BanksPerRank; b++ {
+				s.Add(g.BankID(ch, r, b))
+			}
+		}
+		m.channelMasks[ch] = s
+	}
+	return m, nil
+}
+
+// Name implements bankpart.Policy.
+func (*MCP) Name() string { return "mcp" }
+
+// QuantumCPUCycles returns the repartition period.
+func (m *MCP) QuantumCPUCycles() uint64 { return m.cfg.QuantumCPUCycles }
+
+// Groups returns the per-thread group from the last decision.
+func (m *MCP) Groups() []int {
+	out := make([]int, len(m.lastGroups))
+	copy(out, m.lastGroups)
+	return out
+}
+
+// Initial implements bankpart.Policy: everyone starts unrestricted.
+func (m *MCP) Initial() []paging.ColorSet {
+	masks := make([]paging.ColorSet, m.numThreads)
+	for i := range masks {
+		masks[i] = paging.FullColorSet(m.geom.NumColors())
+	}
+	return masks
+}
+
+// union merges channel masks for channels [lo, hi).
+func (m *MCP) union(lo, hi int) paging.ColorSet {
+	s := paging.NewColorSet(m.geom.NumColors())
+	for ch := lo; ch < hi; ch++ {
+		for _, c := range m.channelMasks[ch].Colors() {
+			s.Add(c)
+		}
+	}
+	return s
+}
+
+// Quantum implements bankpart.Policy.
+func (m *MCP) Quantum(samples []profile.ThreadSample) ([]paging.ColorSet, bool) {
+	prof := make([]profile.ThreadSample, m.numThreads)
+	var totalMisses uint64
+	for _, s := range samples {
+		if s.Thread < 0 || s.Thread >= m.numThreads {
+			continue
+		}
+		prof[s.Thread] = s
+		totalMisses += s.Misses
+	}
+	if totalMisses < m.cfg.MinQuantumMisses {
+		return nil, false
+	}
+
+	var bwHigh, bwLow float64 // bandwidth demand per intensive group
+	for t := 0; t < m.numThreads; t++ {
+		switch {
+		case prof[t].MPKI < m.cfg.LowMPKI:
+			m.lastGroups[t] = GroupLow
+		case prof[t].RBL >= m.cfg.HighRBL:
+			m.lastGroups[t] = GroupHighRBL
+			bwHigh += float64(prof[t].Requests)
+		default:
+			m.lastGroups[t] = GroupLowRBL
+			bwLow += float64(prof[t].Requests)
+		}
+	}
+
+	nch := m.geom.Channels
+	full := paging.FullColorSet(m.geom.NumColors())
+	masks := make([]paging.ColorSet, m.numThreads)
+
+	// Channel split between the two intensive groups, proportional to
+	// demand, at least one channel each when both exist.
+	highChans := 0
+	if bwHigh > 0 && bwLow > 0 {
+		highChans = int(float64(nch)*bwHigh/(bwHigh+bwLow) + 0.5)
+		if highChans < 1 {
+			highChans = 1
+		}
+		if highChans > nch-1 {
+			highChans = nch - 1
+		}
+	} else if bwHigh > 0 {
+		highChans = nch
+	}
+	highMask := m.union(0, highChans)
+	lowMask := m.union(highChans, nch)
+	if bwHigh > 0 && bwLow == 0 {
+		highMask = full.Clone()
+	}
+	if bwLow > 0 && bwHigh == 0 {
+		lowMask = full.Clone()
+	}
+
+	for t := 0; t < m.numThreads; t++ {
+		switch m.lastGroups[t] {
+		case GroupLow:
+			masks[t] = full.Clone()
+			if m.notifier != nil {
+				m.notifier.SetLevel(t, 1)
+			}
+		case GroupHighRBL:
+			masks[t] = highMask.Clone()
+			if m.notifier != nil {
+				m.notifier.SetLevel(t, 0)
+			}
+		default:
+			masks[t] = lowMask.Clone()
+			if m.notifier != nil {
+				m.notifier.SetLevel(t, 0)
+			}
+		}
+	}
+	return masks, true
+}

@@ -1,0 +1,192 @@
+package mcp
+
+import (
+	"testing"
+
+	"dbpsim/internal/addr"
+	"dbpsim/internal/profile"
+)
+
+type fakeNotifier struct{ levels map[int]int }
+
+func (f *fakeNotifier) SetLevel(t, l int) {
+	if f.levels == nil {
+		f.levels = map[int]int{}
+	}
+	f.levels[t] = l
+}
+
+func sample(t int, mpki, rbl float64, reqs, misses uint64) profile.ThreadSample {
+	return profile.ThreadSample{Thread: t, MPKI: mpki, RBL: rbl, Requests: reqs, Misses: misses, Instructions: 1_000_000}
+}
+
+func geom4ch() addr.Geometry {
+	g := addr.DefaultGeometry()
+	g.Channels = 4
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.QuantumCPUCycles = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	bad = DefaultConfig()
+	bad.HighRBL = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad RBL threshold accepted")
+	}
+	bad = DefaultConfig()
+	bad.LowMPKI = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative MPKI threshold accepted")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(DefaultConfig(), 0, addr.DefaultGeometry(), nil); err == nil {
+		t.Error("zero threads accepted")
+	}
+	bad := DefaultConfig()
+	bad.QuantumCPUCycles = 0
+	if _, err := New(bad, 4, addr.DefaultGeometry(), nil); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestInitialUnrestricted(t *testing.T) {
+	m, err := New(DefaultConfig(), 4, addr.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid, msk := range m.Initial() {
+		if msk.Count() != 16 {
+			t.Errorf("thread %d initial colors = %d, want 16", tid, msk.Count())
+		}
+	}
+	if m.Name() != "mcp" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestGroupingAndChannelSplit(t *testing.T) {
+	g := addr.DefaultGeometry() // 2 channels, 8 banks each
+	n := &fakeNotifier{}
+	m, err := New(DefaultConfig(), 4, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, changed := m.Quantum([]profile.ThreadSample{
+		sample(0, 0.2, 0.5, 100, 100),    // low intensity
+		sample(1, 30, 0.9, 30000, 30000), // high intensity, high RBL
+		sample(2, 25, 0.2, 30000, 25000), // high intensity, low RBL
+		sample(3, 28, 0.1, 30000, 28000), // high intensity, low RBL
+	})
+	if !changed {
+		t.Fatal("expected a decision")
+	}
+	groups := m.Groups()
+	want := []int{GroupLow, GroupHighRBL, GroupLowRBL, GroupLowRBL}
+	for i := range want {
+		if groups[i] != want[i] {
+			t.Errorf("thread %d group = %d, want %d", i, groups[i], want[i])
+		}
+	}
+	// Low-intensity thread: unrestricted + boosted.
+	if masks[0].Count() != 16 {
+		t.Errorf("low thread confined to %d colors", masks[0].Count())
+	}
+	if n.levels[0] != 1 || n.levels[1] != 0 {
+		t.Errorf("boost levels = %v", n.levels)
+	}
+	// The intensive groups must sit on disjoint channels.
+	for _, c := range masks[1].Colors() {
+		if masks[2].Has(c) {
+			t.Fatalf("intensive groups share color %d", c)
+		}
+	}
+	// With 2 channels, each intensive group holds exactly one channel
+	// (8 colors).
+	if masks[1].Count() != 8 || masks[2].Count() != 8 {
+		t.Errorf("intensive groups hold %d and %d colors, want 8 each",
+			masks[1].Count(), masks[2].Count())
+	}
+	if !masks[2].Equal(masks[3]) {
+		t.Error("same-group threads should share a mask")
+	}
+}
+
+func TestProportionalChannelsWith4Channels(t *testing.T) {
+	m, err := New(DefaultConfig(), 3, geom4ch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High-RBL group has 3× the demand of low-RBL: expect a 3:1 split.
+	masks, _ := m.Quantum([]profile.ThreadSample{
+		sample(0, 30, 0.9, 90000, 80000),
+		sample(1, 30, 0.9, 90000, 80000),
+		sample(2, 25, 0.1, 60000, 50000),
+	})
+	perChan := 8 // colors per channel
+	if masks[0].Count() != 3*perChan {
+		t.Errorf("high-RBL group holds %d colors, want %d", masks[0].Count(), 3*perChan)
+	}
+	if masks[2].Count() != perChan {
+		t.Errorf("low-RBL group holds %d colors, want %d", masks[2].Count(), perChan)
+	}
+}
+
+func TestSingleIntensiveGroupKeepsAllChannels(t *testing.T) {
+	m, err := New(DefaultConfig(), 2, addr.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, _ := m.Quantum([]profile.ThreadSample{
+		sample(0, 30, 0.9, 30000, 30000),
+		sample(1, 25, 0.9, 30000, 25000),
+	})
+	if masks[0].Count() != 16 || masks[1].Count() != 16 {
+		t.Errorf("lone intensive group restricted: %d, %d", masks[0].Count(), masks[1].Count())
+	}
+}
+
+func TestIdleQuantumSkipped(t *testing.T) {
+	m, err := New(DefaultConfig(), 2, addr.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, changed := m.Quantum([]profile.ThreadSample{
+		sample(0, 0.1, 0.5, 5, 5), sample(1, 0.1, 0.5, 5, 5),
+	}); changed {
+		t.Error("idle quantum produced a decision")
+	}
+}
+
+func TestOutOfRangeSamplesIgnored(t *testing.T) {
+	m, err := New(DefaultConfig(), 2, addr.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, changed := m.Quantum([]profile.ThreadSample{
+		sample(0, 30, 0.9, 30000, 30000),
+		sample(1, 30, 0.1, 30000, 30000),
+		sample(7, 99, 0.9, 1, 1),
+	})
+	if !changed || len(masks) != 2 {
+		t.Errorf("out-of-range handling wrong: %d masks, changed=%v", len(masks), changed)
+	}
+}
+
+func TestQuantumCPUCyclesAccessor(t *testing.T) {
+	m, err := New(DefaultConfig(), 2, addr.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QuantumCPUCycles() != DefaultConfig().QuantumCPUCycles {
+		t.Error("QuantumCPUCycles mismatch")
+	}
+}

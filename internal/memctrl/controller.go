@@ -1,0 +1,513 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"dbpsim/internal/addr"
+	"dbpsim/internal/dram"
+)
+
+// Config sets controller queue geometry and the write-drain policy.
+type Config struct {
+	// ReadQueueCap bounds the read queue (per channel).
+	ReadQueueCap int
+	// WriteQueueCap bounds the write queue (per channel).
+	WriteQueueCap int
+	// WriteHighWatermark starts a write drain when the write queue reaches
+	// this depth.
+	WriteHighWatermark int
+	// WriteLowWatermark ends the drain when the queue falls to this depth.
+	WriteLowWatermark int
+	// StarvationThreshold force-prioritises any read older than this many
+	// memory cycles (0 disables the guard).
+	StarvationThreshold uint64
+	// ClosedPage issues column commands with auto-precharge whenever no
+	// other queued request hits the same open row (closed-page policy;
+	// default false = open page).
+	ClosedPage bool
+	// RowTimeout closes a row that has been idle (no column command and no
+	// queued hit) for this many memory cycles, spending an otherwise-idle
+	// command slot (0 disables; open rows then persist until a conflict).
+	RowTimeout uint64
+}
+
+// DefaultConfig returns the baseline controller configuration.
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueCap:        64,
+		WriteQueueCap:       64,
+		WriteHighWatermark:  48,
+		WriteLowWatermark:   16,
+		StarvationThreshold: 20000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0 {
+		return fmt.Errorf("memctrl: queue capacities must be positive (%+v)", c)
+	}
+	if c.WriteHighWatermark <= 0 || c.WriteHighWatermark > c.WriteQueueCap {
+		return fmt.Errorf("memctrl: bad write high watermark %d (cap %d)", c.WriteHighWatermark, c.WriteQueueCap)
+	}
+	if c.WriteLowWatermark < 0 || c.WriteLowWatermark >= c.WriteHighWatermark {
+		return fmt.Errorf("memctrl: bad write low watermark %d (high %d)", c.WriteLowWatermark, c.WriteHighWatermark)
+	}
+	return nil
+}
+
+type inflight struct {
+	dataEnd uint64
+	req     *Request
+}
+
+// Controller drives one DRAM channel.
+type Controller struct {
+	cfg       Config
+	channelID int
+	ch        *dram.Channel
+	mapper    *addr.Mapper
+	sched     Scheduler
+
+	readQ    []*Request
+	writeQ   []*Request
+	inflight []inflight
+	nextID   uint64
+	now      uint64
+	draining bool
+	// lastColCmd[rank*banks+bank] is when the bank last served a column
+	// command, for the row-timeout policy.
+	lastColCmd []uint64
+
+	perThread []ThreadStats
+	// completionHook, when set, receives (thread, latency in memory cycles)
+	// for every completed read.
+	completionHook func(thread int, latency uint64)
+	// bankBlocked is a scratch buffer reused across cycles.
+	bankBlocked []bool
+
+	// BusyReadCycles counts cycles with at least one queued or in-flight
+	// read (used for utilisation reporting).
+	BusyReadCycles uint64
+}
+
+// NewController builds a controller for one channel.
+func NewController(channelID int, ch *dram.Channel, m *addr.Mapper, sched Scheduler, cfg Config, numThreads int) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("memctrl: nil scheduler")
+	}
+	if numThreads <= 0 {
+		return nil, fmt.Errorf("memctrl: numThreads must be positive, got %d", numThreads)
+	}
+	return &Controller{
+		cfg:        cfg,
+		channelID:  channelID,
+		ch:         ch,
+		mapper:     m,
+		sched:      sched,
+		perThread:  make([]ThreadStats, numThreads),
+		lastColCmd: make([]uint64, ch.NumRanks()*ch.NumBanksPerRank()),
+	}, nil
+}
+
+// ChannelID returns the controller's channel index.
+func (c *Controller) ChannelID() int { return c.channelID }
+
+// Scheduler returns the installed request scheduler.
+func (c *Controller) Scheduler() Scheduler { return c.sched }
+
+// Now implements SchedContext.
+func (c *Controller) Now() uint64 { return c.now }
+
+// RowHit implements SchedContext: does r target its bank's open row?
+func (c *Controller) RowHit(r *Request) bool {
+	row, open := c.ch.OpenRow(r.Loc.Rank, r.Loc.Bank)
+	return open && row == r.Loc.Row
+}
+
+// QueuedReads returns the current read-queue depth.
+func (c *Controller) QueuedReads() int { return len(c.readQ) }
+
+// QueuedWrites returns the current write-queue depth.
+func (c *Controller) QueuedWrites() int { return len(c.writeQ) }
+
+// PerThread returns a copy of the per-thread service counters.
+func (c *Controller) PerThread() []ThreadStats {
+	out := make([]ThreadStats, len(c.perThread))
+	copy(out, c.perThread)
+	return out
+}
+
+// ResetPerThread zeroes the per-thread counters (quantum boundaries).
+func (c *Controller) ResetPerThread() {
+	for i := range c.perThread {
+		c.perThread[i] = ThreadStats{}
+	}
+}
+
+// PerThreadCounters returns one thread's counters since the last reset; it
+// implements the profiler's ControllerSource.
+func (c *Controller) PerThreadCounters(thread int) (arrivals, reads, writes, rowHits, queueCycles uint64) {
+	if thread < 0 || thread >= len(c.perThread) {
+		return 0, 0, 0, 0, 0
+	}
+	ts := c.perThread[thread]
+	return ts.Arrivals, ts.ReadsServed, ts.WritesServed, ts.RowHits, ts.QueueCycles
+}
+
+// ResetPerThreadCounters implements the profiler's ControllerSource.
+func (c *Controller) ResetPerThreadCounters() { c.ResetPerThread() }
+
+// DRAMStats returns the channel's command counters.
+func (c *Controller) DRAMStats() dram.Stats { return c.ch.Stats() }
+
+// SetCompletionHook installs a callback invoked with (thread, latency) for
+// every completed read — used for latency-distribution reporting.
+func (c *Controller) SetCompletionHook(fn func(thread int, latency uint64)) {
+	c.completionHook = fn
+}
+
+// Enqueue accepts a request into the controller, returning false when the
+// target queue is full (the core must retry). The request's Loc, ID and
+// Arrival are filled in here.
+func (c *Controller) Enqueue(r *Request) bool {
+	if r.IsWrite {
+		if len(c.writeQ) >= c.cfg.WriteQueueCap {
+			return false
+		}
+	} else {
+		if len(c.readQ) >= c.cfg.ReadQueueCap {
+			return false
+		}
+	}
+	r.Loc = c.mapper.Decode(r.Addr)
+	r.ID = c.nextID
+	c.nextID++
+	r.Arrival = c.now
+	if r.Thread >= 0 && r.Thread < len(c.perThread) {
+		c.perThread[r.Thread].Arrivals++
+	}
+	if r.IsWrite {
+		c.writeQ = append(c.writeQ, r)
+	} else {
+		c.readQ = append(c.readQ, r)
+		if obs, ok := c.sched.(QueueObserver); ok {
+			obs.OnEnqueue(r)
+		}
+	}
+	return true
+}
+
+// ForEachOutstandingRead calls fn for every queued or in-flight read; used
+// by the BLP/MLP profiler. pageKey identifies the physical page (distinct
+// pages in flight measure the thread's *potential* bank-level parallelism,
+// independent of how many banks it currently owns).
+func (c *Controller) ForEachOutstandingRead(fn func(thread, globalBank int, pageKey uint64)) {
+	g := c.mapper.Geometry()
+	shift := c.mapper.PageShift()
+	for _, r := range c.readQ {
+		fn(r.Thread, g.BankID(r.Loc.Channel, r.Loc.Rank, r.Loc.Bank), r.Addr>>shift)
+	}
+	for _, f := range c.inflight {
+		fn(f.req.Thread, g.BankID(f.req.Loc.Channel, f.req.Loc.Rank, f.req.Loc.Bank), f.req.Addr>>shift)
+	}
+}
+
+// Tick advances the controller by one memory cycle: completes finished
+// transfers, manages refresh, and issues at most one DRAM command.
+func (c *Controller) Tick() {
+	c.completeTransfers()
+	if len(c.readQ) > 0 || len(c.inflight) > 0 {
+		c.BusyReadCycles++
+	}
+	c.sched.OnTick(c.now)
+
+	issued := c.serviceRefresh()
+	if !issued {
+		c.updateDrainMode()
+		if c.draining || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+			issued = c.issueBestWrite()
+			if !issued && !c.draining {
+				issued = c.issueBestRead()
+			}
+		} else {
+			issued = c.issueBestRead()
+			if !issued && len(c.writeQ) > 0 && len(c.readQ) == 0 {
+				issued = c.issueBestWrite()
+			}
+		}
+	}
+	if !issued && c.cfg.RowTimeout > 0 {
+		c.closeIdleRows()
+	}
+	c.now++
+}
+
+// closeIdleRows spends an idle command slot precharging one row that has
+// seen no column traffic for RowTimeout cycles and has no queued hit —
+// hiding the precharge latency of the next conflict.
+func (c *Controller) closeIdleRows() {
+	nb := c.ch.NumBanksPerRank()
+	for rank := 0; rank < c.ch.NumRanks(); rank++ {
+		for bank := 0; bank < nb; bank++ {
+			row, open := c.ch.OpenRow(rank, bank)
+			if !open || c.now-c.lastColCmd[rank*nb+bank] < c.cfg.RowTimeout {
+				continue
+			}
+			probe := &Request{Loc: addr.Location{Channel: c.channelID, Rank: rank, Bank: bank, Row: row}}
+			if c.pendingSameRow(probe) {
+				continue
+			}
+			if c.ch.CanIssue(dram.CmdPrecharge, rank, bank, 0, c.now) {
+				c.ch.Issue(dram.CmdPrecharge, rank, bank, 0, c.now)
+				return
+			}
+		}
+	}
+}
+
+func (c *Controller) completeTransfers() {
+	for i := 0; i < len(c.inflight); {
+		f := c.inflight[i]
+		if c.now >= f.dataEnd {
+			r := f.req
+			if r.Thread >= 0 && r.Thread < len(c.perThread) {
+				ts := &c.perThread[r.Thread]
+				ts.ReadsServed++
+				if r.RowHit() {
+					ts.RowHits++
+				}
+				ts.QueueCycles += c.now - r.Arrival
+			}
+			if c.completionHook != nil {
+				c.completionHook(r.Thread, c.now-r.Arrival)
+			}
+			if r.OnComplete != nil {
+				r.OnComplete()
+			}
+			c.inflight[i] = c.inflight[len(c.inflight)-1]
+			c.inflight = c.inflight[:len(c.inflight)-1]
+			continue
+		}
+		i++
+	}
+}
+
+func (c *Controller) updateDrainMode() {
+	if c.draining {
+		if len(c.writeQ) <= c.cfg.WriteLowWatermark {
+			c.draining = false
+		}
+	} else if len(c.writeQ) >= c.cfg.WriteHighWatermark {
+		c.draining = true
+	}
+}
+
+// serviceRefresh handles due refreshes; returns true if it used this
+// cycle's command slot.
+func (c *Controller) serviceRefresh() bool {
+	for rank := 0; rank < c.ch.NumRanks(); rank++ {
+		if !c.ch.RefreshDue(rank, c.now) || c.ch.Refreshing(rank, c.now) {
+			continue
+		}
+		if c.ch.CanIssue(dram.CmdRefresh, rank, 0, 0, c.now) {
+			c.ch.Issue(dram.CmdRefresh, rank, 0, 0, c.now)
+			return true
+		}
+		// Close open banks so the refresh can proceed.
+		for bank := 0; bank < c.ch.NumBanksPerRank(); bank++ {
+			if _, open := c.ch.OpenRow(rank, bank); open &&
+				c.ch.CanIssue(dram.CmdPrecharge, rank, bank, 0, c.now) {
+				c.ch.Issue(dram.CmdPrecharge, rank, bank, 0, c.now)
+				return true
+			}
+		}
+		// Waiting on tRAS/tWR before the precharge can issue: hold the
+		// command slot so forward progress toward refresh is not lost.
+		return true
+	}
+	return false
+}
+
+// nextCommand returns the DRAM command this request needs next.
+func (c *Controller) nextCommand(r *Request) dram.Command {
+	row, open := c.ch.OpenRow(r.Loc.Rank, r.Loc.Bank)
+	switch {
+	case !open:
+		return dram.CmdActivate
+	case row != r.Loc.Row:
+		return dram.CmdPrecharge
+	case r.IsWrite:
+		return dram.CmdWrite
+	default:
+		return dram.CmdRead
+	}
+}
+
+// issueFor advances the given request by one command; returns true if a
+// command was issued, and served=true when the data command went out.
+func (c *Controller) issueFor(r *Request) (issued, served bool) {
+	cmd := c.nextCommand(r)
+	if !c.ch.CanIssue(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now) {
+		return false, false
+	}
+	switch cmd {
+	case dram.CmdActivate:
+		c.ch.Issue(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
+		r.MarkActivated()
+		return true, false
+	case dram.CmdPrecharge:
+		c.ch.Issue(cmd, r.Loc.Rank, r.Loc.Bank, 0, c.now)
+		return true, false
+	case dram.CmdRead:
+		c.lastColCmd[r.Loc.Rank*c.ch.NumBanksPerRank()+r.Loc.Bank] = c.now
+		var dataEnd uint64
+		if c.cfg.ClosedPage && !c.pendingSameRow(r) {
+			dataEnd = c.ch.IssueAutoPrecharge(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
+		} else {
+			dataEnd = c.ch.Issue(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
+		}
+		c.inflight = append(c.inflight, inflight{dataEnd: dataEnd, req: r})
+		return true, true
+	case dram.CmdWrite:
+		c.lastColCmd[r.Loc.Rank*c.ch.NumBanksPerRank()+r.Loc.Bank] = c.now
+		if c.cfg.ClosedPage && !c.pendingSameRow(r) {
+			c.ch.IssueAutoPrecharge(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
+		} else {
+			c.ch.Issue(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
+		}
+		if r.Thread >= 0 && r.Thread < len(c.perThread) {
+			ts := &c.perThread[r.Thread]
+			ts.WritesServed++
+			if r.RowHit() {
+				ts.RowHits++
+			}
+		}
+		return true, true
+	}
+	return false, false
+}
+
+// pendingSameRow reports whether any other queued request targets the same
+// (rank, bank, row) as r — if so, a closed-page controller keeps the row
+// open for it.
+func (c *Controller) pendingSameRow(r *Request) bool {
+	for _, o := range c.readQ {
+		if o != r && o.Loc.Rank == r.Loc.Rank && o.Loc.Bank == r.Loc.Bank && o.Loc.Row == r.Loc.Row {
+			return true
+		}
+	}
+	for _, o := range c.writeQ {
+		if o != r && o.Loc.Rank == r.Loc.Rank && o.Loc.Bank == r.Loc.Bank && o.Loc.Row == r.Loc.Row {
+			return true
+		}
+	}
+	return false
+}
+
+// issueBestRead serves the read queue in scheduler order.
+func (c *Controller) issueBestRead() bool {
+	if len(c.readQ) == 0 {
+		return false
+	}
+	// Starvation guard: a too-old request pre-empts scheduler order.
+	starved := -1
+	if c.cfg.StarvationThreshold > 0 {
+		var oldest uint64
+		for i, r := range c.readQ {
+			if c.now-r.Arrival >= c.cfg.StarvationThreshold {
+				if starved < 0 || r.Arrival < oldest {
+					starved, oldest = i, r.Arrival
+				}
+			}
+		}
+	}
+	less := func(a, b *Request) bool { return c.sched.Less(c, a, b) }
+	return c.selectAndIssue(&c.readQ, starved, less)
+}
+
+// issueBestWrite drains the write queue FR-FCFS (row hit first, then age).
+func (c *Controller) issueBestWrite() bool {
+	if len(c.writeQ) == 0 {
+		return false
+	}
+	less := func(a, b *Request) bool {
+		ha, hb := c.RowHit(a), c.RowHit(b)
+		if ha != hb {
+			return ha
+		}
+		return a.ID < b.ID
+	}
+	return c.selectAndIssue(&c.writeQ, -1, less)
+}
+
+// selectAndIssue repeatedly picks the most-preferred request among banks not
+// yet blocked and tries to advance it by one command. Per-bank priority
+// blocking: when a bank's best candidate is timing-blocked, lower-priority
+// requests may not sneak onto that bank — otherwise an endless stream of
+// row hits would push the precharge point forever and starve a promoted
+// conflict request. preferred, if ≥0, is an index served before all others.
+func (c *Controller) selectAndIssue(q *[]*Request, preferred int, less func(a, b *Request) bool) bool {
+	nb := c.ch.NumBanksPerRank()
+	need := c.ch.NumRanks() * nb
+	if cap(c.bankBlocked) < need {
+		c.bankBlocked = make([]bool, need)
+	}
+	blocked := c.bankBlocked[:need]
+	for i := range blocked {
+		blocked[i] = false
+	}
+	bankOf := func(r *Request) int { return r.Loc.Rank*nb + r.Loc.Bank }
+
+	if preferred >= 0 && preferred < len(*q) {
+		r := (*q)[preferred]
+		issued, served := c.issueFor(r)
+		if issued {
+			if served {
+				*q = append((*q)[:preferred], (*q)[preferred+1:]...)
+				c.notifyServed(r)
+			}
+			return true
+		}
+		blocked[bankOf(r)] = true
+	}
+
+	for {
+		best := -1
+		for i, r := range *q {
+			if blocked[bankOf(r)] {
+				continue
+			}
+			if best < 0 || less(r, (*q)[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		r := (*q)[best]
+		issued, served := c.issueFor(r)
+		if !issued {
+			blocked[bankOf(r)] = true
+			continue
+		}
+		if served {
+			*q = append((*q)[:best], (*q)[best+1:]...)
+			c.notifyServed(r)
+		}
+		return true
+	}
+}
+
+// notifyServed reports a served read to an observing scheduler.
+func (c *Controller) notifyServed(r *Request) {
+	if r.IsWrite {
+		return
+	}
+	if obs, ok := c.sched.(QueueObserver); ok {
+		obs.OnService(r)
+	}
+}

@@ -1,0 +1,132 @@
+// Package paging models the OS virtual-memory layer the paper's mechanism
+// lives in: per-thread page tables, a physical frame allocator with
+// per-color free lists, and page-color masks that restrict which banks a
+// thread's pages may occupy.
+//
+// Bank partitioning (equal or dynamic) is enforced entirely here: a policy
+// installs a ColorSet per thread, and every subsequently touched page lands
+// in an allowed bank. Re-coloring is lazy by default — already-mapped pages
+// stay put — with optional explicit migration.
+package paging
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ColorSet is a set of page colors (global bank indices).
+type ColorSet struct {
+	bits []uint64
+	n    int // universe size
+}
+
+// NewColorSet creates an empty set over colors [0, n).
+func NewColorSet(n int) ColorSet {
+	if n < 0 {
+		n = 0
+	}
+	return ColorSet{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// FullColorSet creates the set of all colors [0, n).
+func FullColorSet(n int) ColorSet {
+	s := NewColorSet(n)
+	for c := 0; c < n; c++ {
+		s.Add(c)
+	}
+	return s
+}
+
+// ColorSetOf creates a set over [0, n) containing the listed colors.
+func ColorSetOf(n int, colors ...int) ColorSet {
+	s := NewColorSet(n)
+	for _, c := range colors {
+		s.Add(c)
+	}
+	return s
+}
+
+// Universe returns the universe size the set was created with.
+func (s ColorSet) Universe() int { return s.n }
+
+// Add inserts color c; out-of-range colors are ignored.
+func (s ColorSet) Add(c int) {
+	if c >= 0 && c < s.n {
+		s.bits[c/64] |= 1 << (uint(c) % 64)
+	}
+}
+
+// Remove deletes color c.
+func (s ColorSet) Remove(c int) {
+	if c >= 0 && c < s.n {
+		s.bits[c/64] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Has reports whether the set contains c.
+func (s ColorSet) Has(c int) bool {
+	if c < 0 || c >= s.n {
+		return false
+	}
+	return s.bits[c/64]&(1<<(uint(c)%64)) != 0
+}
+
+// Count returns the number of colors in the set.
+func (s ColorSet) Count() int {
+	total := 0
+	for _, w := range s.bits {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Empty reports whether the set has no colors.
+func (s ColorSet) Empty() bool { return s.Count() == 0 }
+
+// Colors returns the members in ascending order.
+func (s ColorSet) Colors() []int {
+	out := make([]int, 0, s.Count())
+	for c := 0; c < s.n; c++ {
+		if s.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets have the same members.
+func (s ColorSet) Equal(o ColorSet) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.bits {
+		if s.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s ColorSet) Clone() ColorSet {
+	c := ColorSet{bits: make([]uint64, len(s.bits)), n: s.n}
+	copy(c.bits, s.bits)
+	return c
+}
+
+// String renders the set compactly, e.g. "{0,1,5}".
+func (s ColorSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, c := range s.Colors() {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+		first = false
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,92 @@
+// Package prefetch implements a stride prefetcher, an optional extension
+// to the core model (papers of this era evaluate partitioning both with
+// and without prefetching, since prefetch traffic amplifies bank
+// contention).
+//
+// The detector is a small direct-mapped table indexed by page: it learns
+// the access stride within each region and, once confident, emits the next
+// `degree` addresses on the stream. Candidates are fetched into the L2 as
+// posted (non-demand) reads.
+package prefetch
+
+import "fmt"
+
+type entry struct {
+	page       uint64
+	lastAddr   uint64
+	stride     int64
+	confidence int
+	valid      bool
+}
+
+// Stride is a per-core stride prefetcher.
+type Stride struct {
+	entries []entry
+	degree  int
+	mask    uint64
+
+	// Issued counts candidate addresses emitted.
+	Issued uint64
+
+	scratch []uint64
+}
+
+// NewStride builds a stride prefetcher with a power-of-two table size and
+// the given prefetch degree (candidates per trained access).
+func NewStride(tableSize, degree int) (*Stride, error) {
+	if tableSize <= 0 || tableSize&(tableSize-1) != 0 {
+		return nil, fmt.Errorf("prefetch: table size must be a positive power of two, got %d", tableSize)
+	}
+	if degree <= 0 {
+		return nil, fmt.Errorf("prefetch: degree must be positive, got %d", degree)
+	}
+	return &Stride{
+		entries: make([]entry, tableSize),
+		degree:  degree,
+		mask:    uint64(tableSize - 1),
+		scratch: make([]uint64, 0, degree),
+	}, nil
+}
+
+// trainThreshold is how many consecutive identical strides arm the
+// prefetcher for a region.
+const trainThreshold = 2
+
+// Observe records one demand access and returns prefetch candidates (the
+// returned slice is reused across calls; copy it if you keep it).
+func (s *Stride) Observe(addr uint64) []uint64 {
+	page := addr >> 12
+	e := &s.entries[page&s.mask]
+	s.scratch = s.scratch[:0]
+
+	if !e.valid || e.page != page {
+		*e = entry{page: page, lastAddr: addr, valid: true}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == 0 {
+		return nil // same line re-touched; nothing to learn
+	}
+	if stride == e.stride {
+		if e.confidence < 1<<20 {
+			e.confidence++
+		}
+	} else {
+		e.stride = stride
+		e.confidence = 1
+	}
+	e.lastAddr = addr
+
+	if e.confidence >= trainThreshold {
+		next := int64(addr)
+		for i := 0; i < s.degree; i++ {
+			next += e.stride
+			if next < 0 {
+				break
+			}
+			s.scratch = append(s.scratch, uint64(next))
+		}
+		s.Issued += uint64(len(s.scratch))
+	}
+	return s.scratch
+}

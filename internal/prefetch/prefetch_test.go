@@ -1,0 +1,126 @@
+package prefetch
+
+import "testing"
+
+func TestNewStrideErrors(t *testing.T) {
+	if _, err := NewStride(0, 2); err == nil {
+		t.Error("zero table accepted")
+	}
+	if _, err := NewStride(3, 2); err == nil {
+		t.Error("non-power-of-two table accepted")
+	}
+	if _, err := NewStride(64, 0); err == nil {
+		t.Error("zero degree accepted")
+	}
+}
+
+func TestStrideTrainsOnSequentialStream(t *testing.T) {
+	p, err := NewStride(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x10000)
+	// First two accesses train; the third must emit candidates.
+	if got := p.Observe(base); len(got) != 0 {
+		t.Fatalf("cold access prefetched: %v", got)
+	}
+	if got := p.Observe(base + 64); len(got) != 0 {
+		t.Fatalf("single-stride access prefetched: %v", got)
+	}
+	got := p.Observe(base + 128)
+	if len(got) != 2 {
+		t.Fatalf("trained access emitted %d candidates, want 2", len(got))
+	}
+	if got[0] != base+192 || got[1] != base+256 {
+		t.Errorf("candidates = %#x, want next lines", got)
+	}
+	if p.Issued != 2 {
+		t.Errorf("Issued = %d", p.Issued)
+	}
+}
+
+func TestStrideDetectsLargeStrides(t *testing.T) {
+	p, err := NewStride(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x20000)
+	stride := uint64(256)
+	p.Observe(base)
+	p.Observe(base + stride)
+	got := p.Observe(base + 2*stride)
+	if len(got) != 1 || got[0] != base+3*stride {
+		t.Errorf("candidates = %#x, want %#x", got, base+3*stride)
+	}
+}
+
+func TestStrideResetOnPatternChange(t *testing.T) {
+	p, err := NewStride(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x30000)
+	p.Observe(base)
+	p.Observe(base + 64)
+	p.Observe(base + 128) // trained
+	// Stride changes: confidence must reset, no prefetch on first new stride.
+	if got := p.Observe(base + 128 + 200); len(got) != 0 {
+		t.Errorf("prefetched right after stride change: %v", got)
+	}
+}
+
+func TestStrideIgnoresSameLine(t *testing.T) {
+	p, err := NewStride(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := uint64(0x40000)
+	p.Observe(a)
+	for i := 0; i < 5; i++ {
+		if got := p.Observe(a); len(got) != 0 {
+			t.Fatalf("zero stride prefetched: %v", got)
+		}
+	}
+}
+
+func TestStrideSeparatePagesIndependent(t *testing.T) {
+	p, err := NewStride(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := uint64(0x1_0000), uint64(0x2_0000)
+	p.Observe(a)
+	p.Observe(b) // different page: must not clobber a's entry
+	p.Observe(a + 64)
+	got := p.Observe(a + 128)
+	if len(got) != 1 {
+		t.Errorf("interleaved pages broke training: %v", got)
+	}
+}
+
+func TestStrideNegativeDirection(t *testing.T) {
+	p, err := NewStride(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x50000)
+	p.Observe(base + 256)
+	p.Observe(base + 192)
+	got := p.Observe(base + 128)
+	if len(got) != 1 || got[0] != base+64 {
+		t.Errorf("descending stream candidates = %#x", got)
+	}
+}
+
+func TestStrideUnderflowClamped(t *testing.T) {
+	p, err := NewStride(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(200)
+	p.Observe(136)
+	got := p.Observe(72) // next candidates 8, -56… must stop at negative
+	if len(got) != 1 || got[0] != 8 {
+		t.Errorf("underflow handling wrong: %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"dbpsim/internal/addr"
+	"dbpsim/internal/memctrl"
+)
+
+func parbsReq(id uint64, thread, bank int) *memctrl.Request {
+	return &memctrl.Request{ID: id, Thread: thread, Loc: addr.Location{Bank: bank}}
+}
+
+func TestPARBSConstructor(t *testing.T) {
+	if _, err := NewPARBS(0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	p, err := NewPARBS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "parbs" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPARBSBatchFormation(t *testing.T) {
+	p, err := NewPARBS(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0: 3 requests on one bank (cap 2 → only oldest 2 marked).
+	// Thread 1: 1 request.
+	reqs := []*memctrl.Request{
+		parbsReq(1, 0, 0), parbsReq(2, 0, 0), parbsReq(3, 0, 0), parbsReq(4, 1, 1),
+	}
+	for _, r := range reqs {
+		p.OnEnqueue(r)
+	}
+	p.OnTick(0)
+	if got := p.MarkedCount(); got != 3 {
+		t.Fatalf("batch size = %d, want 3 (2 capped + 1)", got)
+	}
+	ctx := fakeCtx{hits: map[uint64]bool{}}
+	// Marked beats unmarked regardless of age.
+	if !p.Less(ctx, reqs[3], reqs[2]) {
+		t.Error("marked request lost to unmarked")
+	}
+	// Shortest job first: thread 1 (1 marked) before thread 0 (2 marked).
+	if !p.Less(ctx, reqs[3], reqs[0]) {
+		t.Error("shortest job did not go first")
+	}
+}
+
+func TestPARBSBatchDrainsAndReforms(t *testing.T) {
+	p, err := NewPARBS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := parbsReq(1, 0, 0), parbsReq(2, 1, 1)
+	p.OnEnqueue(a)
+	p.OnEnqueue(b)
+	p.OnTick(0)
+	if p.MarkedCount() != 2 {
+		t.Fatalf("batch = %d", p.MarkedCount())
+	}
+	p.OnService(a)
+	if p.MarkedCount() != 1 {
+		t.Errorf("after one service batch = %d", p.MarkedCount())
+	}
+	// A new arrival must NOT join the live batch.
+	c := parbsReq(3, 2, 2)
+	p.OnEnqueue(c)
+	p.OnTick(1)
+	if p.MarkedCount() != 1 {
+		t.Errorf("new arrival joined live batch: %d", p.MarkedCount())
+	}
+	ctx := fakeCtx{hits: map[uint64]bool{}}
+	if !p.Less(ctx, b, c) {
+		t.Error("live batch member lost to newcomer")
+	}
+	// Drain the batch: reform picks up the newcomer.
+	p.OnService(b)
+	p.OnTick(2)
+	if p.MarkedCount() != 1 {
+		t.Errorf("batch did not reform: %d", p.MarkedCount())
+	}
+	if !p.Less(ctx, c, parbsReq(9, 3, 3)) {
+		t.Error("reformed batch not prioritised")
+	}
+}
+
+func TestPARBSTieBreaks(t *testing.T) {
+	p, err := NewPARBS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := parbsReq(1, 0, 0), parbsReq(2, 0, 1)
+	p.OnEnqueue(a)
+	p.OnEnqueue(b)
+	p.OnTick(0)
+	// Same thread, both marked: row hit wins, then age.
+	ctx := fakeCtx{hits: map[uint64]bool{2: true}}
+	if p.Less(ctx, a, b) {
+		t.Error("row hit should win within a thread")
+	}
+	ctx = fakeCtx{hits: map[uint64]bool{}}
+	if !p.Less(ctx, a, b) {
+		t.Error("age should break final ties")
+	}
+	p.OnTick(1) // no-op while batch lives
+}
+
+func TestPARBSServiceOfUnmarked(t *testing.T) {
+	p, err := NewPARBS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := parbsReq(1, 0, 0), parbsReq(2, 0, 0) // cap 1: only a marked
+	p.OnEnqueue(a)
+	p.OnEnqueue(b)
+	p.OnTick(0)
+	if p.MarkedCount() != 1 {
+		t.Fatalf("batch = %d", p.MarkedCount())
+	}
+	p.OnService(b) // serving an unmarked request must not corrupt the batch
+	if p.MarkedCount() != 1 {
+		t.Errorf("unmarked service changed batch: %d", p.MarkedCount())
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Alone-run baselines are pure functions of (benchmark, seed, baseline
+// config, budgets), so they can be persisted across processes. The file
+// embeds a fingerprint of everything the values depend on; loading a file
+// with a different fingerprint fails loudly instead of silently corrupting
+// weighted speedups.
+
+type aloneCacheFile struct {
+	Fingerprint string             `json:"fingerprint"`
+	IPC         map[string]float64 `json:"ipc"`
+}
+
+// fingerprint hashes the parts of the experiment the baselines depend on.
+func (e *Experiment) fingerprint() (string, error) {
+	cfg := e.Base
+	cfg.Cores = 1
+	cfg.Scheduler = SchedFRFCFS
+	cfg.Partition = PartNone
+	data, err := MarshalConfig(cfg)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(data)
+	fmt.Fprintf(h, "/w=%d/m=%d/x=%d", e.Warmup, e.Measure, e.MaxCycles)
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// SaveAloneCache persists the computed baselines.
+func (e *Experiment) SaveAloneCache(path string) error {
+	fp, err := e.fingerprint()
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	snapshot := make(map[string]float64, len(e.aloneIPC))
+	for k, v := range e.aloneIPC {
+		snapshot[k] = v
+	}
+	e.mu.Unlock()
+	data, err := json.MarshalIndent(aloneCacheFile{Fingerprint: fp, IPC: snapshot}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadAloneCache merges persisted baselines into the experiment. It returns
+// an error when the file was produced under a different configuration or
+// budget (the fingerprint mismatches).
+func (e *Experiment) LoadAloneCache(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("sim: read alone cache: %w", err)
+	}
+	var f aloneCacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("sim: parse alone cache: %w", err)
+	}
+	fp, err := e.fingerprint()
+	if err != nil {
+		return err
+	}
+	if f.Fingerprint != fp {
+		return fmt.Errorf("sim: alone cache %s was built under a different config/budget (fingerprint %s != %s)",
+			path, f.Fingerprint, fp)
+	}
+	e.mu.Lock()
+	for k, v := range f.IPC {
+		e.aloneIPC[k] = v
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// CachedAloneRuns reports how many baselines the cache currently holds.
+func (e *Experiment) CachedAloneRuns() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.aloneIPC)
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Config (de)serialisation: every field of Config and its nested structs is
+// exported, so encoding/json round-trips configurations exactly. Loading
+// always validates, so a hand-edited file cannot put the simulator into an
+// inconsistent state.
+
+// MarshalConfig renders a configuration as indented JSON.
+func MarshalConfig(c Config) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return nil, fmt.Errorf("sim: encode config: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalConfig parses a configuration and validates it. Fields absent
+// from the JSON keep the given base's values, so partial override files
+// work: pass DefaultConfig(n) as base.
+func UnmarshalConfig(data []byte, base Config) (Config, error) {
+	cfg := base
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("sim: decode config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes a configuration file.
+func SaveConfig(path string, c Config) error {
+	data, err := MarshalConfig(c)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadConfig reads a configuration file as a partial override of base.
+func LoadConfig(path string, base Config) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("sim: read config: %w", err)
+	}
+	return UnmarshalConfig(data, base)
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Scheduler = SchedTCM
+	cfg.Partition = PartDBP
+	cfg.Geometry.BanksPerRank = 16
+	cfg.DBP.LightMPKI = 2.5
+	data, err := MarshalConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalConfig(data, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cfg) {
+		t.Errorf("round trip changed config:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestConfigPartialOverride(t *testing.T) {
+	base := DefaultConfig(8)
+	got, err := UnmarshalConfig([]byte(`{"Cores": 4, "Scheduler": "tcm"}`), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cores != 4 || got.Scheduler != SchedTCM {
+		t.Errorf("override not applied: %+v", got)
+	}
+	if got.L1 != base.L1 || got.Timing != base.Timing {
+		t.Error("untouched fields changed")
+	}
+}
+
+func TestConfigUnknownFieldRejected(t *testing.T) {
+	if _, err := UnmarshalConfig([]byte(`{"Coers": 4}`), DefaultConfig(8)); err == nil {
+		t.Error("typo'd field accepted")
+	}
+}
+
+func TestConfigInvalidRejected(t *testing.T) {
+	if _, err := UnmarshalConfig([]byte(`{"Cores": 0}`), DefaultConfig(8)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := UnmarshalConfig([]byte(`{"Scheduler": "bogus"}`), DefaultConfig(8)); err == nil {
+		t.Error("bogus scheduler accepted")
+	}
+	if _, err := UnmarshalConfig([]byte(`not json`), DefaultConfig(8)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestConfigSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := DefaultConfig(8)
+	cfg.Geometry.Channels = 4
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Geometry.Channels != 4 || got.Cores != 8 {
+		t.Errorf("loaded config wrong: %+v", got)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "absent.json"), cfg); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadedConfigRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := fastConfig(2)
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(path, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(loaded, quickBenches(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(5_000, 10_000, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"dbpsim/internal/stats"
+	"dbpsim/internal/workload"
+)
+
+// Experiment runs workload mixes under different policies against shared
+// alone-run baselines, producing the paper's system metrics. Alone IPCs are
+// cached per (benchmark, seed) so that the same mix evaluated under several
+// policies reuses its baselines.
+type Experiment struct {
+	// Base is the configuration template; Cores, Scheduler and Partition
+	// are overridden per run.
+	Base Config
+	// Warmup and Measure are per-core instruction counts.
+	Warmup  uint64
+	Measure uint64
+	// MaxCycles bounds each run (0 = automatic).
+	MaxCycles uint64
+
+	mu       sync.Mutex
+	aloneIPC map[string]float64
+}
+
+// NewExperiment builds an experiment harness.
+func NewExperiment(base Config, warmup, measure uint64) *Experiment {
+	return &Experiment{
+		Base:     base,
+		Warmup:   warmup,
+		Measure:  measure,
+		aloneIPC: make(map[string]float64),
+	}
+}
+
+// seedFor derives a stable per-occurrence seed so that alone and shared
+// runs replay the identical trace, and so that duplicated benchmarks in one
+// mix do not march in lockstep.
+func (e *Experiment) seedFor(name string, occurrence int) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return e.Base.Seed + int64(h.Sum64()%1_000_003) + int64(occurrence)*7919
+}
+
+// benches materialises a mix's generators with stable seeds.
+func (e *Experiment) benches(mix workload.Mix) ([]Bench, []int64, error) {
+	occ := map[string]int{}
+	out := make([]Bench, len(mix.Members))
+	seeds := make([]int64, len(mix.Members))
+	for i, name := range mix.Members {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: unknown benchmark %q in mix %s", name, mix.Name)
+		}
+		seed := e.seedFor(name, occ[name])
+		occ[name]++
+		out[i] = Bench{Name: name, Gen: spec.New(seed)}
+		seeds[i] = seed
+	}
+	return out, seeds, nil
+}
+
+// AloneIPC measures (or recalls) a benchmark's alone-run IPC on the
+// baseline system: one core, FR-FCFS, no partitioning, all banks. It is
+// safe for concurrent use (runs are deterministic, so a racing duplicate
+// computation is wasted work, never a wrong answer).
+func (e *Experiment) AloneIPC(name string, seed int64) (float64, error) {
+	key := fmt.Sprintf("%s/%d", name, seed)
+	e.mu.Lock()
+	ipc, ok := e.aloneIPC[key]
+	e.mu.Unlock()
+	if ok {
+		return ipc, nil
+	}
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: unknown benchmark %q", name)
+	}
+	cfg := e.Base
+	cfg.Cores = 1
+	cfg.Scheduler = SchedFRFCFS
+	cfg.Partition = PartNone
+	sys, err := NewSystem(cfg, []Bench{{Name: name, Gen: spec.New(seed)}})
+	if err != nil {
+		return 0, err
+	}
+	res, err := sys.Run(e.Warmup, e.Measure, e.MaxCycles)
+	if err != nil {
+		return 0, fmt.Errorf("sim: alone run of %s: %w", name, err)
+	}
+	ipc = res.Threads[0].IPC
+	e.mu.Lock()
+	e.aloneIPC[key] = ipc
+	e.mu.Unlock()
+	return ipc, nil
+}
+
+// MixRun is the outcome of one policy on one mix.
+type MixRun struct {
+	Mix       workload.Mix
+	Scheduler SchedulerKind
+	Partition PartitionKind
+	Metrics   stats.SystemMetrics
+	Result    Result
+}
+
+// RunMix evaluates one mix under the given scheduler/partition pair.
+func (e *Experiment) RunMix(mix workload.Mix, scheduler SchedulerKind, partition PartitionKind) (MixRun, error) {
+	benches, seeds, err := e.benches(mix)
+	if err != nil {
+		return MixRun{}, err
+	}
+	cfg := e.Base
+	cfg.Cores = mix.Cores()
+	cfg.Scheduler = scheduler
+	cfg.Partition = partition
+	sys, err := NewSystem(cfg, benches)
+	if err != nil {
+		return MixRun{}, err
+	}
+	res, err := sys.Run(e.Warmup, e.Measure, e.MaxCycles)
+	if err != nil {
+		return MixRun{}, fmt.Errorf("sim: mix %s under %s/%s: %w", mix.Name, scheduler, partition, err)
+	}
+	threads := make([]stats.ThreadPerf, len(res.Threads))
+	for i, t := range res.Threads {
+		alone, err := e.AloneIPC(t.Name, seeds[i])
+		if err != nil {
+			return MixRun{}, err
+		}
+		threads[i] = stats.ThreadPerf{Name: t.Name, IPCShared: t.IPC, IPCAlone: alone}
+	}
+	m, err := stats.ComputeMetrics(threads)
+	if err != nil {
+		return MixRun{}, fmt.Errorf("sim: metrics for mix %s: %w", mix.Name, err)
+	}
+	return MixRun{Mix: mix, Scheduler: scheduler, Partition: partition, Metrics: m, Result: res}, nil
+}
+
+// PolicyPoint names one (scheduler, partition) combination under study.
+type PolicyPoint struct {
+	Label     string
+	Scheduler SchedulerKind
+	Partition PartitionKind
+}
+
+// StandardPolicies returns the paper's comparison points.
+func StandardPolicies() []PolicyPoint {
+	return []PolicyPoint{
+		{Label: "FRFCFS", Scheduler: SchedFRFCFS, Partition: PartNone},
+		{Label: "EqualBP", Scheduler: SchedFRFCFS, Partition: PartEqual},
+		{Label: "DBP", Scheduler: SchedFRFCFS, Partition: PartDBP},
+		{Label: "TCM", Scheduler: SchedTCM, Partition: PartNone},
+		{Label: "MCP", Scheduler: SchedFRFCFS, Partition: PartMCP},
+		{Label: "DBP-TCM", Scheduler: SchedTCM, Partition: PartDBP},
+	}
+}

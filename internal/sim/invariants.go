@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// Paranoid mode: when Config.Paranoid is set, the kernel cross-checks
+// system invariants at every profiling quantum and Run fails loudly on the
+// first violation. The checks are conservation laws that tie independent
+// subsystems together, so a bookkeeping bug in any one of them surfaces as
+// an inconsistency here rather than as silently wrong results.
+//
+// Checked invariants:
+//
+//  1. Partition disjointness — under DBP/Equal/Fixed, no two heavy threads'
+//     masks overlap is a policy property already unit-tested; here we check
+//     the weaker system-level fact that every thread's mask is non-empty.
+//  2. Frame ownership — no physical frame is mapped by two page tables.
+//  3. Service conservation — lifetime reads served by controllers never
+//     exceed requests accepted.
+type invariantChecker struct {
+	sys *System
+}
+
+func newInvariantChecker(s *System) *invariantChecker {
+	return &invariantChecker{sys: s}
+}
+
+// check runs every invariant; the returned error names the first violation.
+func (ic *invariantChecker) check() error {
+	if err := ic.checkMasks(); err != nil {
+		return err
+	}
+	if err := ic.checkFrameOwnership(); err != nil {
+		return err
+	}
+	return ic.checkService()
+}
+
+func (ic *invariantChecker) checkMasks() error {
+	for t, pt := range ic.sys.tables {
+		if pt.Mask().Empty() {
+			return fmt.Errorf("sim: invariant violation: thread %d has an empty color mask", t)
+		}
+	}
+	return nil
+}
+
+// checkFrameOwnership verifies that thread page tables never share frames,
+// via each table's color histogram versus the allocator's global usage:
+// the per-thread page counts must sum to the allocator's live frames.
+func (ic *invariantChecker) checkFrameOwnership() error {
+	perColor := make([]uint64, ic.sys.cfg.Geometry.NumColors())
+	var totalPages uint64
+	for _, pt := range ic.sys.tables {
+		for c, n := range pt.ColorHistogram() {
+			perColor[c] += uint64(n)
+		}
+		totalPages += uint64(pt.NumPages())
+	}
+	var live uint64
+	for c, used := range ic.sys.alloc.Stats() {
+		live += used
+		if perColor[c] != used {
+			return fmt.Errorf("sim: invariant violation: color %d has %d mapped pages but %d live frames (double allocation or leak)",
+				c, perColor[c], used)
+		}
+	}
+	if totalPages != live {
+		return fmt.Errorf("sim: invariant violation: %d mapped pages vs %d live frames", totalPages, live)
+	}
+	return nil
+}
+
+func (ic *invariantChecker) checkService() error {
+	for t := 0; t < ic.sys.cfg.Cores; t++ {
+		l := ic.sys.life[t]
+		if l.ReadsServed+l.WritesServed > l.Requests {
+			return fmt.Errorf("sim: invariant violation: thread %d served %d requests but only %d arrived",
+				t, l.ReadsServed+l.WritesServed, l.Requests)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+
+	"dbpsim/internal/dram"
+	"dbpsim/internal/stats"
+)
+
+// ThreadResult is one thread's measured behaviour.
+type ThreadResult struct {
+	// Name is the benchmark name.
+	Name string
+	// IPC is instructions per CPU cycle over the measurement window.
+	IPC float64
+	// Instructions is the lifetime retired-instruction count.
+	Instructions uint64
+	// MPKI, RBL and BLP are lifetime memory characteristics.
+	MPKI float64
+	RBL  float64
+	BLP  float64
+	// Misses, ReadsServed, WritesServed and RowHits are lifetime DRAM
+	// counters.
+	Misses       uint64
+	ReadsServed  uint64
+	WritesServed uint64
+	RowHits      uint64
+	// PagesAllocated and PagesMigrated count OS-level page events.
+	PagesAllocated uint64
+	PagesMigrated  uint64
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	// Threads holds per-thread results in core order.
+	Threads []ThreadResult
+	// Cycles is the total CPU cycles simulated.
+	Cycles uint64
+	// MemCycles is the total memory cycles simulated.
+	MemCycles uint64
+	// DRAM aggregates command counts over all channels.
+	DRAM dram.Stats
+	// Energy itemises DRAM energy over the whole run (nanojoules).
+	Energy dram.EnergyBreakdown
+	// EnergyPerAccess is average nanojoules per data transfer.
+	EnergyPerAccess float64
+	// Repartitions counts partition-policy decisions that changed masks.
+	Repartitions int
+	// MigrationDrops counts sampled migration-cost transfers dropped under
+	// controller backpressure (best-effort traffic).
+	MigrationDrops uint64
+	// Timeline holds per-quantum snapshots when Config.RecordTimeline is
+	// set.
+	Timeline []TimelinePoint
+	// ReadLatency holds per-thread read-latency histograms (memory cycles)
+	// when Config.RecordLatencyHistograms is set.
+	ReadLatency []*stats.Histogram
+}
+
+// Run executes the system until every core has retired warmup+measure
+// instructions, measuring per-thread IPC over each core's own measurement
+// window (after its warmup crossing). maxCycles bounds the run; exceeding
+// it is an error. Finished cores keep executing so memory contention stays
+// realistic until the last core completes.
+func (s *System) Run(warmup, measure, maxCycles uint64) (Result, error) {
+	if measure == 0 {
+		return Result{}, fmt.Errorf("sim: measure must be positive")
+	}
+	if maxCycles == 0 {
+		maxCycles = (warmup + measure) * 2000
+	}
+	n := len(s.cores)
+	startCycle := make([]uint64, n)
+	finishCycle := make([]uint64, n)
+	started := make([]bool, n)
+	finished := make([]bool, n)
+	if warmup == 0 {
+		for i := range started {
+			started[i] = true
+		}
+	}
+	remaining := n
+
+	for remaining > 0 {
+		if s.cycle >= maxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded %d cycles with %d cores unfinished (deadlock or undersized budget)", maxCycles, remaining)
+		}
+		if err := s.step(); err != nil {
+			return Result{}, err
+		}
+		for i, c := range s.cores {
+			if finished[i] {
+				continue
+			}
+			r := c.Retired()
+			if !started[i] {
+				if r >= warmup {
+					started[i] = true
+					startCycle[i] = s.cycle
+				}
+				continue
+			}
+			if r >= warmup+measure {
+				finished[i] = true
+				finishCycle[i] = s.cycle
+				remaining--
+			}
+		}
+	}
+
+	// Flush the trailing partial quantum into the lifetime totals.
+	s.accumulate(s.prof.Quantum())
+
+	res := Result{Cycles: s.cycle, MemCycles: s.memCycles, Threads: make([]ThreadResult, n)}
+	for _, ctrl := range s.ctrls {
+		ds := ctrl.DRAMStats()
+		res.DRAM.Activates += ds.Activates
+		res.DRAM.Precharges += ds.Precharges
+		res.DRAM.Reads += ds.Reads
+		res.DRAM.Writes += ds.Writes
+		res.DRAM.Refreshes += ds.Refreshes
+	}
+	res.Timeline = s.timeline
+	res.ReadLatency = s.latHist
+	res.MigrationDrops = s.migrationDrops
+	res.Energy = s.cfg.Power.Energy(res.DRAM, res.MemCycles, s.cfg.Geometry.RanksPerChannel*s.cfg.Geometry.Channels)
+	res.EnergyPerAccess = s.cfg.Power.EnergyPerAccess(res.DRAM, res.MemCycles, s.cfg.Geometry.RanksPerChannel*s.cfg.Geometry.Channels)
+	if s.dbp != nil {
+		res.Repartitions = len(s.dbp.History())
+	}
+	for i := range res.Threads {
+		t := &res.Threads[i]
+		t.Name = s.names[i]
+		window := finishCycle[i] - startCycle[i]
+		if window > 0 {
+			t.IPC = float64(measure) / float64(window)
+		}
+		l := s.life[i]
+		t.Instructions = l.Instructions
+		t.Misses = l.Misses
+		t.ReadsServed = l.ReadsServed
+		t.WritesServed = l.WritesServed
+		t.RowHits = l.RowHits
+		if l.Instructions > 0 {
+			t.MPKI = 1000 * float64(l.Misses) / float64(l.Instructions)
+		}
+		if served := l.ReadsServed + l.WritesServed; served > 0 {
+			t.RBL = float64(l.RowHits) / float64(served)
+		}
+		if l.ReadsServed > 0 {
+			t.BLP = s.lifeBLPWSum[i] / float64(l.ReadsServed)
+		}
+		t.PagesAllocated = s.tables[i].PagesAllocated
+		t.PagesMigrated = s.tables[i].PagesMigrated
+	}
+	return res, nil
+}

@@ -1,0 +1,489 @@
+package sim
+
+import (
+	"fmt"
+
+	"dbpsim/internal/addr"
+	"dbpsim/internal/bankpart"
+	"dbpsim/internal/cache"
+	"dbpsim/internal/core"
+	"dbpsim/internal/cpu"
+	"dbpsim/internal/dram"
+	"dbpsim/internal/mcp"
+	"dbpsim/internal/memctrl"
+	"dbpsim/internal/paging"
+	"dbpsim/internal/profile"
+	"dbpsim/internal/sched"
+	"dbpsim/internal/stats"
+	"dbpsim/internal/trace"
+)
+
+// Bench pairs a benchmark name with its trace generator.
+type Bench struct {
+	Name string
+	Gen  trace.Generator
+}
+
+// quantumUpdater is implemented by schedulers that consume quantum profiles
+// (TCM, ATLAS).
+type quantumUpdater interface {
+	UpdateQuantum([]profile.ThreadSample)
+}
+
+// System is one assembled simulated machine.
+type System struct {
+	cfg    Config
+	names  []string
+	mapper *addr.Mapper
+	alloc  *paging.Allocator
+	tables []*paging.PageTable
+	cores  []*cpu.Core
+	ctrls  []*memctrl.Controller
+	prof   *profile.Profiler
+
+	policy  bankpart.Policy
+	dbp     *core.DBP
+	updater quantumUpdater
+	prio    *sched.ThreadPriority
+	llc     *cache.Shared
+
+	cycle     uint64
+	memCycles uint64
+	partQ     uint64 // partition quantum (CPU cycles), 0 = static policy
+	schedQ    uint64
+
+	// aggregated profile between partition quanta
+	agg      []profile.ThreadSample
+	aggCount int
+
+	// lifetime per-thread accumulation (from quantum samples)
+	life        []profile.ThreadSample
+	lifeBLPWSum []float64
+
+	timeline []TimelinePoint
+	latHist  []*stats.Histogram
+	checker  *invariantChecker
+	invErr   error
+
+	migrationDrops uint64
+}
+
+// NewSystem assembles a system running the given benchmarks (one per core).
+func NewSystem(cfg Config, benches []Bench) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(benches) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d benchmarks for %d cores", len(benches), cfg.Cores)
+	}
+	names := make([]string, len(benches))
+	for i, b := range benches {
+		names[i] = b.Name
+	}
+	s := &System{
+		cfg:         cfg,
+		names:       names,
+		mapper:      addr.NewMapperScheme(cfg.Geometry, cfg.Mapping),
+		schedQ:      cfg.SchedQuantumCPUCycles,
+		partQ:       cfg.partitionQuantum(),
+		agg:         make([]profile.ThreadSample, cfg.Cores),
+		life:        make([]profile.ThreadSample, cfg.Cores),
+		lifeBLPWSum: make([]float64, cfg.Cores),
+	}
+	s.alloc = paging.NewAllocator(s.mapper)
+
+	// Scheduler (shared across channels so thread ranks are global).
+	var scheduler memctrl.Scheduler
+	switch cfg.Scheduler {
+	case SchedFCFS:
+		scheduler = sched.NewFCFS()
+	case SchedFRFCFS:
+		scheduler = sched.NewFRFCFS()
+	case SchedTCM:
+		mode := sched.ShuffleInsertion
+		if cfg.TCMShuffleRotate {
+			mode = sched.ShuffleRotate
+		}
+		t, err := sched.NewTCM(sched.TCMConfig{
+			NumThreads:      cfg.Cores,
+			ClusterThresh:   cfg.TCMClusterThresh,
+			ShuffleInterval: cfg.TCMShuffleInterval,
+			Shuffle:         mode,
+			RankOverRowHit:  cfg.TCMRankOverRowHit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scheduler, s.updater = t, t
+	case SchedATLAS:
+		a, err := sched.NewATLAS(cfg.Cores, cfg.ATLASAlpha)
+		if err != nil {
+			return nil, err
+		}
+		scheduler, s.updater = a, a
+	case SchedPARBS:
+		pb, err := sched.NewPARBS(cfg.PARBSMarkingCap)
+		if err != nil {
+			return nil, err
+		}
+		scheduler = pb
+	case SchedFRFCFSCap:
+		fc, err := sched.NewFRFCFSCap(cfg.FRFCFSRowHitCap)
+		if err != nil {
+			return nil, err
+		}
+		scheduler = fc
+	case SchedBLISS:
+		bl, err := sched.NewBLISS(cfg.BLISSStreak, cfg.BLISSClearInterval)
+		if err != nil {
+			return nil, err
+		}
+		scheduler = bl
+	}
+	if cfg.Partition == PartMCP {
+		s.prio = sched.NewThreadPriority(scheduler, cfg.Cores)
+		scheduler = s.prio
+	}
+
+	// Partition policy.
+	switch cfg.Partition {
+	case PartNone:
+		s.policy = bankpart.NewNone(cfg.Cores, cfg.Geometry)
+	case PartEqual:
+		p, err := bankpart.NewEqual(cfg.Cores, cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		s.policy = p
+	case PartDBP:
+		p, err := core.New(cfg.DBP, cfg.Cores, cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		s.policy, s.dbp = p, p
+	case PartMCP:
+		p, err := mcp.New(cfg.MCP, cfg.Cores, cfg.Geometry, s.prio)
+		if err != nil {
+			return nil, err
+		}
+		s.policy = p
+	case PartFixed:
+		p, err := bankpart.NewFixed(cfg.FixedMasks, cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		s.policy = p
+	}
+
+	// Channels and controllers.
+	s.ctrls = make([]*memctrl.Controller, cfg.Geometry.Channels)
+	for ch := range s.ctrls {
+		channel, err := dram.NewChannel(cfg.Geometry.RanksPerChannel, cfg.Geometry.BanksPerRank, cfg.Timing)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := memctrl.NewController(ch, channel, s.mapper, scheduler, cfg.Ctrl, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		s.ctrls[ch] = ctrl
+	}
+
+	// Page tables with initial masks.
+	initial := s.policy.Initial()
+	s.tables = make([]*paging.PageTable, cfg.Cores)
+	for t := range s.tables {
+		s.tables[t] = paging.NewPageTable(s.mapper, s.alloc)
+		if err := s.tables[t].SetMask(initial[t]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Optional shared LLC.
+	if cfg.L3.SizeBytes > 0 {
+		umonEvery := 0
+		if cfg.L3Policy == L3UCP {
+			umonEvery = cfg.L3UMONSampleEvery
+		}
+		llc, err := cache.NewShared(cfg.L3, cfg.Cores, umonEvery)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.L3Policy == L3Equal || cfg.L3Policy == L3UCP {
+			counts := make([]int, cfg.Cores)
+			k, rem := cfg.L3.Ways/cfg.Cores, cfg.L3.Ways%cfg.Cores
+			for t := range counts {
+				counts[t] = k
+				if t < rem {
+					counts[t]++
+				}
+			}
+			if err := llc.SetWayAllocation(counts); err != nil {
+				return nil, err
+			}
+		}
+		s.llc = llc
+	}
+
+	// Cores.
+	s.cores = make([]*cpu.Core, cfg.Cores)
+	for i := range s.cores {
+		hier, err := cache.NewHierarchy(cfg.L1, cfg.L2)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cpu.New(i, cfg.CPU, benches[i].Gen, s.tables[i], hier, (*memoryPort)(s))
+		if err != nil {
+			return nil, err
+		}
+		if s.llc != nil {
+			c.AttachLLC(s.llc, cfg.L3Latency)
+		}
+		s.cores[i] = c
+	}
+
+	// Profiler.
+	coreSrcs := make([]profile.CoreSource, cfg.Cores)
+	for i, c := range s.cores {
+		coreSrcs[i] = c
+	}
+	ctrlSrcs := make([]profile.ControllerSource, len(s.ctrls))
+	for i, c := range s.ctrls {
+		ctrlSrcs[i] = c
+	}
+	s.prof = profile.New(coreSrcs, ctrlSrcs, cfg.Geometry.NumColors())
+
+	if cfg.RecordLatencyHistograms {
+		s.latHist = make([]*stats.Histogram, cfg.Cores)
+		bounds := []float64{25, 50, 75, 100, 150, 200, 300, 500, 1000}
+		for i := range s.latHist {
+			s.latHist[i] = stats.NewHistogram(bounds)
+		}
+		for _, ctrl := range s.ctrls {
+			ctrl.SetCompletionHook(func(thread int, latency uint64) {
+				if thread >= 0 && thread < len(s.latHist) {
+					s.latHist[thread].Observe(float64(latency))
+				}
+			})
+		}
+	}
+	return s, nil
+}
+
+// memoryPort adapts System to cpu.Memory without exporting Submit on System.
+type memoryPort System
+
+// Submit implements cpu.Memory: route the request to its channel.
+func (p *memoryPort) Submit(thread int, paddr uint64, isWrite, demand bool, onDone func()) bool {
+	s := (*System)(p)
+	loc := s.mapper.Decode(paddr)
+	return s.ctrls[loc.Channel].Enqueue(&memctrl.Request{
+		Thread:     thread,
+		Addr:       paddr,
+		IsWrite:    isWrite,
+		Demand:     demand,
+		OnComplete: onDone,
+	})
+}
+
+// Policy returns the active partition policy.
+func (s *System) Policy() bankpart.Policy { return s.policy }
+
+// DBP returns the DBP instance when the partition policy is PartDBP.
+func (s *System) DBP() *core.DBP { return s.dbp }
+
+// Cycle returns the current CPU cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// step advances the whole system by one CPU cycle.
+func (s *System) step() error {
+	for _, c := range s.cores {
+		if err := c.Tick(); err != nil {
+			return err
+		}
+	}
+	if s.cycle%uint64(s.cfg.CPUClockRatio) == 0 {
+		s.prof.SampleBLP()
+		for _, ctrl := range s.ctrls {
+			ctrl.Tick()
+		}
+		s.memCycles++
+	}
+	s.cycle++
+	if s.cycle%s.schedQ == 0 {
+		s.onSchedQuantum()
+	}
+	return s.invErr
+}
+
+// TimelinePoint is one profiling quantum's per-thread snapshot.
+type TimelinePoint struct {
+	// Cycle is the CPU cycle at the end of the quantum.
+	Cycle uint64
+	// IPC is each thread's IPC over the quantum.
+	IPC []float64
+	// BLP is each thread's achieved bank-level parallelism.
+	BLP []float64
+	// Banks is each thread's current bank-mask size.
+	Banks []int
+}
+
+// onSchedQuantum fires at every base profiling quantum.
+func (s *System) onSchedQuantum() {
+	samples := s.prof.Quantum()
+	s.accumulate(samples)
+	if s.cfg.Paranoid {
+		if s.checker == nil {
+			s.checker = newInvariantChecker(s)
+		}
+		if err := s.checker.check(); err != nil && s.invErr == nil {
+			s.invErr = err
+		}
+	}
+	if s.cfg.RecordTimeline {
+		p := TimelinePoint{
+			Cycle: s.cycle,
+			IPC:   make([]float64, len(samples)),
+			BLP:   make([]float64, len(samples)),
+			Banks: make([]int, len(samples)),
+		}
+		for i, smp := range samples {
+			p.IPC[i] = float64(smp.Instructions) / float64(s.schedQ)
+			p.BLP[i] = smp.BLP
+			p.Banks[i] = s.tables[i].Mask().Count()
+		}
+		s.timeline = append(s.timeline, p)
+	}
+	if s.updater != nil {
+		s.updater.UpdateQuantum(samples)
+	}
+	for i := range samples {
+		a := &s.agg[i]
+		a.Thread = i
+		a.Instructions += samples[i].Instructions
+		a.Misses += samples[i].Misses
+		a.Requests += samples[i].Requests
+		a.ReadsServed += samples[i].ReadsServed
+		a.WritesServed += samples[i].WritesServed
+		a.RowHits += samples[i].RowHits
+		// BLP/MLP: weight by reads served this base quantum.
+		a.BLP += samples[i].BLP * float64(samples[i].ReadsServed)
+		a.MLP += samples[i].MLP * float64(samples[i].ReadsServed)
+	}
+	s.aggCount++
+	if s.llc != nil && s.cfg.L3Policy == L3UCP {
+		s.repartitionLLC()
+	}
+	if s.partQ > 0 && s.cycle%s.partQ == 0 {
+		s.onPartitionQuantum()
+	}
+}
+
+// repartitionLLC reruns UCP's greedy way allocation from the UMON
+// histograms and resets them for the next quantum.
+func (s *System) repartitionLLC() {
+	umons := make([]*cache.UMON, s.cfg.Cores)
+	for t := range umons {
+		umons[t] = s.llc.UMONOf(t)
+		if umons[t] == nil {
+			return
+		}
+	}
+	counts := cache.ComputeUCP(umons, s.cfg.L3.Ways)
+	if err := s.llc.SetWayAllocation(counts); err == nil {
+		for _, u := range umons {
+			u.Reset()
+		}
+	}
+}
+
+// onPartitionQuantum feeds the aggregated profile to the partition policy.
+func (s *System) onPartitionQuantum() {
+	samples := make([]profile.ThreadSample, len(s.agg))
+	for i, a := range s.agg {
+		x := a
+		if x.ReadsServed > 0 {
+			x.BLP = a.BLP / float64(a.ReadsServed)
+			x.MLP = a.MLP / float64(a.ReadsServed)
+		} else {
+			x.BLP = 0
+			x.MLP = 0
+		}
+		served := x.ReadsServed + x.WritesServed
+		if served > 0 {
+			x.RBL = float64(x.RowHits) / float64(served)
+		}
+		if x.Instructions > 0 {
+			x.MPKI = 1000 * float64(x.Misses) / float64(x.Instructions)
+		}
+		samples[i] = x
+		s.agg[i] = profile.ThreadSample{}
+	}
+	s.aggCount = 0
+
+	masks, changed := s.policy.Quantum(samples)
+	if changed {
+		for t, m := range masks {
+			if err := s.tables[t].SetMask(m); err != nil {
+				// An empty mask would be a policy bug; surface loudly.
+				panic(fmt.Sprintf("sim: policy %s produced bad mask for thread %d: %v", s.policy.Name(), t, err))
+			}
+		}
+	}
+	// Migration runs every quantum (not just on changes): large working
+	// sets converge onto a new partition over several quanta within the
+	// per-quantum budget.
+	s.migrate()
+}
+
+// migrate moves misplaced pages toward the new masks and injects sampled
+// migration traffic (MigrationCostLines posted line transfers per page).
+func (s *System) migrate() {
+	if s.cfg.MigratePagesPerQuantum <= 0 {
+		return
+	}
+	lineBytes := uint64(s.cfg.Geometry.LineBytes)
+	for t, pt := range s.tables {
+		moved := pt.Migrate(s.cfg.MigratePagesPerQuantum)
+		// Rebalance resident pages over the (possibly grown) partition so
+		// the thread actually gains the parallelism it was granted.
+		moved += pt.Rebalance(s.cfg.MigratePagesPerQuantum - moved)
+		if moved == 0 || s.cfg.MigrationCostLines == 0 {
+			continue
+		}
+		// Sampled cost: a read of the old location and a write of the new
+		// one for MigrationCostLines lines per page. Addresses are spread
+		// over the thread's working set via its own pages.
+		for p := 0; p < moved*s.cfg.MigrationCostLines; p++ {
+			vaddr := uint64(p) * uint64(s.cfg.Geometry.PageBytes()) / uint64(s.cfg.MigrationCostLines)
+			paddr, _, err := pt.Translate(coldVABase + vaddr%coldVASpan)
+			if err != nil {
+				continue
+			}
+			if !(*memoryPort)(s).Submit(t, paddr&^(lineBytes-1), p%2 == 1, false, nil) {
+				s.migrationDrops++
+			}
+		}
+	}
+}
+
+// Virtual-address window used to synthesise migration traffic addresses.
+const (
+	coldVABase = 1 << 30
+	coldVASpan = 1 << 22
+)
+
+// accumulate folds quantum samples into the lifetime per-thread totals.
+func (s *System) accumulate(samples []profile.ThreadSample) {
+	for i := range samples {
+		l := &s.life[i]
+		l.Thread = i
+		l.Instructions += samples[i].Instructions
+		l.Misses += samples[i].Misses
+		l.Requests += samples[i].Requests
+		l.ReadsServed += samples[i].ReadsServed
+		l.WritesServed += samples[i].WritesServed
+		l.RowHits += samples[i].RowHits
+		s.lifeBLPWSum[i] += samples[i].BLP * float64(samples[i].ReadsServed)
+	}
+}

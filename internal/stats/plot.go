@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Terminal plotting: the experiment harness renders its "figures" as ASCII
+// bar charts and sparklines so `dbpsweep -plot` output resembles the
+// paper's figures without leaving the terminal.
+
+// BarChart renders labelled values as horizontal bars scaled to width
+// characters. Values must be non-negative; the scale is the maximum value.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	n := len(labels)
+	if len(values) < n {
+		n = len(values)
+	}
+	if n == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i := 0; i < n; i++ {
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		bar := 0
+		if maxVal > 0 && values[i] > 0 {
+			bar = int(math.Round(values[i] / maxVal * float64(width)))
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.3f\n", labelW, labels[i], strings.Repeat("█", bar), values[i])
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eight block-height glyphs used by Sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a value sequence as one line of block glyphs, scaled
+// between the series' min and max.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkGlyphs) {
+			idx = len(sparkGlyphs) - 1
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}
+
+// SeriesChart renders several named series as aligned sparklines with their
+// ranges.
+func SeriesChart(title string, names []string, series [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelW := 0
+	for _, n := range names {
+		if len(n) > labelW {
+			labelW = len(n)
+		}
+	}
+	for i, n := range names {
+		if i >= len(series) || len(series[i]) == 0 {
+			continue
+		}
+		lo, hi := series[i][0], series[i][0]
+		for _, v := range series[i][1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(&b, "  %-*s %s  [%.2f … %.2f]\n", labelW, n, Sparkline(series[i]), lo, hi)
+	}
+	return b.String()
+}

@@ -1,0 +1,392 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCounterSet(t *testing.T) {
+	s := NewSet()
+	s.Get("reads").Add(3)
+	s.Get("reads").Inc()
+	s.Get("writes").Inc()
+	if got := s.Value("reads"); got != 4 {
+		t.Errorf("reads = %d, want 4", got)
+	}
+	if got := s.Value("writes"); got != 1 {
+		t.Errorf("writes = %d, want 1", got)
+	}
+	if got := s.Value("absent"); got != 0 {
+		t.Errorf("absent = %d, want 0", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "reads" || names[1] != "writes" {
+		t.Errorf("Names() = %v, want [reads writes]", names)
+	}
+	s.Reset()
+	if got := s.Value("reads"); got != 0 {
+		t.Errorf("after Reset reads = %d, want 0", got)
+	}
+}
+
+func TestRatioAndPerKilo(t *testing.T) {
+	if got := Ratio(3, 4); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("Ratio(3,4) = %g", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Errorf("Ratio(3,0) = %g, want 0", got)
+	}
+	if got := PerKilo(5, 1000); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("PerKilo(5,1000) = %g, want 5", got)
+	}
+	if got := PerKilo(5, 0); got != 0 {
+		t.Errorf("PerKilo(5,0) = %g, want 0", got)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if got := Mean(xs); !almostEqual(got, 7.0/3, 1e-12) {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := GeoMean(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean = %g, want 2", got)
+	}
+	if got := HarmonicMean(xs); !almostEqual(got, 3/(1+0.5+0.25), 1e-12) {
+		t.Errorf("HarmonicMean = %g", got)
+	}
+	if got := GeoMean([]float64{1, 0, 2}); got != 0 {
+		t.Errorf("GeoMean with zero = %g, want 0", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HarmonicMean(nil) = %g, want 0", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestMeanOrderingProperty(t *testing.T) {
+	// For positive inputs: harmonic mean ≤ geometric mean ≤ arithmetic mean.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h, g, a := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		return h <= g*(1+1e-9) && g <= a*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %g, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("Median even = %g, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %g, want 0", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for _, x := range []float64{0.5, 1.5, 3, 10} {
+		h.Observe(x)
+	}
+	if h.N != 4 {
+		t.Fatalf("N = %d, want 4", h.N)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 2 {
+		t.Errorf("Counts = %v, want [1 1 2]", h.Counts)
+	}
+	if h.Min != 0.5 || h.Max != 10 {
+		t.Errorf("Min/Max = %g/%g", h.Min, h.Max)
+	}
+	if got := h.MeanValue(); !almostEqual(got, 15.0/4, 1e-12) {
+		t.Errorf("MeanValue = %g", got)
+	}
+	if s := h.String(); !strings.Contains(s, "n=4") {
+		t.Errorf("String = %q", s)
+	}
+	if s := NewHistogram(nil).String(); s != "hist{empty}" {
+		t.Errorf("empty String = %q", s)
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	threads := []ThreadPerf{
+		{Name: "a", IPCShared: 0.5, IPCAlone: 1.0},
+		{Name: "b", IPCShared: 0.8, IPCAlone: 1.0},
+	}
+	m, err := ComputeMetrics(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.WeightedSpeedup, 1.3, 1e-12) {
+		t.Errorf("WS = %g, want 1.3", m.WeightedSpeedup)
+	}
+	if !almostEqual(m.MaxSlowdown, 2.0, 1e-12) {
+		t.Errorf("MS = %g, want 2.0", m.MaxSlowdown)
+	}
+	wantHS := 2.0 / (2.0 + 1.25)
+	if !almostEqual(m.HarmonicSpeedup, wantHS, 1e-12) {
+		t.Errorf("HS = %g, want %g", m.HarmonicSpeedup, wantHS)
+	}
+}
+
+func TestComputeMetricsErrors(t *testing.T) {
+	if _, err := ComputeMetrics(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := ComputeMetrics([]ThreadPerf{{Name: "a", IPCShared: 1, IPCAlone: 0}}); err == nil {
+		t.Error("expected error for zero alone IPC")
+	}
+	if _, err := ComputeMetrics([]ThreadPerf{{Name: "a", IPCShared: 0, IPCAlone: 1}}); err == nil {
+		t.Error("expected error for zero shared IPC")
+	}
+}
+
+func TestMetricsDelta(t *testing.T) {
+	base := SystemMetrics{WeightedSpeedup: 2.0, MaxSlowdown: 4.0}
+	cur := SystemMetrics{WeightedSpeedup: 2.2, MaxSlowdown: 3.0}
+	tp, fp := cur.Delta(base)
+	if !almostEqual(tp, 10, 1e-9) {
+		t.Errorf("throughput delta = %g, want 10", tp)
+	}
+	if !almostEqual(fp, 25, 1e-9) {
+		t.Errorf("fairness delta = %g, want 25", fp)
+	}
+	tp, fp = cur.Delta(SystemMetrics{})
+	if tp != 0 || fp != 0 {
+		t.Errorf("delta vs zero baseline = %g,%g, want 0,0", tp, fp)
+	}
+}
+
+func TestMetricsWSBounds(t *testing.T) {
+	// Property: weighted speedup of N threads lies in (0, N] when no thread
+	// runs faster shared than alone, and MaxSlowdown ≥ 1.
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		threads := make([]ThreadPerf, 0, len(seeds))
+		for i, s := range seeds {
+			alone := 0.5 + float64(s)/64.0
+			shared := alone * (0.1 + 0.9*float64(s%13)/13.0)
+			if shared <= 0 {
+				shared = alone * 0.05
+			}
+			threads = append(threads, ThreadPerf{Name: string(rune('a' + i%26)), IPCShared: shared, IPCAlone: alone})
+		}
+		m, err := ComputeMetrics(threads)
+		if err != nil {
+			return false
+		}
+		return m.WeightedSpeedup > 0 && m.WeightedSpeedup <= float64(len(threads))+1e-9 &&
+			m.MaxSlowdown >= 1-1e-9 && m.HarmonicSpeedup > 0 && m.HarmonicSpeedup <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAcross(t *testing.T) {
+	runs := []SystemMetrics{
+		{WeightedSpeedup: 2, HarmonicSpeedup: 0.5, MaxSlowdown: 3},
+		{WeightedSpeedup: 4, HarmonicSpeedup: 0.7, MaxSlowdown: 5},
+	}
+	m := MeanAcross(runs)
+	if m.WeightedSpeedup != 3 || m.MaxSlowdown != 4 || !almostEqual(m.HarmonicSpeedup, 0.6, 1e-12) {
+		t.Errorf("MeanAcross = %+v", m)
+	}
+	if z := MeanAcross(nil); z.WeightedSpeedup != 0 {
+		t.Errorf("MeanAcross(nil) = %+v", z)
+	}
+}
+
+func TestSortThreadsBySlowdown(t *testing.T) {
+	m := SystemMetrics{Threads: []ThreadPerf{
+		{Name: "mild", IPCShared: 0.9, IPCAlone: 1},
+		{Name: "bad", IPCShared: 0.2, IPCAlone: 1},
+	}}
+	m.SortThreadsBySlowdown()
+	if m.Threads[0].Name != "bad" {
+		t.Errorf("worst-first sort failed: %v", m.Threads)
+	}
+}
+
+func TestMetricsStrings(t *testing.T) {
+	threads := []ThreadPerf{{Name: "a", IPCShared: 0.5, IPCAlone: 1.0}}
+	m, err := ComputeMetrics(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.String(); !strings.Contains(s, "WS=") {
+		t.Errorf("String = %q", s)
+	}
+	tab := m.Table()
+	if !strings.Contains(tab, "a") || !strings.Contains(tab, "system") {
+		t.Errorf("Table = %q", tab)
+	}
+}
+
+func TestTableWriter(t *testing.T) {
+	tw := NewTable("workload", "frfcfs", "dbp")
+	tw.AddRow("W8-1", "3.1", "3.3")
+	tw.AddFloats("W8-2", "%.2f", 2.5, 2.75)
+	if tw.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tw.NumRows())
+	}
+	txt := tw.Text()
+	for _, want := range []string{"workload", "W8-1", "2.75", "---"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text missing %q in:\n%s", want, txt)
+		}
+	}
+	csv := tw.CSV()
+	if !strings.Contains(csv, "W8-1,3.1,3.3") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableWriterCSVQuoting(t *testing.T) {
+	tw := NewTable("a", "b")
+	tw.AddRow("x,y", "plain")
+	csv := tw.CSV()
+	if !strings.Contains(csv, "\"x,y\",plain") {
+		t.Errorf("CSV quoting failed: %q", csv)
+	}
+}
+
+func TestThreadPerfZeroDivision(t *testing.T) {
+	var tp ThreadPerf
+	if tp.Speedup() != 0 || tp.Slowdown() != 0 {
+		t.Error("zero ThreadPerf should yield zero speedup/slowdown")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	// Perfect equality: index 1.
+	eq := SystemMetrics{Threads: []ThreadPerf{
+		{Name: "a", IPCShared: 0.5, IPCAlone: 1},
+		{Name: "b", IPCShared: 1.0, IPCAlone: 2},
+	}}
+	if got := eq.JainIndex(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("equal speedups Jain = %g, want 1", got)
+	}
+	// Unequal treatment lowers the index.
+	uneq := SystemMetrics{Threads: []ThreadPerf{
+		{Name: "a", IPCShared: 0.9, IPCAlone: 1},
+		{Name: "b", IPCShared: 0.1, IPCAlone: 1},
+	}}
+	if got := uneq.JainIndex(); got >= 0.99 || got <= 0 {
+		t.Errorf("unequal Jain = %g, want in (0, 0.99)", got)
+	}
+	if (SystemMetrics{}).JainIndex() != 0 {
+		t.Error("empty metrics Jain should be 0")
+	}
+	zero := SystemMetrics{Threads: []ThreadPerf{{Name: "a"}}}
+	if zero.JainIndex() != 0 {
+		t.Error("all-zero speedups Jain should be 0")
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var threads []ThreadPerf
+		for i, r := range raw {
+			threads = append(threads, ThreadPerf{
+				Name:      string(rune('a' + i%26)),
+				IPCShared: 0.01 + float64(r)/64.0,
+				IPCAlone:  1,
+			})
+		}
+		j := SystemMetrics{Threads: threads}.JainIndex()
+		return j > 0 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []string{"a", "longer"}, []float64{1, 2}, 10)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "longer") {
+		t.Errorf("chart = %q", out)
+	}
+	// The max value gets the full width; half value gets about half.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	aBars := strings.Count(lines[1], "█")
+	bBars := strings.Count(lines[2], "█")
+	if bBars != 10 || aBars != 5 {
+		t.Errorf("bar widths = %d and %d, want 5 and 10", aBars, bBars)
+	}
+	if got := BarChart("", nil, nil, 0); !strings.Contains(got, "no data") {
+		t.Errorf("empty chart = %q", got)
+	}
+	// Zero values: no bars, no panic.
+	if got := BarChart("", []string{"z"}, []float64{0}, 10); strings.Contains(got, "█") {
+		t.Errorf("zero value drew a bar: %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(got)) != 4 {
+		t.Fatalf("sparkline length = %d", len([]rune(got)))
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", got)
+	}
+	// Flat series renders the lowest glyph everywhere.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series rendered %q", string(flat))
+			break
+		}
+	}
+}
+
+func TestSeriesChart(t *testing.T) {
+	out := SeriesChart("dyn", []string{"x", "y"}, [][]float64{{1, 2, 3}, {3, 1}})
+	if !strings.Contains(out, "dyn") || !strings.Contains(out, "[1.00 … 3.00]") {
+		t.Errorf("series chart = %q", out)
+	}
+	// Mismatched/empty series are skipped without panic.
+	out = SeriesChart("", []string{"a", "b"}, [][]float64{{1}})
+	if strings.Contains(out, "b ") && strings.Contains(out, "…") && strings.Count(out, "\n") > 1 {
+		t.Errorf("missing series rendered: %q", out)
+	}
+}

@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func drain(g Generator, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = g.Next()
+	}
+	return items
+}
+
+// memRatioOf measures the achieved fraction of memory instructions.
+func memRatioOf(items []Item) float64 {
+	var insts uint64
+	for _, it := range items {
+		insts += uint64(it.Gap) + 1
+	}
+	return float64(len(items)) / float64(insts)
+}
+
+func TestGapperMatchesMemRatio(t *testing.T) {
+	for _, ratio := range []float64{0.01, 0.05, 0.2, 0.5, 1.0} {
+		g := NewRandom(Config{MemRatio: ratio, WorkingSetBytes: 1 << 20}, 1)
+		got := memRatioOf(drain(g, 20000))
+		if math.Abs(got-ratio)/ratio > 0.05 {
+			t.Errorf("MemRatio %g: achieved %g", ratio, got)
+		}
+	}
+}
+
+func TestGapperClampsBadRatios(t *testing.T) {
+	g := NewRandom(Config{MemRatio: -1, WorkingSetBytes: 1 << 20}, 1)
+	items := drain(g, 100)
+	for _, it := range items {
+		if it.Gap < 0 {
+			t.Fatal("negative gap")
+		}
+	}
+	g2 := NewRandom(Config{MemRatio: 5, WorkingSetBytes: 1 << 20}, 1)
+	if got := memRatioOf(drain(g2, 1000)); got != 1 {
+		t.Errorf("clamped ratio = %g, want 1", got)
+	}
+}
+
+func TestStreamGenSequentialWithinStream(t *testing.T) {
+	cfg := Config{MemRatio: 0.5, WorkingSetBytes: 1 << 20}
+	g := NewStream(cfg, 2, 64, 42)
+	items := drain(g, 1000)
+	// Round-robin over 2 streams: every other item belongs to one stream
+	// and must advance by exactly the stride (mod wrap).
+	for s := 0; s < 2; s++ {
+		var prev uint64
+		havePrev := false
+		for i := s; i < len(items); i += 2 {
+			a := items[i].Addr
+			if havePrev && a != prev+64 && a >= prev {
+				t.Fatalf("stream %d jumps from %#x to %#x", s, prev, a)
+			}
+			prev = a
+			havePrev = true
+		}
+	}
+}
+
+func TestStreamGenStaysInWorkingSet(t *testing.T) {
+	cfg := Config{MemRatio: 0.5, WorkingSetBytes: 1 << 16, BaseAddr: 1 << 30}
+	g := NewStream(cfg, 4, 64, 7)
+	for _, it := range drain(g, 5000) {
+		if it.Addr < cfg.BaseAddr || it.Addr >= cfg.BaseAddr+cfg.WorkingSetBytes {
+			t.Fatalf("address %#x outside working set", it.Addr)
+		}
+	}
+}
+
+func TestStreamGenDistinctRegions(t *testing.T) {
+	cfg := Config{MemRatio: 0.5, WorkingSetBytes: 1 << 20}
+	g := NewStream(cfg, 4, 64, 3)
+	region := cfg.WorkingSetBytes / 4
+	items := drain(g, 400)
+	for i, it := range items {
+		wantRegion := uint64(i%4) * region
+		if it.Addr < wantRegion || it.Addr >= wantRegion+region {
+			t.Fatalf("item %d addr %#x not in region %d", i, it.Addr, i%4)
+		}
+	}
+}
+
+func TestStreamGenDegenerateParams(t *testing.T) {
+	cfg := Config{MemRatio: 0.5, WorkingSetBytes: 64}
+	g := NewStream(cfg, 0, 0, 1) // clamped to 1 stream, 64B stride
+	items := drain(g, 10)
+	for _, it := range items {
+		if it.Addr != 0 {
+			t.Fatalf("single-line working set must pin address, got %#x", it.Addr)
+		}
+	}
+}
+
+func TestRandomGenCoverage(t *testing.T) {
+	cfg := Config{MemRatio: 0.5, WorkingSetBytes: 1 << 14} // 256 lines
+	g := NewRandom(cfg, 99)
+	seen := make(map[uint64]bool)
+	for _, it := range drain(g, 5000) {
+		if it.Addr%64 != 0 {
+			t.Fatalf("address %#x not line-aligned", it.Addr)
+		}
+		if it.Addr >= cfg.WorkingSetBytes {
+			t.Fatalf("address %#x outside working set", it.Addr)
+		}
+		seen[it.Addr] = true
+	}
+	if len(seen) < 200 {
+		t.Errorf("random generator covered only %d/256 lines", len(seen))
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	cfg := Config{MemRatio: 0.5, WriteFrac: 0.3, WorkingSetBytes: 1 << 20}
+	g := NewRandom(cfg, 5)
+	var writes int
+	n := 20000
+	for _, it := range drain(g, n) {
+		if it.IsWrite {
+			writes++
+		}
+	}
+	got := float64(writes) / float64(n)
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("write fraction = %g, want ≈0.3", got)
+	}
+}
+
+func TestChaseGenDependentLoads(t *testing.T) {
+	g := NewChase(Config{MemRatio: 0.2, WorkingSetBytes: 1 << 20}, 11)
+	for _, it := range drain(g, 100) {
+		if !it.Dependent {
+			t.Fatal("chase item not dependent")
+		}
+		if it.IsWrite {
+			t.Fatal("chase item is a write")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() Generator {
+		return NewMix([]Weighted{
+			{Gen: NewStream(Config{MemRatio: 0.3, WorkingSetBytes: 1 << 20}, 2, 64, 7), Weight: 1},
+			{Gen: NewRandom(Config{MemRatio: 0.1, WorkingSetBytes: 1 << 22, BaseAddr: 1 << 28}, 8), Weight: 2},
+		}, 99)
+	}
+	a, b := drain(mk(), 2000), drain(mk(), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMixGenBlends(t *testing.T) {
+	streamCfg := Config{MemRatio: 0.5, WorkingSetBytes: 1 << 20}
+	randCfg := Config{MemRatio: 0.5, WorkingSetBytes: 1 << 20, BaseAddr: 1 << 30}
+	g := NewMix([]Weighted{
+		{Gen: NewStream(streamCfg, 1, 64, 1), Weight: 1},
+		{Gen: NewRandom(randCfg, 2), Weight: 1},
+	}, 3)
+	var lo, hi int
+	for _, it := range drain(g, 4000) {
+		if it.Addr >= 1<<30 {
+			hi++
+		} else {
+			lo++
+		}
+	}
+	if lo < 1000 || hi < 1000 {
+		t.Errorf("mixture unbalanced: %d low, %d high", lo, hi)
+	}
+}
+
+func TestMixGenDropsNonPositive(t *testing.T) {
+	g := NewMix([]Weighted{
+		{Gen: NewRandom(Config{MemRatio: 0.5, WorkingSetBytes: 1 << 12}, 1), Weight: 1},
+		{Gen: nil, Weight: 0},
+	}, 1)
+	if len(drain(g, 10)) != 10 {
+		t.Fatal("mix with one live part failed")
+	}
+}
+
+func TestMixGenPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty mix")
+		}
+	}()
+	NewMix(nil, 1)
+}
+
+func TestPhasedGenSwitches(t *testing.T) {
+	a := NewScripted([]Item{{Gap: 9, Addr: 0xA}}) // 10 insts per item
+	b := NewScripted([]Item{{Gap: 9, Addr: 0xB}})
+	g := NewPhased([]Phase{
+		{Gen: a, Instructions: 50},
+		{Gen: b, Instructions: 50},
+	})
+	items := drain(g, 20)
+	// 5 items per phase of 50 instructions; pattern A×5, B×5, A×5, B×5.
+	for i, it := range items {
+		want := uint64(0xA)
+		if (i/5)%2 == 1 {
+			want = 0xB
+		}
+		if it.Addr != want {
+			t.Fatalf("item %d addr %#x, want %#x", i, it.Addr, want)
+		}
+	}
+}
+
+func TestPhasedGenZeroMeansForever(t *testing.T) {
+	a := NewScripted([]Item{{Gap: 0, Addr: 0xA}})
+	g := NewPhased([]Phase{{Gen: a, Instructions: 0}})
+	for _, it := range drain(g, 100) {
+		if it.Addr != 0xA {
+			t.Fatal("phase with Instructions=0 should never end")
+		}
+	}
+}
+
+func TestPhasedGenPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty phases")
+		}
+	}()
+	NewPhased(nil)
+}
+
+func TestScriptedCyclesAndCopies(t *testing.T) {
+	src := []Item{{Addr: 1}, {Addr: 2}}
+	g := NewScripted(src)
+	src[0].Addr = 99 // must not affect the generator
+	items := drain(g, 4)
+	want := []uint64{1, 2, 1, 2}
+	for i, it := range items {
+		if it.Addr != want[i] {
+			t.Fatalf("item %d addr %d, want %d", i, it.Addr, want[i])
+		}
+	}
+}
+
+func TestScriptedPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty script")
+		}
+	}()
+	NewScripted(nil)
+}

@@ -1,0 +1,77 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"dbpsim/internal/trace"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must never
+// panic, and every item it does return must be well-formed.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid small trace and a few corruptions of it.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Write(trace.Item{Gap: 3, Addr: 0x1000})
+	_ = w.Write(trace.Item{Gap: 0, Addr: 0x1040, IsWrite: true})
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add([]byte("DBPT\x01\x00\x00\x00garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			it, err := r.Read()
+			if err != nil {
+				return
+			}
+			if it.Gap < 0 {
+				t.Fatalf("negative gap from fuzzed input: %+v", it)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks write→read identity on arbitrary item sequences.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint16(3), uint64(0x1000), true, false)
+	f.Add(uint16(0), uint64(0), false, true)
+	f.Fuzz(func(t *testing.T, gap uint16, addr uint64, w1, w2 bool) {
+		items := []trace.Item{
+			{Gap: int(gap), Addr: addr, IsWrite: w1},
+			{Gap: int(gap) / 2, Addr: addr ^ 0xFFFF, IsWrite: w2, Dependent: true},
+		}
+		var buf bytes.Buffer
+		wr, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if err := wr.Write(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				t.Fatalf("round trip changed item %d: %+v != %+v", i, got[i], items[i])
+			}
+		}
+	})
+}

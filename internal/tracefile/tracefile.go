@@ -1,0 +1,187 @@
+// Package tracefile serialises instruction/memory traces to a compact
+// binary format, so externally captured traces (e.g. from a binary
+// instrumentation tool) can drive the simulator, and synthetic traces can
+// be recorded for exact replay across machines.
+//
+// Format: an 8-byte header ("DBPT", version u16, flags u16) followed by one
+// record per item: gap as uvarint, the address as a zig-zag varint delta
+// against the previous address (streams compress to ~2 bytes/item), and a
+// flags byte (bit 0 = write, bit 1 = dependent).
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dbpsim/internal/trace"
+)
+
+var magic = [4]byte{'D', 'B', 'P', 'T'}
+
+// formatVersion is bumped on incompatible format changes.
+const formatVersion uint16 = 1
+
+const (
+	flagWrite     = 1 << 0
+	flagDependent = 1 << 1
+)
+
+// Writer streams trace items to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	prev  uint64
+	count uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], formatVersion)
+	binary.LittleEndian.PutUint16(hdr[2:4], 0) // reserved flags
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one item.
+func (w *Writer) Write(it trace.Item) error {
+	if it.Gap < 0 {
+		return fmt.Errorf("tracefile: negative gap %d", it.Gap)
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(it.Gap))
+	delta := int64(it.Addr) - int64(w.prev)
+	n += binary.PutVarint(buf[n:], delta)
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	var flags byte
+	if it.IsWrite {
+		flags |= flagWrite
+	}
+	if it.Dependent {
+		flags |= flagDependent
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	w.prev = it.Addr
+	w.count++
+	return nil
+}
+
+// Count returns the number of items written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output; call before closing the underlying file.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Record drains n items from gen into w.
+func Record(gen trace.Generator, n int, out io.Writer) error {
+	w, err := NewWriter(out)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Reader streams trace items from an io.Reader.
+type Reader struct {
+	r    *bufio.Reader
+	prev uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != formatVersion {
+		return nil, fmt.Errorf("tracefile: unsupported version %d", v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next item; io.EOF signals a clean end of trace.
+func (r *Reader) Read() (trace.Item, error) {
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return trace.Item{}, io.EOF
+		}
+		return trace.Item{}, fmt.Errorf("tracefile: gap: %w", err)
+	}
+	delta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return trace.Item{}, fmt.Errorf("tracefile: truncated address: %w", unexpected(err))
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return trace.Item{}, fmt.Errorf("tracefile: truncated flags: %w", unexpected(err))
+	}
+	addr := uint64(int64(r.prev) + delta)
+	r.prev = addr
+	return trace.Item{
+		Gap:       int(gap),
+		Addr:      addr,
+		IsWrite:   flags&flagWrite != 0,
+		Dependent: flags&flagDependent != 0,
+	}, nil
+}
+
+func unexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadAll loads an entire trace into memory.
+func ReadAll(in io.Reader) ([]trace.Item, error) {
+	r, err := NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	var items []trace.Item
+	for {
+		it, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return items, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+}
+
+// Generator loads a trace and returns a cycling generator over it (the
+// simulator needs an infinite stream).
+func Generator(in io.Reader) (trace.Generator, int, error) {
+	items, err := ReadAll(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(items) == 0 {
+		return nil, 0, fmt.Errorf("tracefile: empty trace")
+	}
+	return trace.NewScripted(items), len(items), nil
+}

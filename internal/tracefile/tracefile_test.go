@@ -1,0 +1,185 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"dbpsim/internal/trace"
+	"dbpsim/internal/workload"
+)
+
+func TestRoundTripExplicit(t *testing.T) {
+	items := []trace.Item{
+		{Gap: 0, Addr: 0x1000},
+		{Gap: 7, Addr: 0x1040, IsWrite: true},
+		{Gap: 200, Addr: 0x4000_0000, Dependent: true},
+		{Gap: 3, Addr: 0x40}, // large negative delta
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := w.Write(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(items)) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("read %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Errorf("item %d: %+v != %+v", i, got[i], items[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(gaps []uint16, addrs []uint32, writes []bool) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		items := make([]trace.Item, n)
+		for i := 0; i < n; i++ {
+			items[i] = trace.Item{
+				Gap:     int(gaps[i]),
+				Addr:    uint64(addrs[i]),
+				IsWrite: i < len(writes) && writes[i],
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, it := range items {
+			if err := w.Write(it); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordAndGenerator(t *testing.T) {
+	spec, _ := workload.ByName("libquantum-like")
+	var buf bytes.Buffer
+	if err := Record(spec.New(9), 500, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The recorded replay must equal a fresh generator's output.
+	gen, n, err := Generator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("trace length = %d", n)
+	}
+	fresh := spec.New(9)
+	for i := 0; i < 500; i++ {
+		a, b := gen.Next(), fresh.Next()
+		if a != b {
+			t.Fatalf("item %d differs after replay: %+v vs %+v", i, a, b)
+		}
+	}
+	// Generator cycles past the end.
+	if it := gen.Next(); it.Addr == 0 && it.Gap == 0 && !it.IsWrite {
+		// First recorded item may legitimately be zero-ish; just ensure no
+		// panic — nothing to assert strongly here.
+		_ = it
+	}
+}
+
+func TestCompressionOnStream(t *testing.T) {
+	// Sequential streams should cost only a few bytes per item.
+	g := trace.NewStream(trace.Config{MemRatio: 0.5, WorkingSetBytes: 1 << 20}, 1, 64, 1)
+	var buf bytes.Buffer
+	if err := Record(g, 10000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	perItem := float64(buf.Len()) / 10000
+	if perItem > 6 {
+		t.Errorf("stream trace costs %.1f bytes/item, want ≤6", perItem)
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("XXXXyyyy"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad := append([]byte{}, magic[:]...)
+	bad = append(bad, 99, 0, 0, 0) // version 99
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(trace.Item{Gap: 5, Addr: 0x1234})
+	_ = w.Flush()
+	full := buf.Bytes()
+	// Cut mid-record: must surface an error, not silent EOF.
+	cut := full[:len(full)-1]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated record returned %v, want a real error", err)
+	}
+}
+
+func TestWriterRejectsNegativeGap(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(trace.Item{Gap: -1}); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestGeneratorEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	if _, _, err := Generator(&buf); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
