@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench sweep sweep-quick vet fmt
+.PHONY: build test test-short bench sweep sweep-quick vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The gate CI runs: vet, build, the full test suite, and then the suite
+# again under the race detector with -short (the paper-shape regressions
+# run several full-length simulations; under the detector's ~15x slowdown
+# they would blow the test timeout without adding race coverage).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race -short ./...
 
 # Regenerate every paper table/figure (full budgets; ~15 min).
 sweep:

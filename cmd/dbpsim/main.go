@@ -5,13 +5,18 @@
 //
 //	dbpsim -mix W8-M1 -sched tcm -part dbp
 //	dbpsim -benchmarks mcf-like,lbm-like,gcc-like,povray-like -part equal
+//	dbpsim -mix W8-M1 -part dbp -json run.json -trace-out run.trace.json
+//	dbpsim -diff base.json new.json
 //	dbpsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"dbpsim"
@@ -37,8 +42,22 @@ func main() {
 		latency    = flag.Bool("latency", false, "print per-thread read-latency distributions")
 		timeline   = flag.Bool("timeline", false, "print per-thread bank-allocation and IPC sparklines")
 		paranoid   = flag.Bool("paranoid", false, "cross-check system invariants during the run")
+
+		jsonOut    = flag.String("json", "", "write the machine-readable run ledger to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file")
+		epochsCSV  = flag.String("epochs-csv", "", "write the per-epoch time series as CSV to this file")
+		diffMode   = flag.Bool("diff", false, "compare two run ledgers: dbpsim -diff base.json new.json")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+
+	if *diffMode {
+		if err := runDiff(flag.Args(), os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *listThings {
 		fmt.Println("benchmarks:")
@@ -52,6 +71,14 @@ func main() {
 			}
 		}
 		return
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dbpsim: pprof:", err)
+			}
+		}()
 	}
 
 	mix, err := resolveMix(*mixName, *benchList)
@@ -82,13 +109,79 @@ func main() {
 		return
 	}
 
+	// Observability: one recorder feeds the ledger's epoch series, the
+	// Chrome trace and the epoch CSV; per-request spans are captured only
+	// when the trace asks for them.
+	var rec *dbpsim.Recorder
+	if *jsonOut != "" || *traceOut != "" || *epochsCSV != "" {
+		rec, err = dbpsim.NewRecorder(dbpsim.RecorderOptions{
+			NumThreads: mix.Cores(),
+			NumBanks:   cfg.Geometry.NumColors(),
+			Spans:      *traceOut != "",
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	exp := dbpsim.NewExperiment(cfg, *warmup, *measure)
+	exp.Recorder = rec
 	run, err := exp.RunMix(mix, dbpsim.SchedulerKind(*schedName), dbpsim.PartitionKind(*partName))
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("%s under %s/%s: %s\n", mix.Name, *schedName, *partName, run.Metrics)
+	if *jsonOut != "" {
+		led, err := dbpsim.BuildLedger("dbpsim", cfg, *warmup, *measure, run, rec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dbpsim.SaveLedger(*jsonOut, led); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote ledger", *jsonOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote trace", *traceOut)
+	}
+	if *epochsCSV != "" {
+		f, err := os.Create(*epochsCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteEpochCSV(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote epochs", *epochsCSV)
+	}
 	if *latency {
 		fmt.Println("read latency (memory cycles):")
 		for i, h := range run.Result.ReadLatency {
@@ -124,6 +217,31 @@ func main() {
 				th.Name, th.MPKI, th.RBL, th.BLP, th.PagesAllocated, th.PagesMigrated)
 		}
 	}
+}
+
+// runDiff loads two ledgers and prints how the second improves on the
+// first (the paper's throughput/fairness vocabulary).
+func runDiff(args []string, w *os.File) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-diff needs exactly two ledger paths (base, new), got %d", len(args))
+	}
+	base, err := dbpsim.LoadLedger(args[0])
+	if err != nil {
+		return err
+	}
+	next, err := dbpsim.LoadLedger(args[1])
+	if err != nil {
+		return err
+	}
+	d := dbpsim.DiffLedgers(base, next)
+	fmt.Fprintf(w, "base: %-30s %s/%s on %s  WS=%.3f HS=%.3f MS=%.3f\n",
+		args[0], base.Scheduler, base.Partition, base.Mix,
+		base.Metrics.WeightedSpeedup, base.Metrics.HarmonicSpeedup, base.Metrics.MaxSlowdown)
+	fmt.Fprintf(w, "new:  %-30s %s/%s on %s  WS=%.3f HS=%.3f MS=%.3f\n",
+		args[1], next.Scheduler, next.Partition, next.Mix,
+		next.Metrics.WeightedSpeedup, next.Metrics.HarmonicSpeedup, next.Metrics.MaxSlowdown)
+	fmt.Fprintf(w, "delta: %s\n", d)
+	return nil
 }
 
 // resolveMix builds the workload either from a named mix or an explicit

@@ -12,8 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -23,16 +26,41 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "main", "experiment id or 'all' (one of: "+strings.Join(experiments.Names(), ", ")+")")
-		quick   = flag.Bool("quick", false, "reduced budgets and mix list")
-		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
-		plot    = flag.Bool("plot", false, "render bar charts for sweep experiments")
-		mdPath  = flag.String("md", "", "also append a markdown report to this file")
+		expName    = flag.String("exp", "main", "experiment id or 'all' (one of: "+strings.Join(experiments.Names(), ", ")+")")
+		quick      = flag.Bool("quick", false, "reduced budgets and mix list")
+		csvDir     = flag.String("csv", "", "directory to write per-experiment CSV files")
+		quiet      = flag.Bool("q", false, "suppress progress lines")
+		plot       = flag.Bool("plot", false, "render bar charts for sweep experiments")
+		mdPath     = flag.String("md", "", "also append a markdown report to this file")
+		jsonDir    = flag.String("json", "", "directory to write one machine-readable run ledger per (mix, policy) run")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dbpsweep: pprof:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	opts := experiments.DefaultOptions(*quick)
+	opts.LedgerDir = *jsonDir
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  …", line) }
 	}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"dbpsim/internal/obs"
 	"dbpsim/internal/sim"
 	"dbpsim/internal/stats"
 	"dbpsim/internal/workload"
@@ -57,6 +58,18 @@ type (
 	Spec = workload.Spec
 	// Mix is one multi-programmed workload.
 	Mix = workload.Mix
+)
+
+// Observability types (see internal/obs).
+type (
+	// Recorder collects request-lifecycle events and per-epoch series.
+	Recorder = obs.Recorder
+	// RecorderOptions configures a Recorder.
+	RecorderOptions = obs.Options
+	// Ledger is the versioned machine-readable record of one run.
+	Ledger = obs.Ledger
+	// LedgerDiff compares one run ("new") against another ("base").
+	LedgerDiff = obs.LedgerDiff
 )
 
 // Metric types (see internal/stats).
@@ -112,6 +125,24 @@ func LoadConfig(path string, base Config) (Config, error) { return sim.LoadConfi
 
 // SaveConfig writes a configuration file as indented JSON.
 func SaveConfig(path string, c Config) error { return sim.SaveConfig(path, c) }
+
+// NewRecorder builds an observability recorder; attach it via
+// Experiment.Recorder (shared runs only) or System.AttachRecorder.
+func NewRecorder(opt RecorderOptions) (*Recorder, error) { return obs.NewRecorder(opt) }
+
+// BuildLedger assembles the machine-readable run ledger for one mix run.
+func BuildLedger(tool string, base Config, warmup, measure uint64, run MixRun, rec *Recorder) (Ledger, error) {
+	return sim.BuildLedger(tool, base, warmup, measure, run, rec)
+}
+
+// SaveLedger writes a run-ledger JSON file.
+func SaveLedger(path string, l Ledger) error { return obs.SaveLedger(path, l) }
+
+// LoadLedger reads and validates a run-ledger JSON file.
+func LoadLedger(path string) (Ledger, error) { return obs.LoadLedger(path) }
+
+// DiffLedgers compares two ledgers: how does new improve on base?
+func DiffLedgers(base, new Ledger) LedgerDiff { return obs.Diff(base, new) }
 
 // Suite returns the 18-benchmark evaluation suite.
 func Suite() []Spec { return workload.Suite() }

@@ -8,9 +8,12 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
+	"dbpsim/internal/obs"
 	"dbpsim/internal/sim"
 	"dbpsim/internal/stats"
 	"dbpsim/internal/workload"
@@ -27,6 +30,12 @@ type Options struct {
 	Mixes []workload.Mix
 	// Progress, if non-nil, receives one line per completed run.
 	Progress func(string)
+	// LedgerDir, when non-empty, writes one machine-readable run ledger
+	// per (mix, policy) run of every policy sweep into this directory
+	// (`<mix>_<scheduler>_<partition>.json`; see internal/obs). The same
+	// run reached from two experiments overwrites its own file — runs are
+	// deterministic, so the content is identical.
+	LedgerDir string
 }
 
 // DefaultOptions returns full-evaluation budgets; quick shrinks both the
@@ -269,6 +278,12 @@ func policySweep(o Options, policies []sim.PolicyPoint) (*stats.TableWriter, []s
 					results[j.mi][j.pi] = outcome{err: fmt.Errorf("%s on %s: %w", p.Label, mix.Name, err)}
 					continue
 				}
+				if o.LedgerDir != "" {
+					if err := writeRunLedger(o, run); err != nil {
+						results[j.mi][j.pi] = outcome{err: fmt.Errorf("%s on %s: ledger: %w", p.Label, mix.Name, err)}
+						continue
+					}
+				}
 				results[j.mi][j.pi] = outcome{metrics: run.Metrics}
 				o.log("%s: %s done (WS=%.3f MS=%.3f)", p.Label, mix.Name,
 					run.Metrics.WeightedSpeedup, run.Metrics.MaxSlowdown)
@@ -308,6 +323,19 @@ func policySweep(o Options, policies []sim.PolicyPoint) (*stats.TableWriter, []s
 	}
 	t.AddRow(meanCells...)
 	return t, means, nil
+}
+
+// writeRunLedger persists one run's ledger under Options.LedgerDir.
+func writeRunLedger(o Options, run sim.MixRun) error {
+	if err := os.MkdirAll(o.LedgerDir, 0o755); err != nil {
+		return err
+	}
+	l, err := sim.BuildLedger("dbpsweep", o.Base, o.Warmup, o.Measure, run, nil)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s_%s_%s.json", run.Mix.Name, run.Scheduler, run.Partition)
+	return obs.SaveLedger(filepath.Join(o.LedgerDir, name), l)
 }
 
 func policyColumns(policies []sim.PolicyPoint) []string {

@@ -5,6 +5,7 @@ import (
 
 	"dbpsim/internal/addr"
 	"dbpsim/internal/dram"
+	"dbpsim/internal/obs"
 )
 
 // Config sets controller queue geometry and the write-drain policy.
@@ -83,6 +84,10 @@ type Controller struct {
 	// completionHook, when set, receives (thread, latency in memory cycles)
 	// for every completed read.
 	completionHook func(thread int, latency uint64)
+	// rec, when non-nil, receives request-lifecycle events (enqueue, row
+	// activate, column access, completion). Every call site is guarded by
+	// a nil check so the disabled path does no work at all.
+	rec *obs.Recorder
 	// bankBlocked is a scratch buffer reused across cycles.
 	bankBlocked []bool
 
@@ -170,6 +175,15 @@ func (c *Controller) SetCompletionHook(fn func(thread int, latency uint64)) {
 	c.completionHook = fn
 }
 
+// SetRecorder attaches (or, with nil, detaches) the observability recorder.
+func (c *Controller) SetRecorder(r *obs.Recorder) { c.rec = r }
+
+// globalBank flattens a request's (channel, rank, bank) into the global
+// bank index the recorder keys occupancy on.
+func (c *Controller) globalBank(r *Request) int {
+	return c.mapper.Geometry().BankID(r.Loc.Channel, r.Loc.Rank, r.Loc.Bank)
+}
+
 // Enqueue accepts a request into the controller, returning false when the
 // target queue is full (the core must retry). The request's Loc, ID and
 // Arrival are filled in here.
@@ -197,6 +211,9 @@ func (c *Controller) Enqueue(r *Request) bool {
 		if obs, ok := c.sched.(QueueObserver); ok {
 			obs.OnEnqueue(r)
 		}
+	}
+	if c.rec != nil {
+		c.rec.OnEnqueue(r.Thread, r.IsWrite)
 	}
 	return true
 }
@@ -285,6 +302,9 @@ func (c *Controller) completeTransfers() {
 			if c.completionHook != nil {
 				c.completionHook(r.Thread, c.now-r.Arrival)
 			}
+			if c.rec != nil {
+				c.rec.OnComplete(r.Thread, c.channelID, r.Arrival, c.now, r.RowHit())
+			}
 			if r.OnComplete != nil {
 				r.OnComplete()
 			}
@@ -358,12 +378,18 @@ func (c *Controller) issueFor(r *Request) (issued, served bool) {
 	case dram.CmdActivate:
 		c.ch.Issue(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
 		r.MarkActivated()
+		if c.rec != nil {
+			c.rec.OnActivate(r.Thread, c.globalBank(r))
+		}
 		return true, false
 	case dram.CmdPrecharge:
 		c.ch.Issue(cmd, r.Loc.Rank, r.Loc.Bank, 0, c.now)
 		return true, false
 	case dram.CmdRead:
 		c.lastColCmd[r.Loc.Rank*c.ch.NumBanksPerRank()+r.Loc.Bank] = c.now
+		if c.rec != nil {
+			c.rec.OnColumn(r.Thread, c.globalBank(r), false)
+		}
 		var dataEnd uint64
 		if c.cfg.ClosedPage && !c.pendingSameRow(r) {
 			dataEnd = c.ch.IssueAutoPrecharge(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
@@ -374,6 +400,9 @@ func (c *Controller) issueFor(r *Request) (issued, served bool) {
 		return true, true
 	case dram.CmdWrite:
 		c.lastColCmd[r.Loc.Rank*c.ch.NumBanksPerRank()+r.Loc.Bank] = c.now
+		if c.rec != nil {
+			c.rec.OnColumn(r.Thread, c.globalBank(r), true)
+		}
 		if c.cfg.ClosedPage && !c.pendingSameRow(r) {
 			c.ch.IssueAutoPrecharge(cmd, r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
 		} else {

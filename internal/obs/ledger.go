@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dbpsim/internal/stats"
+)
+
+// SchemaVersion is the run-ledger schema version. Compatibility rule:
+// readers accept any ledger with schema_version ≤ their own SchemaVersion
+// (fields are only ever added, never renamed or repurposed) and reject
+// newer ones. Bump this on any additive change; a breaking change would
+// instead introduce a new document type.
+const SchemaVersion = 1
+
+// Metrics is the ledger's flattened copy of stats.SystemMetrics' aggregate
+// fields (the per-thread detail lives in Ledger.Threads).
+type Metrics struct {
+	// WeightedSpeedup is system throughput (higher is better).
+	WeightedSpeedup float64 `json:"weighted_speedup"`
+	// HarmonicSpeedup balances throughput and fairness.
+	HarmonicSpeedup float64 `json:"harmonic_speedup"`
+	// MaxSlowdown is system unfairness (lower is better).
+	MaxSlowdown float64 `json:"max_slowdown"`
+	// JainIndex is Jain's fairness index over per-thread speedups.
+	JainIndex float64 `json:"jain_index"`
+}
+
+// LedgerThread is one thread's entry: stats.ThreadPerf plus lifetime DRAM
+// characteristics.
+type LedgerThread struct {
+	// Name is the benchmark name.
+	Name string `json:"name"`
+	// IPCShared and IPCAlone are the paired IPCs behind every paper metric.
+	IPCShared float64 `json:"ipc_shared"`
+	IPCAlone  float64 `json:"ipc_alone"`
+	// MPKI, RBL and BLP are lifetime memory characteristics.
+	MPKI float64 `json:"mpki"`
+	RBL  float64 `json:"rbl"`
+	BLP  float64 `json:"blp"`
+}
+
+// Ledger is the versioned machine-readable record of one simulation run:
+// everything needed to compare two runs (or track one headline delta
+// across PRs) without re-parsing human-readable tables.
+type Ledger struct {
+	// SchemaVersion is the document schema version (see the constant).
+	SchemaVersion int `json:"schema_version"`
+	// Tool identifies the writer ("dbpsim", "dbpsweep").
+	Tool string `json:"tool"`
+	// Mix, Scheduler and Partition name the run point.
+	Mix       string `json:"mix"`
+	Scheduler string `json:"scheduler"`
+	Partition string `json:"partition"`
+	// Warmup and Measure are the per-core instruction budgets.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	// ConfigHash is sha256 over the canonical config JSON, so runs are
+	// comparable ("same machine?") without diffing the whole config.
+	ConfigHash string `json:"config_hash"`
+	// Config is the full effective configuration (sim.MarshalConfig output).
+	Config json.RawMessage `json:"config,omitempty"`
+	// Cycles and MemCycles are the simulated clock totals.
+	Cycles    uint64 `json:"cycles"`
+	MemCycles uint64 `json:"mem_cycles"`
+	// Metrics holds the aggregate paper metrics.
+	Metrics Metrics `json:"metrics"`
+	// Threads holds per-thread detail in core order.
+	Threads []LedgerThread `json:"threads"`
+	// Counters is the run's counter set (DRAM command counts, repartitions,
+	// migration drops, and the recorder's obs.* counters when attached).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Epochs holds the per-epoch time series when a recorder was attached.
+	Epochs []Epoch `json:"epochs,omitempty"`
+	// Repartitions holds recorded mask changes when a recorder was attached.
+	Repartitions []Repartition `json:"repartitions,omitempty"`
+}
+
+// SetMetrics fills the ledger's Metrics and Threads from stats types.
+// Existing per-thread characteristics (MPKI/RBL/BLP) are preserved when
+// names line up, so callers may fill Threads first.
+func (l *Ledger) SetMetrics(m stats.SystemMetrics) {
+	l.Metrics = Metrics{
+		WeightedSpeedup: m.WeightedSpeedup,
+		HarmonicSpeedup: m.HarmonicSpeedup,
+		MaxSlowdown:     m.MaxSlowdown,
+		JainIndex:       m.JainIndex(),
+	}
+	if len(l.Threads) != len(m.Threads) {
+		l.Threads = make([]LedgerThread, len(m.Threads))
+	}
+	for i, t := range m.Threads {
+		l.Threads[i].Name = t.Name
+		l.Threads[i].IPCShared = t.IPCShared
+		l.Threads[i].IPCAlone = t.IPCAlone
+	}
+}
+
+// SystemMetrics reconstructs the stats.SystemMetrics the ledger was built
+// from: aggregates verbatim, per-thread detail from Threads.
+func (l Ledger) SystemMetrics() stats.SystemMetrics {
+	m := stats.SystemMetrics{
+		WeightedSpeedup: l.Metrics.WeightedSpeedup,
+		HarmonicSpeedup: l.Metrics.HarmonicSpeedup,
+		MaxSlowdown:     l.Metrics.MaxSlowdown,
+		Threads:         make([]stats.ThreadPerf, len(l.Threads)),
+	}
+	for i, t := range l.Threads {
+		m.Threads[i] = stats.ThreadPerf{Name: t.Name, IPCShared: t.IPCShared, IPCAlone: t.IPCAlone}
+	}
+	return m
+}
+
+// SetConfig attaches the canonical config JSON and derives ConfigHash.
+func (l *Ledger) SetConfig(configJSON []byte) {
+	l.Config = bytes.TrimSpace(append([]byte(nil), configJSON...))
+	l.ConfigHash = HashConfig(configJSON)
+}
+
+// HashConfig returns the hex sha256 of the canonical config JSON.
+func HashConfig(configJSON []byte) string {
+	sum := sha256.Sum256(bytes.TrimSpace(configJSON))
+	return fmt.Sprintf("%x", sum)
+}
+
+// MarshalLedger renders a ledger as indented JSON (stable field order).
+func MarshalLedger(l Ledger) ([]byte, error) {
+	l.SchemaVersion = SchemaVersion
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		return nil, fmt.Errorf("obs: encode ledger: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SaveLedger writes a ledger file.
+func SaveLedger(path string, l Ledger) error {
+	data, err := MarshalLedger(l)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// UnmarshalLedger parses a ledger and enforces the schema compatibility
+// rule (accept ≤ SchemaVersion, reject newer).
+func UnmarshalLedger(data []byte) (Ledger, error) {
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Ledger{}, fmt.Errorf("obs: decode ledger: %w", err)
+	}
+	if l.SchemaVersion <= 0 {
+		return Ledger{}, fmt.Errorf("obs: ledger missing schema_version")
+	}
+	if l.SchemaVersion > SchemaVersion {
+		return Ledger{}, fmt.Errorf("obs: ledger schema_version %d is newer than supported %d", l.SchemaVersion, SchemaVersion)
+	}
+	return l, nil
+}
+
+// LoadLedger reads and validates a ledger file.
+func LoadLedger(path string) (Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Ledger{}, fmt.Errorf("obs: read ledger: %w", err)
+	}
+	return UnmarshalLedger(data)
+}
+
+// LedgerDiff is the comparison of one run ("new") against another
+// ("base"), in the paper's vocabulary.
+type LedgerDiff struct {
+	// ThroughputPct is the weighted-speedup delta in percent (positive =
+	// new is faster).
+	ThroughputPct float64
+	// FairnessPct is the maximum-slowdown improvement in percent (positive
+	// = new is fairer, i.e. lower max slowdown).
+	FairnessPct float64
+	// HarmonicPct is the harmonic-speedup delta in percent.
+	HarmonicPct float64
+	// SameConfig reports whether the two runs used identical configs.
+	SameConfig bool
+}
+
+// Diff compares two ledgers: how does `new` improve on `base`?
+func Diff(base, new Ledger) LedgerDiff {
+	tp, fp := new.SystemMetrics().Delta(base.SystemMetrics())
+	d := LedgerDiff{
+		ThroughputPct: tp,
+		FairnessPct:   fp,
+		SameConfig:    base.ConfigHash != "" && base.ConfigHash == new.ConfigHash,
+	}
+	if base.Metrics.HarmonicSpeedup > 0 {
+		d.HarmonicPct = 100 * (new.Metrics.HarmonicSpeedup - base.Metrics.HarmonicSpeedup) / base.Metrics.HarmonicSpeedup
+	}
+	return d
+}
+
+// String renders the diff as one headline line.
+func (d LedgerDiff) String() string {
+	cfg := "different configs"
+	if d.SameConfig {
+		cfg = "same config"
+	}
+	return fmt.Sprintf("%+.1f%% throughput, %+.1f%% fairness, %+.1f%% harmonic speedup (%s)",
+		d.ThroughputPct, d.FairnessPct, d.HarmonicPct, cfg)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"dbpsim/internal/stats"
+)
+
+func sampleMetrics() stats.SystemMetrics {
+	m, err := stats.ComputeMetrics([]stats.ThreadPerf{
+		{Name: "mcf-like", IPCShared: 0.31, IPCAlone: 0.52},
+		{Name: "gcc-like", IPCShared: 0.87, IPCAlone: 1.04},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestLedgerMetricsRoundTrip(t *testing.T) {
+	m := sampleMetrics()
+	var l Ledger
+	l.SetMetrics(m)
+	data, err := MarshalLedger(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalLedger(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.SystemMetrics()
+	// encoding/json uses the shortest float representation that parses back
+	// exactly, so every metric field must survive bit-identically.
+	if got.WeightedSpeedup != m.WeightedSpeedup ||
+		got.HarmonicSpeedup != m.HarmonicSpeedup ||
+		got.MaxSlowdown != m.MaxSlowdown {
+		t.Errorf("aggregates drifted: got %+v want %+v", got, m)
+	}
+	if len(got.Threads) != len(m.Threads) {
+		t.Fatalf("threads = %d, want %d", len(got.Threads), len(m.Threads))
+	}
+	for i := range m.Threads {
+		if got.Threads[i] != m.Threads[i] {
+			t.Errorf("thread %d drifted: got %+v want %+v", i, got.Threads[i], m.Threads[i])
+		}
+	}
+	if back.Metrics.JainIndex != m.JainIndex() {
+		t.Errorf("jain index = %g, want %g", back.Metrics.JainIndex, m.JainIndex())
+	}
+}
+
+func TestLedgerSchemaVersionGate(t *testing.T) {
+	if _, err := UnmarshalLedger([]byte(`{"tool":"dbpsim"}`)); err == nil ||
+		!strings.Contains(err.Error(), "schema_version") {
+		t.Errorf("missing schema_version accepted: %v", err)
+	}
+	if _, err := UnmarshalLedger([]byte(`{"schema_version":99}`)); err == nil ||
+		!strings.Contains(err.Error(), "newer") {
+		t.Errorf("future schema_version accepted: %v", err)
+	}
+	// Older-or-equal versions must load (additive-only schema evolution).
+	if _, err := UnmarshalLedger([]byte(`{"schema_version":1}`)); err != nil {
+		t.Errorf("current schema_version rejected: %v", err)
+	}
+}
+
+func TestLedgerConfigHash(t *testing.T) {
+	var a, b Ledger
+	a.SetConfig([]byte(`{"Cores":8}`))
+	b.SetConfig([]byte("{\"Cores\":8}\n")) // trailing whitespace is canonicalised away
+	if a.ConfigHash == "" || a.ConfigHash != b.ConfigHash {
+		t.Errorf("hashes differ for identical configs: %q vs %q", a.ConfigHash, b.ConfigHash)
+	}
+	b.SetConfig([]byte(`{"Cores":4}`))
+	if a.ConfigHash == b.ConfigHash {
+		t.Error("different configs hash equal")
+	}
+}
+
+func TestLedgerDiff(t *testing.T) {
+	var base, next Ledger
+	base.SetMetrics(sampleMetrics())
+	base.SetConfig([]byte(`{"Cores":2}`))
+	next = base
+	next.Metrics.WeightedSpeedup *= 1.10 // +10% throughput
+	next.Metrics.MaxSlowdown *= 0.80     // lower max slowdown = fairer
+	d := Diff(base, next)
+	if d.ThroughputPct < 9.9 || d.ThroughputPct > 10.1 {
+		t.Errorf("throughput delta = %g, want ~10", d.ThroughputPct)
+	}
+	if d.FairnessPct <= 0 {
+		t.Errorf("fairness delta = %g, want positive (max slowdown dropped)", d.FairnessPct)
+	}
+	if !d.SameConfig {
+		t.Error("identical config hashes reported as different")
+	}
+	if s := d.String(); !strings.Contains(s, "same config") {
+		t.Errorf("diff string = %q", s)
+	}
+}

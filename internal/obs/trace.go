@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: renders recorded spans, epoch counters and
+// repartition markers in the Trace Event Format consumed by
+// chrome://tracing and Perfetto (JSON-object flavour with a "traceEvents"
+// array). One trace timestamp unit ("ts") is one memory cycle; Perfetto
+// labels it microseconds, so a 1000-cycle request displays as 1 ms — the
+// shape, not the wall time, is what the viewer is for.
+//
+// Layout: pid 1..N are the DRAM channels (one lane per thread, so
+// per-thread request streams are separable); pid 0 carries the epoch
+// counter tracks and repartition instants.
+
+// traceMetaPID is the synthetic process id for epoch counters and markers.
+const traceMetaPID = 0
+
+// WriteTrace renders the recorder's contents as a Chrome trace. Events are
+// emitted in deterministic order: metadata, then spans in completion order,
+// then epoch counters, then repartition instants.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: WriteTrace on a nil recorder")
+	}
+	return writeTrace(w, r.opt.NumThreads, r.spans, r.epochs, r.reparts)
+}
+
+func writeTrace(w io.Writer, numThreads int, spans []Span, epochs []Epoch, reparts []Repartition) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	emit := func(format string, args ...any) {
+		if first {
+			first = false
+		} else {
+			bw.WriteString(",\n")
+		}
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+
+	// Metadata: name the synthetic processes and thread lanes.
+	emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"epochs"}}`, traceMetaPID)
+	channels := map[int32]bool{}
+	for _, s := range spans {
+		channels[s.Channel] = true
+	}
+	for ch := int32(0); int(ch) < len(channels) || channels[ch]; ch++ {
+		if !channels[ch] {
+			continue
+		}
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"channel %d"}}`, ch+1, ch)
+		for t := 0; t < numThreads; t++ {
+			emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"thread %d"}}`, ch+1, t, t)
+		}
+	}
+
+	// Request spans: complete ("X") events, duration = queueing + service.
+	for _, s := range spans {
+		dur := s.End - s.Arrival
+		name := "read"
+		if s.RowHit {
+			name = "read (row hit)"
+		}
+		emit(`{"name":"%s","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d}`,
+			name, s.Arrival, dur, s.Channel+1, s.Thread)
+	}
+
+	// Epoch counters: one counter track per metric, one series per thread.
+	for _, e := range epochs {
+		for t, th := range e.Threads {
+			emit(`{"name":"served","ph":"C","ts":%d,"pid":%d,"tid":0,"args":{"t%d":%d}}`,
+				e.MemCycle, traceMetaPID, t, th.Served)
+			emit(`{"name":"row_hit_rate","ph":"C","ts":%d,"pid":%d,"tid":0,"args":{"t%d":%.4f}}`,
+				e.MemCycle, traceMetaPID, t, th.RowHitRate)
+			emit(`{"name":"banks","ph":"C","ts":%d,"pid":%d,"tid":0,"args":{"t%d":%d}}`,
+				e.MemCycle, traceMetaPID, t, th.Banks)
+			emit(`{"name":"slowdown_est","ph":"C","ts":%d,"pid":%d,"tid":0,"args":{"t%d":%.4f}}`,
+				e.MemCycle, traceMetaPID, t, th.SlowdownEst)
+		}
+		emit(`{"name":"bank_occupancy","ph":"C","ts":%d,"pid":%d,"tid":0,"args":{"banks":%.4f}}`,
+			e.MemCycle, traceMetaPID, e.BankOccupancy)
+	}
+
+	// Repartition decisions: instant events with the new mask sizes.
+	for _, rp := range reparts {
+		emit(`{"name":"repartition","ph":"i","s":"g","ts":%d,"pid":%d,"tid":0,"args":{"colors":%s}}`,
+			rp.MemCycle, traceMetaPID, intsJSON(rp.Colors))
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// intsJSON renders an int slice as a JSON array without reflection.
+func intsJSON(xs []int) string {
+	out := "["
+	for i, x := range xs {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", x)
+	}
+	return out + "]"
+}

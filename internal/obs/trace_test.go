@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds a small, fully deterministic recorder state.
+func goldenRecorder(t *testing.T) *Recorder {
+	t.Helper()
+	r, err := NewRecorder(Options{NumThreads: 2, NumBanks: 4, Spans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0: thread 0 row-miss read; channel 1: thread 1 row-hit read.
+	r.OnEnqueue(0, false)
+	r.OnActivate(0, 0)
+	r.OnColumn(0, 0, false)
+	r.OnComplete(0, 0, 10, 64, false)
+	r.OnEnqueue(1, false)
+	r.OnColumn(1, 2, false)
+	r.OnComplete(1, 1, 20, 45, true)
+	r.OnEpoch(1000, 250, []EpochThread{
+		{Served: 1, RowHitRate: 0, IPC: 0.5, Banks: 2, SlowdownEst: 1},
+		{Served: 1, RowHitRate: 1, IPC: 1.5, Banks: 2, SlowdownEst: 1},
+	})
+	r.OnRepartition(1000, 250, []int{3, 1})
+	return r
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	r := goldenRecorder(t)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden file; run with -update and review the diff.\ngot:\n%s", buf.String())
+	}
+}
+
+// TestWriteTraceStructure validates what chrome://tracing / Perfetto
+// require: a JSON object with a traceEvents array whose entries carry a
+// phase, a name, and — for non-metadata events — an integer timestamp.
+func TestWriteTraceStructure(t *testing.T) {
+	r := goldenRecorder(t)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	phases := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d missing ph: %v", i, ev)
+		}
+		phases[ph]++
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event %d missing name: %v", i, ev)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %d missing pid: %v", i, ev)
+		}
+		switch ph {
+		case "M": // metadata carries no timestamp
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event %d missing dur: %v", i, ev)
+			}
+			fallthrough
+		case "C", "i":
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("event %d missing ts: %v", i, ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q in event %d", ph, i)
+		}
+	}
+	// All four event classes must be present: metadata, spans, counters,
+	// and the repartition instant.
+	for _, ph := range []string{"M", "X", "C", "i"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events emitted", ph)
+		}
+	}
+}

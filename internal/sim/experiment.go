@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"dbpsim/internal/obs"
 	"dbpsim/internal/stats"
 	"dbpsim/internal/workload"
 )
@@ -22,6 +23,11 @@ type Experiment struct {
 	Measure uint64
 	// MaxCycles bounds each run (0 = automatic).
 	MaxCycles uint64
+	// Recorder, when non-nil, is attached to the shared system of every
+	// RunMix call (alone-run baselines stay unobserved so the recorded
+	// series describe exactly one contended run). Attach a fresh recorder
+	// per RunMix when comparing policies, or the series concatenate.
+	Recorder *obs.Recorder
 
 	mu       sync.Mutex
 	aloneIPC map[string]float64
@@ -121,6 +127,9 @@ func (e *Experiment) RunMix(mix workload.Mix, scheduler SchedulerKind, partition
 	sys, err := NewSystem(cfg, benches)
 	if err != nil {
 		return MixRun{}, err
+	}
+	if e.Recorder != nil {
+		sys.AttachRecorder(e.Recorder)
 	}
 	res, err := sys.Run(e.Warmup, e.Measure, e.MaxCycles)
 	if err != nil {

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"dbpsim/internal/obs"
+)
+
+// BuildLedger assembles the machine-readable run ledger for one completed
+// mix run: the effective configuration (and its hash), the paper metrics
+// with per-thread detail, the run's counter set, and — when a recorder was
+// attached — the per-epoch time series and repartition log.
+//
+// base is the configuration template the run was derived from (the
+// experiment's Base); the per-run overrides (core count, scheduler,
+// partition) are reapplied here so the ledger records exactly the config
+// the run executed, not the template.
+func BuildLedger(tool string, base Config, warmup, measure uint64, run MixRun, rec *obs.Recorder) (obs.Ledger, error) {
+	cfg := base
+	cfg.Cores = run.Mix.Cores()
+	cfg.Scheduler = run.Scheduler
+	cfg.Partition = run.Partition
+	cfgJSON, err := MarshalConfig(cfg)
+	if err != nil {
+		return obs.Ledger{}, err
+	}
+
+	l := obs.Ledger{
+		SchemaVersion: obs.SchemaVersion,
+		Tool:          tool,
+		Mix:           run.Mix.Name,
+		Scheduler:     string(run.Scheduler),
+		Partition:     string(run.Partition),
+		Warmup:        warmup,
+		Measure:       measure,
+		Cycles:        run.Result.Cycles,
+		MemCycles:     run.Result.MemCycles,
+		Counters:      resultCounters(run.Result),
+	}
+	l.SetConfig(cfgJSON)
+	l.SetMetrics(run.Metrics)
+	// Enrich per-thread entries with lifetime DRAM characteristics.
+	for i, t := range run.Result.Threads {
+		if i >= len(l.Threads) {
+			break
+		}
+		l.Threads[i].MPKI = t.MPKI
+		l.Threads[i].RBL = t.RBL
+		l.Threads[i].BLP = t.BLP
+	}
+	if rec != nil {
+		l.Epochs = rec.Epochs()
+		l.Repartitions = rec.Repartitions()
+		for name, v := range rec.Counters() {
+			l.Counters[name] = v
+		}
+	}
+	return l, nil
+}
+
+// resultCounters flattens a Result's aggregate counters into the ledger's
+// counter set.
+func resultCounters(res Result) map[string]uint64 {
+	return map[string]uint64{
+		"dram.activates":  res.DRAM.Activates,
+		"dram.precharges": res.DRAM.Precharges,
+		"dram.reads":      res.DRAM.Reads,
+		"dram.writes":     res.DRAM.Writes,
+		"dram.refreshes":  res.DRAM.Refreshes,
+		"repartitions":    uint64(res.Repartitions),
+		"migration.drops": res.MigrationDrops,
+		"cycles":          res.Cycles,
+		"mem_cycles":      res.MemCycles,
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dbpsim/internal/dram"
 	"dbpsim/internal/mcp"
 	"dbpsim/internal/memctrl"
+	"dbpsim/internal/obs"
 	"dbpsim/internal/paging"
 	"dbpsim/internal/profile"
 	"dbpsim/internal/sched"
@@ -64,6 +65,13 @@ type System struct {
 	latHist  []*stats.Histogram
 	checker  *invariantChecker
 	invErr   error
+
+	// rec, when non-nil, receives epoch samples and repartition events (the
+	// controllers hold their own pointer for request-lifecycle hooks).
+	rec *obs.Recorder
+	// bestIPC[t] is thread t's best epoch IPC so far — the alone-run proxy
+	// behind the recorder's runtime slowdown estimate.
+	bestIPC []float64
 
 	migrationDrops uint64
 }
@@ -286,6 +294,23 @@ func (p *memoryPort) Submit(thread int, paddr uint64, isWrite, demand bool, onDo
 	})
 }
 
+// AttachRecorder wires an observability recorder into the system: the
+// controllers report request-lifecycle events and the kernel reports epoch
+// samples and repartition decisions. Attaching nil detaches. Safe to call
+// any time before Run; recording never alters simulated timing.
+func (s *System) AttachRecorder(r *obs.Recorder) {
+	s.rec = r
+	for _, ctrl := range s.ctrls {
+		ctrl.SetRecorder(r)
+	}
+	if r != nil && s.bestIPC == nil {
+		s.bestIPC = make([]float64, s.cfg.Cores)
+	}
+}
+
+// Recorder returns the attached recorder (nil when observability is off).
+func (s *System) Recorder() *obs.Recorder { return s.rec }
+
 // Policy returns the active partition policy.
 func (s *System) Policy() bankpart.Policy { return s.policy }
 
@@ -353,6 +378,9 @@ func (s *System) onSchedQuantum() {
 			p.Banks[i] = s.tables[i].Mask().Count()
 		}
 		s.timeline = append(s.timeline, p)
+	}
+	if s.rec != nil {
+		s.recordEpoch(samples)
 	}
 	if s.updater != nil {
 		s.updater.UpdateQuantum(samples)
@@ -429,6 +457,13 @@ func (s *System) onPartitionQuantum() {
 				panic(fmt.Sprintf("sim: policy %s produced bad mask for thread %d: %v", s.policy.Name(), t, err))
 			}
 		}
+		if s.rec != nil {
+			colors := make([]int, len(masks))
+			for t, m := range masks {
+				colors[t] = m.Count()
+			}
+			s.rec.OnRepartition(s.cycle, s.memCycles, colors)
+		}
 	}
 	// Migration runs every quantum (not just on changes): large working
 	// sets converge onto a new partition over several quanta within the
@@ -472,6 +507,35 @@ const (
 	coldVABase = 1 << 30
 	coldVASpan = 1 << 22
 )
+
+// recordEpoch converts one scheduling quantum's profile samples into an
+// observability epoch. Only called when a recorder is attached, so the
+// disabled path allocates nothing. The slowdown estimate is self-relative:
+// each thread's best epoch IPC so far stands in for its alone-run IPC
+// (DESIGN.md records this reconstruction decision).
+func (s *System) recordEpoch(samples []profile.ThreadSample) {
+	threads := make([]obs.EpochThread, len(samples))
+	for i, smp := range samples {
+		ipc := float64(smp.Instructions) / float64(s.schedQ)
+		if ipc > s.bestIPC[i] {
+			s.bestIPC[i] = ipc
+		}
+		served := smp.ReadsServed + smp.WritesServed
+		et := obs.EpochThread{
+			Served: served,
+			IPC:    ipc,
+			Banks:  s.tables[i].Mask().Count(),
+		}
+		if served > 0 {
+			et.RowHitRate = float64(smp.RowHits) / float64(served)
+		}
+		if ipc > 0 {
+			et.SlowdownEst = s.bestIPC[i] / ipc
+		}
+		threads[i] = et
+	}
+	s.rec.OnEpoch(s.cycle, s.memCycles, threads)
+}
 
 // accumulate folds quantum samples into the lifetime per-thread totals.
 func (s *System) accumulate(samples []profile.ThreadSample) {
