@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench sweep sweep-quick vet fmt ci
+.PHONY: build test test-short bench sweep sweep-quick vet fmt ci serve smoke
 
 build:
 	$(GO) build ./...
@@ -22,15 +22,29 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# The gate CI runs: vet, build, the full test suite, and then the suite
-# again under the race detector with -short (the paper-shape regressions
-# run several full-length simulations; under the detector's ~15x slowdown
-# they would blow the test timeout without adding race coverage).
+# Run the simulation service in the foreground (ctrl-C drains).
+serve:
+	$(GO) run ./cmd/dbpserved -addr :8080
+
+# End-to-end smoke test: build the real dbpserved binary, start it, POST a
+# quick run (assert 200 + schema v1 + a cache hit on the repeat), SIGTERM,
+# and require a clean drain (exit 0).
+smoke:
+	$(GO) build -o /tmp/dbpserved-smoke ./cmd/dbpserved
+	$(GO) run ./scripts/smoke /tmp/dbpserved-smoke
+	rm -f /tmp/dbpserved-smoke
+
+# The gate CI runs: vet, build, the full test suite, the suite again under
+# the race detector with -short (the paper-shape regressions run several
+# full-length simulations; under the detector's ~15x slowdown they would
+# blow the test timeout without adding race coverage), and the dbpserved
+# smoke test against the real binary.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
+	$(MAKE) smoke
 
 # Regenerate every paper table/figure (full budgets; ~15 min).
 sweep:

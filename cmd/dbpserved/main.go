@@ -1,0 +1,123 @@
+// Command dbpserved serves the DBP simulator over HTTP: POST simulation
+// requests, receive schema-v1 run ledgers, with a bounded worker pool,
+// backpressure, and a content-addressed result cache deduplicating
+// identical work (see internal/serve).
+//
+// Usage:
+//
+//	dbpserved -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/runs -d '{"mix": "W8-M1", "partition": "dbp"}'
+//	curl -s -X POST 'localhost:8080/v1/runs?async=1' -d '{"mix": "W8-H1"}'   # 202 + poll URL
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued and
+// in-flight simulations finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dbpsim/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dbpserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: all error paths return (so deferred
+// cleanup runs) and the caller owns the exit code.
+func run(args []string) error {
+	fs := flag.NewFlagSet("dbpserved", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = fs.String("addr-file", "", "write the bound listen address to this file (for scripts that use port 0)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth = fs.Int("queue", 64, "job queue depth; a full queue answers 429")
+		runTimeout = fs.Duration("run-timeout", 5*time.Minute, "cap on synchronous waits (requests may ask for less via ?timeout=)")
+		maxInstr   = fs.Uint64("max-instructions", 0, "per-request warmup+measure cap (0 = uncapped)")
+		drainGrace = fs.Duration("drain-grace", 10*time.Minute, "how long shutdown waits for in-flight simulations")
+		logJSON    = fs.Bool("log-json", false, "structured logs as JSON lines instead of key=value text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	// Register the drain signals before the listener exists, so a signal
+	// arriving at any point after startup is never fatal mid-drain.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	srv := serve.New(serve.Options{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		RunTimeout:      *runTimeout,
+		MaxInstructions: *maxInstr,
+		Logger:          log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+		defer os.Remove(*addrFile)
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Info("listening", "addr", bound, "workers", *workers, "queue", *queueDepth)
+
+	select {
+	case sig := <-stop:
+		log.Info("shutting down", "signal", sig.String())
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain: stop accepting, then let queued and in-flight simulations
+	// finish before exiting.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := srv.Close(ctx); err != nil {
+		return err
+	}
+	log.Info("drained; exiting")
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:1"}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestRunServeAndDrain drives the daemon end to end in-process: start on a
+// free port, health-check, execute one quick run, then SIGTERM and assert
+// run() returns nil (the exit-0 drain path).
+func TestRunServeAndDrain(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-workers", "2"})
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its address file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := `{"benchmarks": ["mcf-like", "gcc-like"], "warmup": 1000, "measure": 5000}`
+	resp, err = http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), `"schema_version": 1`) {
+		t.Fatalf("response is not a schema-v1 ledger: %.120s", data)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -24,53 +25,63 @@ import (
 )
 
 func main() {
-	var (
-		mixName    = flag.String("mix", "W8-M1", "workload mix name (see -list)")
-		benchList  = flag.String("benchmarks", "", "comma-separated benchmark names (overrides -mix)")
-		schedName  = flag.String("sched", "frfcfs", "scheduler: fcfs|frfcfs|tcm|atlas")
-		partName   = flag.String("part", "none", "partitioning: none|equal|dbp|mcp")
-		warmup     = flag.Uint64("warmup", 200_000, "per-core warmup instructions")
-		measure    = flag.Uint64("measure", 400_000, "per-core measured instructions")
-		seed       = flag.Int64("seed", 1, "random seed")
-		banks      = flag.Int("banks", 8, "banks per rank")
-		channels   = flag.Int("channels", 2, "memory channels")
-		quantum    = flag.Uint64("quantum", 500_000, "DBP repartitioning quantum (CPU cycles)")
-		verbose    = flag.Bool("v", false, "print per-thread detail")
-		listThings = flag.Bool("list", false, "list benchmarks and mixes, then exit")
-		configPath = flag.String("config", "", "JSON config file (partial override of defaults)")
-		saveConfig = flag.String("saveconfig", "", "write the effective config to this file and exit")
-		latency    = flag.Bool("latency", false, "print per-thread read-latency distributions")
-		timeline   = flag.Bool("timeline", false, "print per-thread bank-allocation and IPC sparklines")
-		paranoid   = flag.Bool("paranoid", false, "cross-check system invariants during the run")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbpsim:", err)
+		os.Exit(1)
+	}
+}
 
-		jsonOut    = flag.String("json", "", "write the machine-readable run ledger to this file")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file")
-		epochsCSV  = flag.String("epochs-csv", "", "write the per-epoch time series as CSV to this file")
-		diffMode   = flag.Bool("diff", false, "compare two run ledgers: dbpsim -diff base.json new.json")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+// run is the testable body of main. Every failure returns instead of
+// exiting, so the deferred cleanups (CPU-profile flush, file closes) run on
+// error paths too.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dbpsim", flag.ContinueOnError)
+	var (
+		mixName    = fs.String("mix", "W8-M1", "workload mix name (see -list)")
+		benchList  = fs.String("benchmarks", "", "comma-separated benchmark names (overrides -mix)")
+		schedName  = fs.String("sched", "frfcfs", "scheduler: fcfs|frfcfs|tcm|atlas")
+		partName   = fs.String("part", "none", "partitioning: none|equal|dbp|mcp")
+		warmup     = fs.Uint64("warmup", 200_000, "per-core warmup instructions")
+		measure    = fs.Uint64("measure", 400_000, "per-core measured instructions")
+		seed       = fs.Int64("seed", 1, "random seed")
+		banks      = fs.Int("banks", 8, "banks per rank")
+		channels   = fs.Int("channels", 2, "memory channels")
+		quantum    = fs.Uint64("quantum", 500_000, "DBP repartitioning quantum (CPU cycles)")
+		verbose    = fs.Bool("v", false, "print per-thread detail")
+		listThings = fs.Bool("list", false, "list benchmarks and mixes, then exit")
+		configPath = fs.String("config", "", "JSON config file (partial override of defaults)")
+		saveConfig = fs.String("saveconfig", "", "write the effective config to this file and exit")
+		latency    = fs.Bool("latency", false, "print per-thread read-latency distributions")
+		timeline   = fs.Bool("timeline", false, "print per-thread bank-allocation and IPC sparklines")
+		paranoid   = fs.Bool("paranoid", false, "cross-check system invariants during the run")
+
+		jsonOut    = fs.String("json", "", "write the machine-readable run ledger to this file")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file")
+		epochsCSV  = fs.String("epochs-csv", "", "write the per-epoch time series as CSV to this file")
+		diffMode   = fs.Bool("diff", false, "compare two run ledgers: dbpsim -diff base.json new.json")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *diffMode {
-		if err := runDiff(flag.Args(), os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
+		return runDiff(fs.Args(), stdout)
 	}
 
 	if *listThings {
-		fmt.Println("benchmarks:")
+		fmt.Fprintln(stdout, "benchmarks:")
 		for _, s := range dbpsim.Suite() {
-			fmt.Printf("  %-18s %-7s target MPKI %-5.4g %s\n", s.Name, s.Class, s.TargetMPKI, s.Description)
+			fmt.Fprintf(stdout, "  %-18s %-7s target MPKI %-5.4g %s\n", s.Name, s.Class, s.TargetMPKI, s.Description)
 		}
-		fmt.Println("mixes:")
+		fmt.Fprintln(stdout, "mixes:")
 		for _, set := range [][]dbpsim.Mix{dbpsim.Mixes4(), dbpsim.Mixes8(), dbpsim.Mixes16()} {
 			for _, m := range set {
-				fmt.Printf("  %-8s (%s) %s\n", m.Name, m.Category, strings.Join(m.Members, ", "))
+				fmt.Fprintf(stdout, "  %-8s (%s) %s\n", m.Name, m.Category, strings.Join(m.Members, ", "))
 			}
 		}
-		return
+		return nil
 	}
 
 	if *pprofAddr != "" {
@@ -83,7 +94,7 @@ func main() {
 
 	mix, err := resolveMix(*mixName, *benchList)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := dbpsim.DefaultConfig(mix.Cores())
 	cfg.Seed = *seed
@@ -93,7 +104,7 @@ func main() {
 	if *configPath != "" {
 		loaded, err := dbpsim.LoadConfig(*configPath, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg = loaded
 		cfg.Cores = mix.Cores() // the mix decides the core count
@@ -103,10 +114,10 @@ func main() {
 	cfg.Paranoid = *paranoid
 	if *saveConfig != "" {
 		if err := dbpsim.SaveConfig(*saveConfig, cfg); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("wrote", *saveConfig)
-		return
+		fmt.Fprintln(stdout, "wrote", *saveConfig)
+		return nil
 	}
 
 	// Observability: one recorder feeds the ledger's epoch series, the
@@ -120,108 +131,106 @@ func main() {
 			Spans:      *traceOut != "",
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
 
 	exp := dbpsim.NewExperiment(cfg, *warmup, *measure)
-	exp.Recorder = rec
-	run, err := exp.RunMix(mix, dbpsim.SchedulerKind(*schedName), dbpsim.PartitionKind(*partName))
+	runOut, err := exp.RunMixRecorded(mix, dbpsim.SchedulerKind(*schedName), dbpsim.PartitionKind(*partName), rec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("%s under %s/%s: %s\n", mix.Name, *schedName, *partName, run.Metrics)
+	fmt.Fprintf(stdout, "%s under %s/%s: %s\n", mix.Name, *schedName, *partName, runOut.Metrics)
 	if *jsonOut != "" {
-		led, err := dbpsim.BuildLedger("dbpsim", cfg, *warmup, *measure, run, rec)
+		led, err := dbpsim.BuildLedger("dbpsim", cfg, *warmup, *measure, runOut, rec)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := dbpsim.SaveLedger(*jsonOut, led); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("wrote ledger", *jsonOut)
+		fmt.Fprintln(stdout, "wrote ledger", *jsonOut)
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
+		if err := writeTo(*traceOut, rec.WriteTrace); err != nil {
+			return err
 		}
-		if err := rec.WriteTrace(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Println("wrote trace", *traceOut)
+		fmt.Fprintln(stdout, "wrote trace", *traceOut)
 	}
 	if *epochsCSV != "" {
-		f, err := os.Create(*epochsCSV)
-		if err != nil {
-			fatal(err)
+		if err := writeTo(*epochsCSV, rec.WriteEpochCSV); err != nil {
+			return err
 		}
-		if err := rec.WriteEpochCSV(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Println("wrote epochs", *epochsCSV)
+		fmt.Fprintln(stdout, "wrote epochs", *epochsCSV)
 	}
 	if *latency {
-		fmt.Println("read latency (memory cycles):")
-		for i, h := range run.Result.ReadLatency {
+		fmt.Fprintln(stdout, "read latency (memory cycles):")
+		for i, h := range runOut.Result.ReadLatency {
 			if h == nil || h.N == 0 {
 				continue
 			}
-			fmt.Printf("  %-18s mean=%-7.1f min=%-6.0f max=%-7.0f n=%d\n",
-				run.Result.Threads[i].Name, h.MeanValue(), h.Min, h.Max, h.N)
+			fmt.Fprintf(stdout, "  %-18s mean=%-7.1f min=%-6.0f max=%-7.0f n=%d\n",
+				runOut.Result.Threads[i].Name, h.MeanValue(), h.Min, h.Max, h.N)
 		}
 	}
-	if *timeline && len(run.Result.Timeline) > 0 {
-		names := make([]string, len(run.Result.Threads))
-		banks := make([][]float64, len(run.Result.Threads))
-		ipcs := make([][]float64, len(run.Result.Threads))
-		for _, p := range run.Result.Timeline {
+	if *timeline && len(runOut.Result.Timeline) > 0 {
+		names := make([]string, len(runOut.Result.Threads))
+		banks := make([][]float64, len(runOut.Result.Threads))
+		ipcs := make([][]float64, len(runOut.Result.Threads))
+		for _, p := range runOut.Result.Timeline {
 			for t := range names {
 				banks[t] = append(banks[t], float64(p.Banks[t]))
 				ipcs[t] = append(ipcs[t], p.IPC[t])
 			}
 		}
-		for t, th := range run.Result.Threads {
+		for t, th := range runOut.Result.Threads {
 			names[t] = th.Name
 		}
-		fmt.Print(stats.SeriesChart("bank allocation over time:", names, banks))
-		fmt.Print(stats.SeriesChart("IPC over time:", names, ipcs))
+		fmt.Fprint(stdout, stats.SeriesChart("bank allocation over time:", names, banks))
+		fmt.Fprint(stdout, stats.SeriesChart("IPC over time:", names, ipcs))
 	}
 	if *verbose {
-		fmt.Print(run.Metrics.Table())
-		fmt.Printf("cycles=%d repartitions=%d dram=%+v\n",
-			run.Result.Cycles, run.Result.Repartitions, run.Result.DRAM)
-		for _, th := range run.Result.Threads {
-			fmt.Printf("  %-18s mpki=%-6.1f rbl=%-5.2f blp=%-5.2f pages=%d migrated=%d\n",
+		fmt.Fprint(stdout, runOut.Metrics.Table())
+		fmt.Fprintf(stdout, "cycles=%d repartitions=%d dram=%+v\n",
+			runOut.Result.Cycles, runOut.Result.Repartitions, runOut.Result.DRAM)
+		for _, th := range runOut.Result.Threads {
+			fmt.Fprintf(stdout, "  %-18s mpki=%-6.1f rbl=%-5.2f blp=%-5.2f pages=%d migrated=%d\n",
 				th.Name, th.MPKI, th.RBL, th.BLP, th.PagesAllocated, th.PagesMigrated)
 		}
 	}
+	return nil
+}
+
+// writeTo creates path, streams write into it, and closes it, reporting the
+// first error (including the close, which matters for buffered writers).
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runDiff loads two ledgers and prints how the second improves on the
 // first (the paper's throughput/fairness vocabulary).
-func runDiff(args []string, w *os.File) error {
+func runDiff(args []string, w io.Writer) error {
 	if len(args) != 2 {
 		return fmt.Errorf("-diff needs exactly two ledger paths (base, new), got %d", len(args))
 	}
@@ -262,9 +271,4 @@ func resolveMix(mixName, benchList string) (dbpsim.Mix, error) {
 		}
 	}
 	return dbpsim.Mix{Name: "custom", Category: "?", Members: members}, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dbpsim:", err)
-	os.Exit(1)
 }

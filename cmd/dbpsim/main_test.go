@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"dbpsim"
+)
 
 func TestResolveMixNamed(t *testing.T) {
 	mix, err := resolveMix("W8-M1", "")
@@ -34,5 +40,41 @@ func TestResolveMixCustomList(t *testing.T) {
 func TestResolveMixCustomUnknownBenchmark(t *testing.T) {
 	if _, err := resolveMix("", "mcf-like,ghost"); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunReturnsErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-mix", "W99-X"}, io.Discard); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if err := run([]string{"-diff", "only-one.json"}, io.Discard); err == nil {
+		t.Error("-diff with one path accepted")
+	}
+	if err := run([]string{"-config", filepath.Join(t.TempDir(), "missing.json")}, io.Discard); err == nil {
+		t.Error("missing config file accepted")
+	}
+}
+
+// TestRunWritesLedger drives a full (tiny) CLI run through run(), the same
+// code path main uses, and checks the ledger lands on disk.
+func TestRunWritesLedger(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{
+		"-benchmarks", "mcf-like,gcc-like",
+		"-warmup", "1000", "-measure", "5000",
+		"-json", out,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := dbpsim.LoadLedger(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Tool != "dbpsim" || led.Mix != "custom" {
+		t.Errorf("ledger = %s/%s", led.Tool, led.Mix)
 	}
 }

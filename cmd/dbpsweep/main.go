@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -25,18 +26,32 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbpsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main. Every failure returns instead of
+// exiting, so the deferred cleanups (CPU-profile flush, markdown-report
+// close) run on error paths too — the old scattered os.Exit call sites
+// skipped them.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dbpsweep", flag.ContinueOnError)
 	var (
-		expName    = flag.String("exp", "main", "experiment id or 'all' (one of: "+strings.Join(experiments.Names(), ", ")+")")
-		quick      = flag.Bool("quick", false, "reduced budgets and mix list")
-		csvDir     = flag.String("csv", "", "directory to write per-experiment CSV files")
-		quiet      = flag.Bool("q", false, "suppress progress lines")
-		plot       = flag.Bool("plot", false, "render bar charts for sweep experiments")
-		mdPath     = flag.String("md", "", "also append a markdown report to this file")
-		jsonDir    = flag.String("json", "", "directory to write one machine-readable run ledger per (mix, policy) run")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		expName    = fs.String("exp", "main", "experiment id or 'all' (one of: "+strings.Join(experiments.Names(), ", ")+")")
+		quick      = fs.Bool("quick", false, "reduced budgets and mix list")
+		csvDir     = fs.String("csv", "", "directory to write per-experiment CSV files")
+		quiet      = fs.Bool("q", false, "suppress progress lines")
+		plot       = fs.Bool("plot", false, "render bar charts for sweep experiments")
+		mdPath     = fs.String("md", "", "also append a markdown report to this file")
+		jsonDir    = fs.String("json", "", "directory to write one machine-readable run ledger per (mix, policy) run")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -48,13 +63,11 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
-			os.Exit(1)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -73,9 +86,8 @@ func main() {
 		sort.SliceStable(ids, func(i, j int) bool { return order(ids[i]) < order(ids[j]) })
 	} else {
 		if reg[*expName] == nil {
-			fmt.Fprintf(os.Stderr, "dbpsweep: unknown experiment %q; known: %s\n",
+			return fmt.Errorf("unknown experiment %q; known: %s",
 				*expName, strings.Join(experiments.Names(), ", "))
-			os.Exit(2)
 		}
 		ids = []string{*expName}
 	}
@@ -85,8 +97,7 @@ func main() {
 		var err error
 		md, err = os.OpenFile(*mdPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
-			os.Exit(1)
+			return err
 		}
 		defer md.Close()
 	}
@@ -94,33 +105,30 @@ func main() {
 		start := time.Now()
 		out, err := reg[id](opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dbpsweep: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		if md != nil {
 			if err := out.WriteMarkdown(md); err != nil {
-				fmt.Fprintln(os.Stderr, "dbpsweep:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 		writeOut := out.Write
 		if *plot {
 			writeOut = out.WritePlot
 		}
-		if err := writeOut(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "dbpsweep:", err)
-			os.Exit(1)
+		if err := writeOut(stdout); err != nil {
+			return err
 		}
 		if *csvDir != "" && out.Table != nil {
 			if err := writeCSV(*csvDir, out.ID, out.Table.CSV()); err != nil {
-				fmt.Fprintln(os.Stderr, "dbpsweep:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "  %s finished in %.1fs\n", id, time.Since(start).Seconds())
 		}
 	}
+	return nil
 }
 
 // order sorts experiment ids into a sensible presentation sequence.

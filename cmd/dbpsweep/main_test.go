@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -37,5 +38,14 @@ func TestWriteCSV(t *testing.T) {
 	// Nested directory creation.
 	if err := writeCSV(filepath.Join(dir, "x", "y"), "z", "q\n"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunReturnsErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-exp", "no-such-experiment"}, io.Discard); err == nil {
+		t.Error("unknown experiment accepted")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"dbpsim/internal/obs"
+	"dbpsim/internal/serve"
 	"dbpsim/internal/sim"
 	"dbpsim/internal/stats"
 	"dbpsim/internal/workload"
@@ -71,6 +72,22 @@ type (
 	// LedgerDiff compares one run ("new") against another ("base").
 	LedgerDiff = obs.LedgerDiff
 )
+
+// Serving types (see internal/serve): the simulation-as-a-service layer
+// behind cmd/dbpserved.
+type (
+	// Server is the HTTP simulation service: a worker pool with a bounded
+	// queue and a content-addressed result cache, answering run ledgers.
+	Server = serve.Server
+	// ServerOptions configures a Server.
+	ServerOptions = serve.Options
+	// RunRequest is the POST /v1/runs body.
+	RunRequest = serve.RunRequest
+)
+
+// NewServer builds a simulation server and starts its worker pool. It is an
+// http.Handler; shut it down with Close to drain in-flight runs.
+func NewServer(opt ServerOptions) *Server { return serve.New(opt) }
 
 // Metric types (see internal/stats).
 type (

@@ -1,0 +1,32 @@
+package obs
+
+import "net/http"
+
+// Ledger-as-response helpers: the run ledger is dbpserved's response body,
+// so serving one must go through the same canonical encoder as SaveLedger —
+// a served ledger and a `dbpsim -json` file for the same run are then
+// byte-comparable, and both round-trip through UnmarshalLedger.
+
+// LedgerContentType is the media type served for run-ledger bodies.
+const LedgerContentType = "application/json; charset=utf-8"
+
+// WriteLedgerResponse encodes the ledger canonically (MarshalLedger) and
+// writes it as an HTTP response. Encoding errors are reported before any
+// body byte is written, so the caller can still emit an error status.
+func WriteLedgerResponse(w http.ResponseWriter, status int, l Ledger) error {
+	data, err := MarshalLedger(l)
+	if err != nil {
+		return err
+	}
+	WriteLedgerBytes(w, status, data)
+	return nil
+}
+
+// WriteLedgerBytes writes an already-encoded ledger document (for
+// content-addressed caches that store the canonical bytes: serving the
+// cached encoding keeps responses bit-identical across hits).
+func WriteLedgerBytes(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", LedgerContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}

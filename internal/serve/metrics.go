@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is dbpserved's instrumentation: a handful of counters/gauges and
+// one latency histogram, rendered in the Prometheus text exposition format
+// by write(). Hand-rolled because the repo is stdlib-only; the surface is
+// deliberately tiny (monotonic counters, one gauge fed by the caller, one
+// fixed-bucket histogram).
+type metrics struct {
+	cacheHits    atomic.Int64 // served straight from the result cache
+	cacheMisses  atomic.Int64 // requests that enqueued a new simulation
+	coalesced    atomic.Int64 // requests that joined an in-flight identical run
+	rejected     atomic.Int64 // 429s: queue full
+	runsExecuted atomic.Int64 // simulations completed successfully
+	runsFailed   atomic.Int64 // simulations that returned an error
+	inFlight     atomic.Int64 // jobs currently executing on a worker
+
+	httpMu   sync.Mutex
+	httpCode map[int]int64 // completed HTTP requests by status code
+
+	runSeconds *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		httpCode: make(map[int]int64),
+		// Simulations span ~10ms quick probes to minutes-long full-budget
+		// runs; buckets cover that range with roughly 2.5x spacing.
+		runSeconds: newHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
+	}
+}
+
+func (m *metrics) observeHTTP(code int) {
+	m.httpMu.Lock()
+	m.httpCode[code]++
+	m.httpMu.Unlock()
+}
+
+// write renders the exposition page. queueDepth/queueCap describe the job
+// queue at scrape time (the channel belongs to the server, not to metrics).
+func (m *metrics) write(w io.Writer, queueDepth, queueCap int) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("dbpserved_queue_depth", "Jobs waiting in the bounded queue.", int64(queueDepth))
+	gauge("dbpserved_queue_capacity", "Capacity of the bounded job queue.", int64(queueCap))
+	gauge("dbpserved_inflight_runs", "Simulations currently executing on workers.", m.inFlight.Load())
+	counter("dbpserved_cache_hits_total", "Requests served from the content-addressed result cache.", m.cacheHits.Load())
+	counter("dbpserved_cache_misses_total", "Requests that enqueued a new simulation.", m.cacheMisses.Load())
+	counter("dbpserved_singleflight_coalesced_total", "Requests coalesced onto an identical in-flight run.", m.coalesced.Load())
+	counter("dbpserved_rejected_total", "Requests rejected with 429 because the queue was full.", m.rejected.Load())
+	counter("dbpserved_runs_executed_total", "Simulations completed successfully.", m.runsExecuted.Load())
+	counter("dbpserved_runs_failed_total", "Simulations that returned an error.", m.runsFailed.Load())
+
+	fmt.Fprintf(w, "# HELP dbpserved_http_requests_total Completed HTTP requests by status code.\n")
+	fmt.Fprintf(w, "# TYPE dbpserved_http_requests_total counter\n")
+	m.httpMu.Lock()
+	codes := make([]int, 0, len(m.httpCode))
+	for c := range m.httpCode {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "dbpserved_http_requests_total{code=%q} %d\n", strconv.Itoa(c), m.httpCode[c])
+	}
+	m.httpMu.Unlock()
+
+	m.runSeconds.write(w, "dbpserved_run_seconds", "Wall-clock seconds per executed simulation.")
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations ≤ its upper bound, plus an implicit +Inf).
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+func (h *histogram) write(w io.Writer, name, help string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n)
+}

@@ -1,0 +1,460 @@
+// Package serve is the simulation-as-a-service layer: an HTTP JSON front
+// end over the sim/workload/obs stack. It accepts run requests, validates
+// them against the existing configuration layer, executes them on a bounded
+// worker pool fed by a bounded queue (backpressure surfaces as 429 +
+// Retry-After), and answers with the schema-v1 run ledger from internal/obs.
+//
+// Results are kept in a content-addressed in-memory cache keyed by the run
+// identity (the ledger's config sha256 extended with mix membership and
+// budgets), with singleflight deduplication in front of it: N identical
+// concurrent requests cost one simulation. Requests whose base configs
+// match share one sim.Experiment, so alone-run baselines are computed once
+// per (benchmark, seed, base config, budgets) across all mixes and
+// policies.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dbpsim/internal/obs"
+	"dbpsim/internal/sim"
+)
+
+// Options configures a Server. The zero value is usable: every field has a
+// production default.
+type Options struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; a full queue rejects new work with
+	// 429 (default 64).
+	QueueDepth int
+	// RunTimeout caps how long a synchronous request waits for its result
+	// (default 5m). The simulation itself keeps running after a timeout and
+	// lands in the cache, so an immediate retry is a hit. A request may ask
+	// for less via ?timeout=30s, never for more.
+	RunTimeout time.Duration
+	// MaxInstructions, when non-zero, caps warmup+measure per request.
+	MaxInstructions uint64
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxJobs bounds the async job registry; oldest finished jobs are
+	// evicted first (default 1024). The result cache itself is unbounded.
+	MaxJobs int
+	// Tool is the ledger Tool field for served runs (default "dbpserved").
+	Tool string
+	// Logger receives structured request and lifecycle logs (default:
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 5 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.Tool == "" {
+		o.Tool = "dbpserved"
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// job is one admitted simulation: the singleflight unit. done closes when
+// data/err are final.
+type job struct {
+	id      string
+	key     string
+	run     resolvedRun
+	done    chan struct{}
+	started chan struct{} // closed when a worker picks the job up
+	data    []byte        // canonical ledger bytes
+	err     error
+}
+
+func (j *job) state() string {
+	select {
+	case <-j.done:
+		return "done"
+	default:
+	}
+	select {
+	case <-j.started:
+		return "running"
+	default:
+		return "queued"
+	}
+}
+
+// Server is the simulation service: an http.Handler plus the worker pool
+// behind it. Create with New, shut down with Close (drains in-flight jobs).
+type Server struct {
+	opt Options
+	log *slog.Logger
+	met *metrics
+	mux *http.ServeMux
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	// testHookBeforeRun, when non-nil, runs on the worker goroutine after a
+	// job is dequeued and before it executes; tests use it to hold a worker
+	// busy deterministically.
+	testHookBeforeRun func()
+
+	mu       sync.Mutex
+	closed   bool
+	cache    map[string][]byte          // run key → canonical ledger bytes
+	inflight map[string]*job            // run key → queued/executing job
+	jobs     map[string]*job            // job id → job (async polling)
+	jobOrder []string                   // insertion order, for MaxJobs eviction
+	exps     map[string]*sim.Experiment // experiment key → shared baseline pool
+	nextID   uint64
+}
+
+// New builds a server and starts its worker pool.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:      opt,
+		log:      opt.Logger,
+		met:      newMetrics(),
+		mux:      http.NewServeMux(),
+		queue:    make(chan *job, opt.QueueDepth),
+		cache:    make(map[string][]byte),
+		inflight: make(map[string]*job),
+		jobs:     make(map[string]*job),
+		exps:     make(map[string]*sim.Experiment),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handlePoll)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP dispatches with structured request logging around the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rw, r)
+	s.met.observeHTTP(rw.code)
+	s.log.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rw.code,
+		"dur_ms", float64(time.Since(start).Microseconds())/1000,
+		"cache", rw.Header().Get("X-Cache"),
+	)
+}
+
+// Close stops admission and drains: queued and executing jobs finish, then
+// the workers exit. ctx bounds the wait.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// --- request handling ---------------------------------------------------
+
+// handleSubmit admits one run request: cache hit → immediate ledger;
+// identical run in flight → coalesce onto it; otherwise enqueue (429 +
+// Retry-After when the queue is full). Sync requests then wait; ?async=1
+// returns 202 + a poll URL instead.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opt.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	if int64(len(body)) > s.opt.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBodyBytes))
+		return
+	}
+	var req RunRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	rr, err := resolve(req, s.opt.MaxInstructions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout := s.opt.RunTimeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q", t))
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	async := r.URL.Query().Get("async") != ""
+
+	s.mu.Lock()
+	if data, ok := s.cache[rr.key]; ok {
+		s.mu.Unlock()
+		s.met.cacheHits.Add(1)
+		w.Header().Set("X-Cache", "hit")
+		obs.WriteLedgerBytes(w, http.StatusOK, data)
+		return
+	}
+	j, coalesced := s.inflight[rr.key]
+	if coalesced {
+		s.met.coalesced.Add(1)
+		s.mu.Unlock()
+		w.Header().Set("X-Cache", "coalesced")
+	} else {
+		if s.closed {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.nextID++
+		j = &job{
+			id:      fmt.Sprintf("run-%08d", s.nextID),
+			key:     rr.key,
+			run:     rr,
+			done:    make(chan struct{}),
+			started: make(chan struct{}),
+		}
+		select {
+		case s.queue <- j:
+			s.met.cacheMisses.Add(1)
+			s.inflight[rr.key] = j
+			s.registerJobLocked(j)
+			s.mu.Unlock()
+			w.Header().Set("X-Cache", "miss")
+		default:
+			s.mu.Unlock()
+			s.met.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("job queue full (%d deep); retry shortly", s.opt.QueueDepth))
+			return
+		}
+	}
+
+	if async {
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"id":     j.id,
+			"status": j.state(),
+			"href":   "/v1/runs/" + j.id,
+		})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	select {
+	case <-j.done:
+		s.respondJob(w, j)
+	case <-ctx.Done():
+		// The simulation keeps running and will land in the cache; tell the
+		// client to come back rather than burning a second worker slot.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("run %s still %s after %s; poll /v1/runs/%s or retry", j.id, j.state(), timeout, j.id))
+	}
+}
+
+// handlePoll reports an async job: 200 + ledger when done, 202 + status
+// while queued/running.
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown run id %q", id))
+		return
+	}
+	select {
+	case <-j.done:
+		s.respondJob(w, j)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": j.state()})
+	}
+}
+
+func (s *Server) respondJob(w http.ResponseWriter, j *job) {
+	if j.err != nil {
+		writeError(w, http.StatusInternalServerError, j.err.Error())
+		return
+	}
+	obs.WriteLedgerBytes(w, http.StatusOK, j.data)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": len(s.queue),
+		"workers":     s.opt.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, len(s.queue), cap(s.queue))
+}
+
+// --- worker pool ---------------------------------------------------------
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		close(j.started)
+		if s.testHookBeforeRun != nil {
+			s.testHookBeforeRun()
+		}
+		s.met.inFlight.Add(1)
+		start := time.Now()
+		data, err := s.execute(j.run)
+		dur := time.Since(start)
+		s.met.inFlight.Add(-1)
+		s.met.runSeconds.observe(dur.Seconds())
+		s.mu.Lock()
+		if err == nil {
+			s.cache[j.key] = data
+		}
+		delete(s.inflight, j.key)
+		s.mu.Unlock()
+		j.data, j.err = data, err
+		close(j.done)
+		if err != nil {
+			s.met.runsFailed.Add(1)
+			s.log.Error("run failed", "id", j.id, "mix", j.run.mix.Name, "err", err, "dur_s", dur.Seconds())
+		} else {
+			s.met.runsExecuted.Add(1)
+			s.log.Info("run executed",
+				"id", j.id, "mix", j.run.mix.Name,
+				"scheduler", string(j.run.sched), "partition", string(j.run.part),
+				"config_hash", j.run.cfgHash[:12], "dur_s", dur.Seconds())
+		}
+	}
+}
+
+// execute runs one simulation to canonical ledger bytes: shared experiment
+// (baseline reuse), fresh per-run recorder (concurrency-safe), the same
+// BuildLedger/MarshalLedger path as the dbpsim CLI.
+func (s *Server) execute(rr resolvedRun) ([]byte, error) {
+	exp := s.experiment(rr)
+	rec, err := obs.NewRecorder(obs.Options{
+		NumThreads: rr.mix.Cores(),
+		NumBanks:   rr.base.Geometry.NumColors(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	run, err := exp.RunMixRecorded(rr.mix, rr.sched, rr.part, rec)
+	if err != nil {
+		return nil, err
+	}
+	led, err := sim.BuildLedger(s.opt.Tool, rr.base, rr.warmup, rr.measure, run, rec)
+	if err != nil {
+		return nil, err
+	}
+	return obs.MarshalLedger(led)
+}
+
+// experiment returns the shared Experiment for a run's baseline identity,
+// creating it on first use.
+func (s *Server) experiment(rr resolvedRun) *sim.Experiment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.exps[rr.expKey]; ok {
+		return e
+	}
+	e := sim.NewExperiment(rr.base, rr.warmup, rr.measure)
+	s.exps[rr.expKey] = e
+	return e
+}
+
+// registerJobLocked adds a job to the async registry, evicting the oldest
+// finished jobs beyond MaxJobs. Callers hold s.mu.
+func (s *Server) registerJobLocked(j *job) {
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobs) > s.opt.MaxJobs && len(s.jobOrder) > 0 {
+		oldest := s.jobs[s.jobOrder[0]]
+		if oldest != nil {
+			select {
+			case <-oldest.done:
+			default:
+				return // oldest still pending: never evict live jobs
+			}
+			delete(s.jobs, oldest.id)
+		}
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// --- small helpers -------------------------------------------------------
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

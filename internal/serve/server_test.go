@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dbpsim/internal/obs"
+	"dbpsim/internal/sim"
+	"dbpsim/internal/workload"
+)
+
+// quickBody is a request small enough to simulate in well under a second.
+const quickBody = `{"benchmarks": ["mcf-like", "gcc-like"], "partition": "equal", "warmup": 1000, "measure": 5000}`
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := New(opt)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+	return s, ts
+}
+
+func postRun(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	return postPath(t, url+"/v1/runs", body)
+}
+
+func postAsync(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	return postPath(t, url+"/v1/runs?async=1", body)
+}
+
+func postPath(t *testing.T, fullURL, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(fullURL, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// scrapeMetrics fetches /metrics and returns every sample line (including
+// labelled ones) keyed by its full name-plus-labels text.
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	data, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad metrics line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body: %+v, %v", h, err)
+	}
+}
+
+func TestSubmitRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []string{
+		`not json`,
+		`{"mix": "W99-X"}`,
+		`{"mix": "W4-M1", "scheduler": "lottery"}`,
+		`{"mix": "W4-M1", "unknown_field": 1}`,
+	}
+	for _, body := range cases {
+		resp, data := postRun(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d", body, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("body %q: error doc %q", body, data)
+		}
+	}
+}
+
+// TestServedLedgerMatchesCLI pins the acceptance contract: the service's
+// response is the same schema-v1 ledger the dbpsim CLI writes with -json
+// for the identical config/mix/policy/seed — byte-identical after
+// normalising the Tool field (the one field that names the writer), and
+// bit-identical through an obs.UnmarshalLedger round trip.
+func TestServedLedgerMatchesCLI(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, served := postRun(t, ts.URL, quickBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, served)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.LedgerContentType {
+		t.Errorf("content type %q", got)
+	}
+
+	// Round trip: decode + canonical re-encode must be byte-identical.
+	led, err := obs.UnmarshalLedger(served)
+	if err != nil {
+		t.Fatalf("served ledger does not parse: %v", err)
+	}
+	if led.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema version %d", led.SchemaVersion)
+	}
+	if led.Tool != "dbpserved" {
+		t.Errorf("tool %q", led.Tool)
+	}
+	reenc, err := obs.MarshalLedger(led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, served) {
+		t.Errorf("served ledger is not canonical: round trip changed %d bytes", len(served))
+	}
+
+	// The CLI path: same run via the exact code dbpsim -json executes.
+	mix := workload.Mix{Name: "custom", Category: "?", Members: []string{"mcf-like", "gcc-like"}}
+	cfg := sim.DefaultConfig(mix.Cores())
+	rec, err := obs.NewRecorder(obs.Options{NumThreads: mix.Cores(), NumBanks: cfg.Geometry.NumColors()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := sim.NewExperiment(cfg, 1000, 5000)
+	run, err := exp.RunMixRecorded(mix, sim.SchedFRFCFS, sim.PartEqual, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliLed, err := sim.BuildLedger("dbpsim", cfg, 1000, 5000, run, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliBytes, err := obs.MarshalLedger(cliLed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Tool = "dbpsim"
+	normalised, err := obs.MarshalLedger(led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(normalised, cliBytes) {
+		t.Errorf("served ledger differs from the CLI ledger beyond the Tool field:\nserved: %.200s\ncli:    %.200s",
+			normalised, cliBytes)
+	}
+}
+
+// TestDedupe32 is the headline cache-correctness property: 32 concurrent
+// identical requests cost exactly one simulation, with every other request
+// answered by the singleflight or the content-addressed cache — asserted
+// through the /metrics counters, as operators would.
+func TestDedupe32(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 64})
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	bodies := make(chan []byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(quickBody))
+			if err != nil {
+				errs <- err
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, data)
+				return
+			}
+			bodies <- data
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(bodies)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var first []byte
+	for b := range bodies {
+		if first == nil {
+			first = b
+			continue
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatal("coalesced responses are not byte-identical")
+		}
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	if got := m["dbpserved_runs_executed_total"]; got != 1 {
+		t.Errorf("runs executed = %v, want exactly 1", got)
+	}
+	hits := m["dbpserved_cache_hits_total"] + m["dbpserved_singleflight_coalesced_total"]
+	if hits < n-1 {
+		t.Errorf("cache+singleflight hits = %v, want >= %d", hits, n-1)
+	}
+	if got := m["dbpserved_cache_misses_total"]; got != 1 {
+		t.Errorf("cache misses = %v, want 1", got)
+	}
+	if got := m["dbpserved_run_seconds_count"]; got != 1 {
+		t.Errorf("latency histogram count = %v, want 1", got)
+	}
+}
+
+// seededBody builds distinct quick requests (distinct seeds → distinct run
+// keys), so backpressure tests are not short-circuited by the cache.
+func seededBody(seed int) string {
+	return fmt.Sprintf(`{"benchmarks": ["mcf-like", "gcc-like"], "seed": %d, "warmup": 1000, "measure": 5000}`, seed)
+}
+
+// pollStatus reads one async job's status document.
+func pollStatus(t *testing.T, url, id string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var st struct {
+		Status string `json:"status"`
+	}
+	_ = json.Unmarshal(data, &st)
+	return resp.StatusCode, st.Status
+}
+
+// TestQueueFullReturns429 pins backpressure end to end: with the single
+// worker held busy and the one-deep queue occupied, a third distinct
+// request is rejected with 429 + Retry-After; once the worker is released,
+// the same request succeeds. It also covers the async flow (202 + poll to
+// completion) and the sync per-request timeout (504 while blocked).
+func TestQueueFullReturns429(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	s := New(Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	s.testHookBeforeRun = func() {
+		once.Do(func() { <-release })
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
+
+	// Job 1 (async): the worker dequeues it and blocks on the hook.
+	resp, data := postAsync(t, ts.URL, seededBody(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit status %d: %s", resp.StatusCode, data)
+	}
+	var acc struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Href   string `json:"href"`
+	}
+	if err := json.Unmarshal(data, &acc); err != nil || acc.ID == "" || acc.Href == "" {
+		t.Fatalf("accepted doc %s: %v", data, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, status := pollStatus(t, ts.URL, acc.ID); status == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never reached the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Job 2 (async): sits in the queue — it is now full.
+	resp, data = postAsync(t, ts.URL, seededBody(2))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2 status %d: %s", resp.StatusCode, data)
+	}
+
+	// Job 3: rejected with backpressure.
+	resp, data = postRun(t, ts.URL, seededBody(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3 status %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Sync wait on the blocked job 1 times out per-request with 504.
+	resp2, err := http.Post(ts.URL+"/v1/runs?timeout=50ms", "application/json", strings.NewReader(seededBody(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("blocked sync wait status %d, want 504", resp2.StatusCode)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	if m["dbpserved_rejected_total"] < 1 {
+		t.Errorf("rejected counter = %v", m["dbpserved_rejected_total"])
+	}
+	if m["dbpserved_queue_depth"] != 1 || m["dbpserved_queue_capacity"] != 1 {
+		t.Errorf("queue gauges = %v/%v", m["dbpserved_queue_depth"], m["dbpserved_queue_capacity"])
+	}
+
+	// Release the worker: both jobs finish, job 3 now succeeds, and the
+	// async poll returns the finished ledger.
+	close(release)
+	for {
+		resp, data = postRun(t, ts.URL, seededBody(3))
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("job 3 after release: status %d: %s", resp.StatusCode, data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never freed up after release")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for {
+		code, _ := pollStatus(t, ts.URL, acc.ID)
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp3, err := http.Get(ts.URL + "/v1/runs/" + acc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledBytes, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if _, err := obs.UnmarshalLedger(ledBytes); err != nil {
+		t.Fatalf("polled result is not a ledger: %v", err)
+	}
+}
+
+func TestPollUnknownID(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, _ := pollStatus(t, ts.URL, "run-no-such")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown id status %d", code)
+	}
+}
+
+// TestDrain pins graceful shutdown: Close waits for queued and in-flight
+// jobs, new simulations are refused with 503 while draining, and cached
+// results keep being served.
+func TestDrain(t *testing.T) {
+	s := New(Options{
+		Workers:    2,
+		QueueDepth: 8,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Warm one cached result and queue a couple of async runs.
+	resp, data := postRun(t, ts.URL, quickBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run status %d: %s", resp.StatusCode, data)
+	}
+	ids := make([]string, 0, 2)
+	for seed := 10; seed < 12; seed++ {
+		resp, data := postAsync(t, ts.URL, seededBody(seed))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("async status %d: %s", resp.StatusCode, data)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(data, &acc); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, acc.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Every queued job completed during the drain.
+	for _, id := range ids {
+		code, _ := pollStatus(t, ts.URL, id)
+		if code != http.StatusOK {
+			t.Errorf("job %s not drained: status %d", id, code)
+		}
+	}
+	// New simulations are refused; cached results still serve.
+	resp, data = postRun(t, ts.URL, seededBody(99))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit status %d: %s", resp.StatusCode, data)
+	}
+	resp, data = postRun(t, ts.URL, quickBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-drain cached status %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("X-Cache") == "" {
+		t.Error("cached response missing X-Cache header")
+	}
+}

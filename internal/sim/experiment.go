@@ -27,6 +27,12 @@ type Experiment struct {
 	// RunMix call (alone-run baselines stay unobserved so the recorded
 	// series describe exactly one contended run). Attach a fresh recorder
 	// per RunMix when comparing policies, or the series concatenate.
+	//
+	// Recorder is a convenience for single-goroutine callers only: it is a
+	// shared mutable field, so concurrent RunMix calls through it would race
+	// on the recorder's buffers. Concurrent callers (e.g. the dbpserved
+	// worker pool) must leave it nil and pass a per-call recorder to
+	// RunMixRecorded instead.
 	Recorder *obs.Recorder
 
 	mu       sync.Mutex
@@ -114,8 +120,20 @@ type MixRun struct {
 	Result    Result
 }
 
-// RunMix evaluates one mix under the given scheduler/partition pair.
+// RunMix evaluates one mix under the given scheduler/partition pair, using
+// the experiment's shared Recorder field (see its doc comment for the
+// single-goroutine restriction).
 func (e *Experiment) RunMix(mix workload.Mix, scheduler SchedulerKind, partition PartitionKind) (MixRun, error) {
+	return e.RunMixRecorded(mix, scheduler, partition, e.Recorder)
+}
+
+// RunMixRecorded evaluates one mix under the given scheduler/partition pair
+// with a per-call recorder (nil disables recording). Unlike RunMix it never
+// touches the shared Recorder field, so it is safe to call from many
+// goroutines at once: each call builds its own System, the alone-run
+// baseline cache is mutex-protected, and runs are deterministic, so
+// concurrent identical calls produce bit-identical metrics.
+func (e *Experiment) RunMixRecorded(mix workload.Mix, scheduler SchedulerKind, partition PartitionKind, rec *obs.Recorder) (MixRun, error) {
 	benches, seeds, err := e.benches(mix)
 	if err != nil {
 		return MixRun{}, err
@@ -128,8 +146,8 @@ func (e *Experiment) RunMix(mix workload.Mix, scheduler SchedulerKind, partition
 	if err != nil {
 		return MixRun{}, err
 	}
-	if e.Recorder != nil {
-		sys.AttachRecorder(e.Recorder)
+	if rec != nil {
+		sys.AttachRecorder(rec)
 	}
 	res, err := sys.Run(e.Warmup, e.Measure, e.MaxCycles)
 	if err != nil {

@@ -24,6 +24,13 @@ func FuzzReader(f *testing.F) {
 	f.Add(valid[:len(valid)-2])
 	f.Add([]byte("DBPT\x01\x00\x00\x00garbage"))
 	f.Add([]byte{})
+	// A gap uvarint above MaxInt64: int(gap) would wrap negative without
+	// the reader's overflow guard.
+	f.Add([]byte("DBPT\x01\x00\x00\x00" +
+		"\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01" + // gap = 2^64-1
+		"\x00\x00"))
+	// Truncated mid-record: gap present, address delta cut short.
+	f.Add(append(append([]byte{}, valid...), 0x03, 0x80))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
@@ -37,6 +44,42 @@ func FuzzReader(f *testing.F) {
 			}
 			if it.Gap < 0 {
 				t.Fatalf("negative gap from fuzzed input: %+v", it)
+			}
+		}
+	})
+}
+
+// FuzzGenerator drives the full untrusted-input path the replay tooling
+// (and any service accepting uploaded traces) uses: Generator must either
+// return a clean error or a usable cycling generator — never panic, never
+// yield malformed items.
+func FuzzGenerator(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Write(trace.Item{Gap: 1, Addr: 0x40})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("DBPT\x01\x00\x00\x00")) // valid header, zero items
+	f.Add([]byte("DBPT\x02\x00\x00\x00")) // future format version
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen, n, err := Generator(bytes.NewReader(data))
+		if err != nil {
+			if gen != nil {
+				t.Fatal("error with non-nil generator")
+			}
+			return
+		}
+		if n <= 0 {
+			t.Fatalf("clean load reported %d items", n)
+		}
+		// The generator must cycle: drain past one full lap.
+		for i := 0; i < n+3; i++ {
+			if it := gen.Next(); it.Gap < 0 {
+				t.Fatalf("negative gap from loaded trace: %+v", it)
 			}
 		}
 	})

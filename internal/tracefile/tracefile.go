@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"dbpsim/internal/trace"
 )
@@ -128,6 +129,12 @@ func (r *Reader) Read() (trace.Item, error) {
 			return trace.Item{}, io.EOF
 		}
 		return trace.Item{}, fmt.Errorf("tracefile: gap: %w", err)
+	}
+	// A hostile or corrupted stream can encode a uvarint above MaxInt;
+	// int(gap) would wrap negative, which the Writer (and the simulator)
+	// reject as malformed. Surface it as a decode error instead.
+	if gap > uint64(math.MaxInt) {
+		return trace.Item{}, fmt.Errorf("tracefile: gap %d overflows int", gap)
 	}
 	delta, err := binary.ReadVarint(r.r)
 	if err != nil {

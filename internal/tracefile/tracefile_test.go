@@ -183,3 +183,19 @@ func TestGeneratorEmptyTrace(t *testing.T) {
 		t.Error("empty trace accepted")
 	}
 }
+
+// TestReadRejectsOverflowingGap pins the untrusted-input guard: a gap
+// uvarint above MaxInt must be a decode error, not a negative-Gap item.
+func TestReadRejectsOverflowingGap(t *testing.T) {
+	data := []byte("DBPT\x01\x00\x00\x00" +
+		"\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01" + // gap uvarint = 2^64-1
+		"\x00\x00")
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := r.Read()
+	if err == nil {
+		t.Fatalf("overflowing gap accepted: %+v", it)
+	}
+}

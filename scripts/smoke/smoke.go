@@ -1,0 +1,140 @@
+// Command smoke is the CI smoke test for dbpserved: it starts the real
+// daemon binary, POSTs one quick run, asserts a 200 schema-v1 ledger and a
+// cache hit on the second POST, then SIGTERMs the daemon and requires a
+// clean (exit 0) drain.
+//
+// Usage: go run ./scripts/smoke /path/to/dbpserved
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: OK")
+}
+
+func run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: smoke /path/to/dbpserved")
+	}
+	tmp, err := os.MkdirTemp("", "dbpserved-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	addrFile := filepath.Join(tmp, "addr")
+
+	cmd := exec.Command(args[0], "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-log-json")
+	cmd.Stderr = os.Stderr
+	cmd.Stdout = os.Stdout
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	// Wait for the daemon to report its bound address.
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case err := <-exited:
+			return fmt.Errorf("daemon exited before binding: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon never wrote %s", addrFile)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	if err := check(http.Get(base + "/healthz")); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	body := `{"benchmarks": ["mcf-like", "gcc-like"], "warmup": 1000, "measure": 5000}`
+	post := func() (*http.Response, []byte, error) {
+		resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data, err
+	}
+	resp, data, err := post()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/runs: status %d: %s", resp.StatusCode, data)
+	}
+	var led struct {
+		SchemaVersion int    `json:"schema_version"`
+		Tool          string `json:"tool"`
+	}
+	if err := json.Unmarshal(data, &led); err != nil {
+		return fmt.Errorf("response is not JSON: %w", err)
+	}
+	if led.SchemaVersion != 1 || led.Tool != "dbpserved" {
+		return fmt.Errorf("unexpected ledger header: schema %d tool %q", led.SchemaVersion, led.Tool)
+	}
+
+	resp, _, err = post()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		return fmt.Errorf("second POST: status %d, X-Cache %q (want hit)", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	if err := check(http.Get(base + "/metrics")); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+
+	// SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+func check(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
