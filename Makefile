@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench sweep sweep-quick vet fmt ci serve smoke
+.PHONY: build test test-short bench sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,17 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# Static analysis beyond vet: gofmt cleanliness always; staticcheck and
+# govulncheck when they are on PATH (the hermetic build container has only
+# the go toolchain, so they are opportunistic locally but installed in CI).
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not on PATH; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not on PATH; skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -34,17 +45,26 @@ smoke:
 	$(GO) run ./scripts/smoke /tmp/dbpserved-smoke
 	rm -f /tmp/dbpserved-smoke
 
-# The gate CI runs: vet, build, the full test suite, the suite again under
+# Chaos drill: drive the real binary through injected panics, abandoned
+# runs, and a SIGKILL-plus-restart over a journal, asserting the daemon
+# stays healthy and ledgers stay byte-identical to uninjected runs.
+chaos-smoke:
+	$(GO) build -o /tmp/dbpserved-chaos ./cmd/dbpserved
+	$(GO) run ./scripts/chaossmoke /tmp/dbpserved-chaos
+	rm -f /tmp/dbpserved-chaos
+
+# The gate CI runs: lint, build, the full test suite, the suite again under
 # the race detector with -short (the paper-shape regressions run several
 # full-length simulations; under the detector's ~15x slowdown they would
 # blow the test timeout without adding race coverage), and the dbpserved
-# smoke test against the real binary.
+# smoke + chaos drills against the real binary.
 ci:
-	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(MAKE) smoke
+	$(MAKE) chaos-smoke
 
 # Regenerate every paper table/figure (full budgets; ~15 min).
 sweep:

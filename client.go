@@ -1,0 +1,185 @@
+package dbpsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a minimal dbpserved client: it POSTs run requests and retries
+// transient failures (queue backpressure, drains, timeouts, transport
+// errors) with capped exponential backoff plus jitter, honouring the
+// server's Retry-After header when one is present. Permanent failures —
+// validation errors, panicked runs — are surfaced immediately as the
+// server's structured *APIError.
+//
+// The zero value needs only BaseURL:
+//
+//	c := &dbpsim.Client{BaseURL: "http://localhost:8080"}
+//	res, err := c.Run(ctx, dbpsim.RunRequest{Mix: "W8-M1"})
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts caps total tries including the first (default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms); each retry
+	// doubles it up to MaxBackoff (default 5s). The actual sleep is jittered
+	// to half-to-full of the nominal delay so retry storms decorrelate.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// RunResult is a successful Run response.
+type RunResult struct {
+	// Ledger is the canonical schema-v1 run-ledger JSON.
+	Ledger []byte
+	// Cache reports how the server answered: "hit", "coalesced" or "miss"
+	// (empty on responses that predate the header).
+	Cache string
+}
+
+// Run submits one simulation request and waits for its ledger, retrying
+// transient failures until ctx ends or MaxAttempts is exhausted. The
+// returned error wraps the server's final *APIError when one was received,
+// so callers can errors.As it back out.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dbpsim: encode request: %w", err)
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return nil, errors.Join(err, lastErr)
+			}
+		}
+		res, retryable, err := c.once(ctx, httpc, body)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, errors.Join(ctx.Err(), err)
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dbpsim: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// retryAfterError carries the server's Retry-After hint alongside the
+// failure it decorated, so backoff can honour it.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// once is a single POST attempt. retryable reports whether the failure is
+// worth another try: transport errors, 429/503 backpressure, and any
+// structured error the server marks Retryable.
+func (c *Client) once(ctx context.Context, httpc *http.Client, body []byte) (res *RunResult, retryable bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("dbpsim: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(hreq)
+	if err != nil {
+		return nil, true, fmt.Errorf("dbpsim: post run: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, true, fmt.Errorf("dbpsim: read response: %w", err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		return &RunResult{Ledger: data, Cache: resp.Header.Get("X-Cache")}, false, nil
+	}
+
+	var doc struct {
+		Error *APIError `json:"error"`
+	}
+	if jerr := json.Unmarshal(data, &doc); jerr == nil && doc.Error != nil {
+		err = fmt.Errorf("dbpsim: run rejected (%d): %w", resp.StatusCode, doc.Error)
+		retryable = doc.Error.Retryable
+	} else {
+		err = fmt.Errorf("dbpsim: run rejected (%d): %.200s", resp.StatusCode, data)
+		retryable = resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout
+	}
+	if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+		err = &retryAfterError{err: err, after: ra}
+	}
+	return nil, retryable, err
+}
+
+// backoff computes the sleep before retry number attempt (1-based): the
+// server's Retry-After hint when it exceeds the exponential schedule,
+// otherwise base·2^(attempt-1) capped at max, jittered to [½d, d).
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var ra *retryAfterError
+	if errors.As(lastErr, &ra) && ra.after > d {
+		d = ra.after
+	}
+	return d
+}
+
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		return time.Until(t)
+	}
+	return 0
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}

@@ -1,0 +1,134 @@
+package dbpsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with status/body, then succeeds.
+func flakyHandler(n int, status int, body string) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(status)
+			fmt.Fprint(w, body)
+			return
+		}
+		w.Header().Set("X-Cache", "miss")
+		fmt.Fprint(w, `{"schema_version": 1}`)
+	}, &calls
+}
+
+func TestClientRetriesBackpressure(t *testing.T) {
+	h, calls := flakyHandler(2, http.StatusTooManyRequests,
+		`{"error": {"code": "queue_full", "message": "full", "retryable": true}}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	res, err := c.Run(context.Background(), RunRequest{Mix: "W8-M1"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (two rejections + success)", calls.Load())
+	}
+	if res.Cache != "miss" || len(res.Ledger) == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestClientStopsOnPermanentError(t *testing.T) {
+	h, calls := flakyHandler(99, http.StatusBadRequest,
+		`{"error": {"code": "bad_request", "message": "unknown mix", "retryable": false}}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Millisecond}
+	_, err := c.Run(context.Background(), RunRequest{Mix: "W99-X"})
+	if err == nil {
+		t.Fatal("permanent error retried into success?")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_request" {
+		t.Errorf("error %v does not wrap the server's APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on retryable=false)", calls.Load())
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	h, calls := flakyHandler(99, http.StatusServiceUnavailable,
+		`{"error": {"code": "draining", "message": "bye", "retryable": true}}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	_, err := c.Run(context.Background(), RunRequest{Mix: "W8-M1"})
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want MaxAttempts=3", calls.Load())
+	}
+}
+
+func TestClientHonoursContext(t *testing.T) {
+	h, _ := flakyHandler(99, http.StatusTooManyRequests,
+		`{"error": {"code": "queue_full", "message": "full", "retryable": true}}`)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Long backoffs + short context: cancellation must win during the sleep.
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Minute, MaxBackoff: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Run(ctx, RunRequest{Mix: "W8-M1"})
+	if err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap the context deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("client ignored context during backoff sleep")
+	}
+}
+
+func TestClientHonoursRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gap time.Duration
+	var last time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if n := calls.Add(1); n == 1 {
+			last = now
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": {"code": "queue_full", "message": "full", "retryable": true}}`)
+			return
+		}
+		gap = now.Sub(last)
+		fmt.Fprint(w, `{"schema_version": 1}`)
+	}))
+	defer ts.Close()
+
+	// Nominal backoff is 1ms; the server's Retry-After: 1 must stretch the
+	// wait to at least a second.
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	if _, err := c.Run(context.Background(), RunRequest{Mix: "W8-M1"}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if gap < time.Second {
+		t.Errorf("retry came after %v, want >= 1s per Retry-After", gap)
+	}
+}

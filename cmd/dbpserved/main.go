@@ -12,7 +12,20 @@
 //	curl -s localhost:8080/metrics
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued and
-// in-flight simulations finish, then the process exits 0.
+// in-flight simulations finish, then the process exits 0. If the drain
+// grace period expires first, in-flight simulations are canceled at their
+// next scheduler quantum and recorded as canceled jobs — shutdown is
+// bounded either way.
+//
+// With -journal-dir set, async job state and results persist across
+// restarts: finished jobs keep answering GET /v1/runs/{id} (and their
+// ledgers keep cache-hitting), jobs interrupted by a crash come back as
+// failed with code "interrupted" and retryable=true.
+//
+// -chaos enables the fault-injection layer (internal/chaos) for resilience
+// drills — e.g. -chaos 'panic=2,delay=250ms'. It is refused unless
+// -chaos-allow is also set, so a stray flag can never put fault injection
+// in front of real traffic.
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"dbpsim/internal/chaos"
 	"dbpsim/internal/serve"
 )
 
@@ -48,13 +62,28 @@ func run(args []string) error {
 		addrFile   = fs.String("addr-file", "", "write the bound listen address to this file (for scripts that use port 0)")
 		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queueDepth = fs.Int("queue", 64, "job queue depth; a full queue answers 429")
-		runTimeout = fs.Duration("run-timeout", 5*time.Minute, "cap on synchronous waits (requests may ask for less via ?timeout=)")
+		runTimeout = fs.Duration("run-timeout", 5*time.Minute, "cap on synchronous waits and on per-run execution (requests may ask for less via ?timeout=)")
 		maxInstr   = fs.Uint64("max-instructions", 0, "per-request warmup+measure cap (0 = uncapped)")
-		drainGrace = fs.Duration("drain-grace", 10*time.Minute, "how long shutdown waits for in-flight simulations")
+		drainGrace = fs.Duration("drain-grace", 10*time.Minute, "how long shutdown waits before canceling in-flight simulations")
 		logJSON    = fs.Bool("log-json", false, "structured logs as JSON lines instead of key=value text")
+		journalDir = fs.String("journal-dir", "", "persist job state and results under this directory (survives restarts)")
+		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. 'panic=2,delay=250ms,journal=3' (requires -chaos-allow)")
+		chaosAllow = fs.Bool("chaos-allow", false, "explicitly permit -chaos (refused otherwise)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		if !*chaosAllow {
+			return fmt.Errorf("-chaos %q refused: fault injection needs the explicit -chaos-allow flag", *chaosSpec)
+		}
+		inj, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		injector = inj
 	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -72,13 +101,21 @@ func run(args []string) error {
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	srv := serve.New(serve.Options{
+	srv, err := serve.New(serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		RunTimeout:      *runTimeout,
 		MaxInstructions: *maxInstr,
 		Logger:          log,
+		JournalDir:      *journalDir,
+		Chaos:           injector,
 	})
+	if err != nil {
+		return err
+	}
+	if injector != nil {
+		log.Warn("CHAOS MODE: fault injection active", "spec", injector.String())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -83,11 +83,15 @@ type (
 	ServerOptions = serve.Options
 	// RunRequest is the POST /v1/runs body.
 	RunRequest = serve.RunRequest
+	// APIError is the service's structured error schema: every non-2xx
+	// response body carries {"error": {code, message, retryable}}.
+	APIError = serve.APIError
 )
 
-// NewServer builds a simulation server and starts its worker pool. It is an
-// http.Handler; shut it down with Close to drain in-flight runs.
-func NewServer(opt ServerOptions) *Server { return serve.New(opt) }
+// NewServer builds a simulation server and starts its worker pool (and, if
+// ServerOptions.JournalDir is set, replays the on-disk job journal). It is
+// an http.Handler; shut it down with Close to drain in-flight runs.
+func NewServer(opt ServerOptions) (*Server, error) { return serve.New(opt) }
 
 // Metric types (see internal/stats).
 type (

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dbpsim/internal/chaos"
+)
+
+// journal is dbpserved's durability layer: an append-only JSONL record
+// stream plus a content-addressed result store, both under one directory.
+// It exists so async job state survives a daemon crash — GET /v1/runs/{id}
+// keeps answering after a restart, and jobs that were queued or running
+// when the process died are reported as failed(retryable) rather than
+// silently forgotten.
+//
+// Layout:
+//
+//	<dir>/journal.jsonl        append-only stream of submit/end records
+//	<dir>/results/<sha256>     canonical ledger bytes, content-addressed
+//
+// Result files reuse the cache's canonical MarshalLedger bytes verbatim, so
+// a restored result is byte-identical to the one served before the crash.
+// The journal is written with an fsync per record: one simulation costs
+// seconds to minutes, so two fsyncs per job are noise.
+//
+// A nil *journal is a valid, always-off journal (the server runs without
+// -journal-dir); every method no-ops on a nil receiver, mirroring
+// chaos.Injector.
+type journal struct {
+	dir string
+	inj *chaos.Injector
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// journalRecord is one line of journal.jsonl. Op "submit" declares a job
+// exists; Op "end" records its terminal state. A job with a submit record
+// and no end record at replay time was lost to a crash.
+type journalRecord struct {
+	Op    string    `json:"op"` // "submit" | "end"
+	ID    string    `json:"id"`
+	Key   string    `json:"key,omitempty"`
+	State string    `json:"state,omitempty"` // done | failed | canceled
+	Error *APIError `json:"error,omitempty"`
+	// Result is the sha256 content address of the ledger bytes (State done).
+	Result string `json:"result,omitempty"`
+}
+
+// restoredJob is a terminal job reconstructed from the journal at startup:
+// enough to answer GET /v1/runs/{id} (and, for done jobs, to serve the
+// ledger back out of the result store).
+type restoredJob struct {
+	id     string
+	key    string
+	state  string
+	apiErr *APIError
+	result string // content address of the ledger, when state == done
+}
+
+// openJournal opens (creating if needed) the journal under dir, replays the
+// existing record stream, and returns the journal plus the restored job
+// map and the highest job sequence number seen (so new job ids never
+// collide with restored ones).
+//
+// Replay is crash-tolerant: a torn final line (the process died mid-append)
+// is skipped, and jobs whose submit record has no matching end record come
+// back as failed with code "interrupted" and retryable=true — the client's
+// cue to resubmit.
+func openJournal(dir string, inj *chaos.Injector) (*journal, map[string]*restoredJob, uint64, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	restored, maxSeq, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: open journal: %w", err)
+	}
+	return &journal{dir: dir, inj: inj, f: f}, restored, maxSeq, nil
+}
+
+// replayJournal reads the record stream and folds it into terminal job
+// state. Records may be out of order relative to each other (a fast worker
+// can append a job's end record before the submitter's goroutine appends
+// its submit record), so "end" always wins over "submit".
+func replayJournal(path string) (map[string]*restoredJob, uint64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]*restoredJob{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: replay journal: %w", err)
+	}
+	defer f.Close()
+
+	restored := make(map[string]*restoredJob)
+	ended := make(map[string]bool)
+	var maxSeq uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// A torn line from a crash mid-append: ignore it. Anything the
+			// line described is covered by the interrupted-job rule.
+			continue
+		}
+		if rec.ID == "" {
+			continue
+		}
+		if seq, ok := jobSeq(rec.ID); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+		switch rec.Op {
+		case "submit":
+			if _, exists := restored[rec.ID]; !exists {
+				restored[rec.ID] = &restoredJob{
+					id:  rec.ID,
+					key: rec.Key,
+					// Provisional: overwritten by the end record, or left in
+					// place as the interrupted verdict if the crash ate it.
+					state: stateFailed,
+					apiErr: &APIError{
+						Code:      CodeInterrupted,
+						Message:   "job interrupted by a daemon restart; resubmit to rerun",
+						Retryable: true,
+					},
+				}
+			}
+		case "end":
+			r := restored[rec.ID]
+			if r == nil {
+				r = &restoredJob{id: rec.ID, key: rec.Key}
+				restored[rec.ID] = r
+			}
+			r.state = rec.State
+			r.apiErr = rec.Error
+			r.result = rec.Result
+			ended[rec.ID] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("serve: replay journal: %w", err)
+	}
+	return restored, maxSeq, nil
+}
+
+// jobSeq extracts the numeric sequence from a "run-%08d" job id.
+func jobSeq(id string) (uint64, bool) {
+	s, ok := strings.CutPrefix(id, "run-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	return n, err == nil
+}
+
+// appendSubmit journals a job's existence. Called as soon as the job is
+// admitted, so a crash between admission and completion is detectable.
+func (j *journal) appendSubmit(id, key string) error {
+	return j.append(journalRecord{Op: "submit", ID: id, Key: key})
+}
+
+// appendEnd journals a job's terminal state. apiErr is nil for done jobs;
+// resultHash is the content address appendEnd's caller got from
+// writeResult (empty when there is no ledger to keep).
+func (j *journal) appendEnd(id, key, state string, apiErr *APIError, resultHash string) error {
+	return j.append(journalRecord{Op: "end", ID: id, Key: key, State: state, Error: apiErr, Result: resultHash})
+}
+
+func (j *journal) append(rec journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	if err := j.inj.Err(chaos.JournalAppend); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal sync: %w", err)
+	}
+	return nil
+}
+
+// writeResult persists canonical ledger bytes to the content-addressed
+// result store and returns their address. Writing the same bytes twice is
+// a no-op (same address, same content), and the tmp-file + rename dance
+// means a crash never leaves a torn result visible.
+func (j *journal) writeResult(data []byte) (string, error) {
+	if j == nil {
+		return "", nil
+	}
+	if err := j.inj.Err(chaos.ResultWrite); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	path := j.resultPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(j.dir, "results"), ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("serve: result store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("serve: result store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("serve: result store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("serve: result store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("serve: result store: %w", err)
+	}
+	return hash, nil
+}
+
+// readResult loads ledger bytes back by content address, verifying the
+// bytes still hash to their name (a corrupt or truncated file is an error,
+// never a silently wrong ledger).
+func (j *journal) readResult(hash string) ([]byte, error) {
+	if j == nil {
+		return nil, fmt.Errorf("serve: no journal configured")
+	}
+	if err := j.inj.Err(chaos.ResultRead); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(j.resultPath(hash))
+	if err != nil {
+		return nil, fmt.Errorf("serve: result store: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != hash {
+		return nil, fmt.Errorf("serve: result %s corrupt (content hashes to %s)", hash, got)
+	}
+	return data, nil
+}
+
+func (j *journal) resultPath(hash string) string {
+	return filepath.Join(j.dir, "results", hash)
+}
+
+// Close releases the journal file. Safe on nil.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -15,13 +15,17 @@ import (
 // deliberately tiny (monotonic counters, one gauge fed by the caller, one
 // fixed-bucket histogram).
 type metrics struct {
-	cacheHits    atomic.Int64 // served straight from the result cache
-	cacheMisses  atomic.Int64 // requests that enqueued a new simulation
-	coalesced    atomic.Int64 // requests that joined an in-flight identical run
-	rejected     atomic.Int64 // 429s: queue full
-	runsExecuted atomic.Int64 // simulations completed successfully
-	runsFailed   atomic.Int64 // simulations that returned an error
-	inFlight     atomic.Int64 // jobs currently executing on a worker
+	cacheHits     atomic.Int64 // served straight from the result cache
+	cacheMisses   atomic.Int64 // requests that enqueued a new simulation
+	coalesced     atomic.Int64 // requests that joined an in-flight identical run
+	rejected      atomic.Int64 // 429s: queue full
+	runsExecuted  atomic.Int64 // simulations completed successfully
+	runsFailed    atomic.Int64 // simulations that ended failed (panics included)
+	runsCanceled  atomic.Int64 // simulations canceled: abandoned, timed out, drained
+	runsPanicked  atomic.Int64 // simulations that panicked on a worker (subset of failed)
+	journalErrors atomic.Int64 // journal/result-store I/O failures (non-fatal)
+	inFlight      atomic.Int64 // jobs currently executing on a worker
+	restoredJobs  atomic.Int64 // terminal jobs replayed from the journal at startup
 
 	httpMu   sync.Mutex
 	httpCode map[int]int64 // completed HTTP requests by status code
@@ -61,7 +65,11 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int) {
 	counter("dbpserved_singleflight_coalesced_total", "Requests coalesced onto an identical in-flight run.", m.coalesced.Load())
 	counter("dbpserved_rejected_total", "Requests rejected with 429 because the queue was full.", m.rejected.Load())
 	counter("dbpserved_runs_executed_total", "Simulations completed successfully.", m.runsExecuted.Load())
-	counter("dbpserved_runs_failed_total", "Simulations that returned an error.", m.runsFailed.Load())
+	counter("dbpserved_runs_failed_total", "Simulations that ended failed (panics included).", m.runsFailed.Load())
+	counter("dbpserved_runs_canceled_total", "Simulations canceled: abandoned by every waiter, over the execution cap, or drain-interrupted.", m.runsCanceled.Load())
+	counter("dbpserved_runs_panicked_total", "Simulations that panicked on a worker and were isolated as failed jobs.", m.runsPanicked.Load())
+	counter("dbpserved_journal_errors_total", "Journal or result-store I/O failures (the request path degrades to in-memory).", m.journalErrors.Load())
+	gauge("dbpserved_restored_jobs", "Terminal jobs replayed from the journal at startup.", m.restoredJobs.Load())
 
 	fmt.Fprintf(w, "# HELP dbpserved_http_requests_total Completed HTTP requests by status code.\n")
 	fmt.Fprintf(w, "# TYPE dbpserved_http_requests_total counter\n")

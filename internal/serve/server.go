@@ -11,6 +11,28 @@
 // match share one sim.Experiment, so alone-run baselines are computed once
 // per (benchmark, seed, base config, budgets) across all mixes and
 // policies.
+//
+// The layer is built to survive hostile conditions:
+//
+//   - Cancellation: every job owns a context threaded into the simulation's
+//     cycle loop (sim.System.RunContext), checked at scheduler-quantum
+//     boundaries. A run whose sync waiters have all timed out or
+//     disconnected — with no async interest — is canceled and frees its
+//     worker within one quantum; so is a run that exceeds the execution cap
+//     or is interrupted by a drain deadline.
+//   - Panic isolation: workers recover panics from the simulation core. A
+//     panicking run becomes a failed job with a structured error body and a
+//     runs_panicked_total increment; the daemon stays up.
+//   - Durability: with Options.JournalDir set, job metadata and terminal
+//     results persist to an on-disk journal (see journal.go), so async job
+//     ids survive a restart and interrupted jobs report failed(retryable).
+//   - Fault injection: an optional chaos.Injector fires faults at named
+//     points (run delay, worker panic, journal/result-store I/O) so tests
+//     and the chaos-smoke harness can exercise all of the above against
+//     the real binary.
+//
+// Every non-2xx response carries the structured error schema from
+// errors.go: {"error": {"code", "message", "retryable"}}.
 package serve
 
 import (
@@ -25,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"dbpsim/internal/chaos"
 	"dbpsim/internal/obs"
 	"dbpsim/internal/sim"
 )
@@ -37,10 +60,11 @@ type Options struct {
 	// QueueDepth bounds the job queue; a full queue rejects new work with
 	// 429 (default 64).
 	QueueDepth int
-	// RunTimeout caps how long a synchronous request waits for its result
-	// (default 5m). The simulation itself keeps running after a timeout and
-	// lands in the cache, so an immediate retry is a hit. A request may ask
-	// for less via ?timeout=30s, never for more.
+	// RunTimeout caps both how long a synchronous request waits for its
+	// result and how long a simulation may execute on a worker (default 5m).
+	// A request may ask for a shorter wait via ?timeout=, never a longer
+	// one. A run that exceeds the execution cap is canceled at the next
+	// scheduler quantum and reported as a canceled job.
 	RunTimeout time.Duration
 	// MaxInstructions, when non-zero, caps warmup+measure per request.
 	MaxInstructions uint64
@@ -54,6 +78,15 @@ type Options struct {
 	// Logger receives structured request and lifecycle logs (default:
 	// slog.Default()).
 	Logger *slog.Logger
+	// JournalDir, when set, enables the durability layer: job metadata and
+	// terminal results persist under this directory and are replayed on
+	// startup (interrupted jobs come back failed+retryable, finished results
+	// stay pollable and cache-hittable).
+	JournalDir string
+	// Chaos, when non-nil, injects faults at named points in the serving
+	// stack. Test-and-drill only; the daemon refuses to enable it without
+	// an explicit opt-in flag.
+	Chaos *chaos.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -82,21 +115,34 @@ func (o Options) withDefaults() Options {
 }
 
 // job is one admitted simulation: the singleflight unit. done closes when
-// data/err are final.
+// the terminal fields (data/apiErr) are final.
+//
+// Interest accounting: waiters counts sync clients currently blocked on
+// done, async is latched by any ?async=1 submission. When the last sync
+// waiter departs with no async interest, the job's context is canceled with
+// errAbandoned — a queued job is discarded un-executed, a running one stops
+// at the next scheduler quantum. Both fields are guarded by Server.mu.
 type job struct {
 	id      string
 	key     string
 	run     resolvedRun
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
 	done    chan struct{}
 	started chan struct{} // closed when a worker picks the job up
-	data    []byte        // canonical ledger bytes
-	err     error
+	data    []byte        // canonical ledger bytes (terminal, success)
+	apiErr  *APIError     // structured terminal error (terminal, failure)
+
+	waiters int  // sync clients waiting; guarded by Server.mu
+	async   bool // async interest: never abandon-cancel; guarded by Server.mu
 }
 
+// state reports the job's lifecycle phase: queued/running while live,
+// done/failed/canceled once terminal.
 func (j *job) state() string {
 	select {
 	case <-j.done:
-		return "done"
+		return terminalState(j.apiErr)
 	default:
 	}
 	select {
@@ -110,10 +156,12 @@ func (j *job) state() string {
 // Server is the simulation service: an http.Handler plus the worker pool
 // behind it. Create with New, shut down with Close (drains in-flight jobs).
 type Server struct {
-	opt Options
-	log *slog.Logger
-	met *metrics
-	mux *http.ServeMux
+	opt     Options
+	log     *slog.Logger
+	met     *metrics
+	mux     *http.ServeMux
+	chaos   *chaos.Injector
+	journal *journal // nil without JournalDir
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -123,29 +171,59 @@ type Server struct {
 	// busy deterministically.
 	testHookBeforeRun func()
 
-	mu       sync.Mutex
-	closed   bool
-	cache    map[string][]byte          // run key → canonical ledger bytes
-	inflight map[string]*job            // run key → queued/executing job
-	jobs     map[string]*job            // job id → job (async polling)
-	jobOrder []string                   // insertion order, for MaxJobs eviction
-	exps     map[string]*sim.Experiment // experiment key → shared baseline pool
-	nextID   uint64
+	mu        sync.Mutex
+	closed    bool
+	cache     map[string][]byte          // run key → canonical ledger bytes
+	diskCache map[string]string          // run key → result-store address (journal restore)
+	inflight  map[string]*job            // run key → queued/executing job
+	jobs      map[string]*job            // job id → job (async polling)
+	jobOrder  []string                   // insertion order, for MaxJobs eviction
+	restored  map[string]*restoredJob    // job id → journal-restored terminal job
+	exps      map[string]*sim.Experiment // experiment key → shared baseline pool
+	nextID    uint64
 }
 
-// New builds a server and starts its worker pool.
-func New(opt Options) *Server {
+// New builds a server, replays the journal if one is configured, and starts
+// the worker pool.
+func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:      opt,
-		log:      opt.Logger,
-		met:      newMetrics(),
-		mux:      http.NewServeMux(),
-		queue:    make(chan *job, opt.QueueDepth),
-		cache:    make(map[string][]byte),
-		inflight: make(map[string]*job),
-		jobs:     make(map[string]*job),
-		exps:     make(map[string]*sim.Experiment),
+		opt:       opt,
+		log:       opt.Logger,
+		met:       newMetrics(),
+		mux:       http.NewServeMux(),
+		chaos:     opt.Chaos,
+		queue:     make(chan *job, opt.QueueDepth),
+		cache:     make(map[string][]byte),
+		diskCache: make(map[string]string),
+		inflight:  make(map[string]*job),
+		jobs:      make(map[string]*job),
+		restored:  make(map[string]*restoredJob),
+		exps:      make(map[string]*sim.Experiment),
+	}
+	if opt.JournalDir != "" {
+		jnl, restored, maxSeq, err := openJournal(opt.JournalDir, opt.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jnl
+		s.restored = restored
+		s.nextID = maxSeq
+		interrupted := 0
+		for _, r := range restored {
+			if r.state == stateDone && r.result != "" && r.key != "" {
+				s.diskCache[r.key] = r.result
+			}
+			if r.apiErr != nil && r.apiErr.Code == CodeInterrupted {
+				interrupted++
+			}
+		}
+		s.met.restoredJobs.Store(int64(len(restored)))
+		if len(restored) > 0 {
+			s.log.Info("journal replayed",
+				"dir", opt.JournalDir, "jobs", len(restored),
+				"interrupted", interrupted, "cached_results", len(s.diskCache))
+		}
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handlePoll)
@@ -155,7 +233,7 @@ func New(opt Options) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP dispatches with structured request logging around the mux.
@@ -174,7 +252,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops admission and drains: queued and executing jobs finish, then
-// the workers exit. ctx bounds the wait.
+// the workers exit. ctx bounds the polite wait — when it expires, every
+// in-flight simulation is canceled with errDrainCancel (they stop within
+// one scheduler quantum and land as canceled jobs), so Close still returns
+// promptly instead of abandoning the pool mid-run.
 func (s *Server) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -191,46 +272,57 @@ func (s *Server) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+		s.mu.Lock()
+		n := 0
+		for _, j := range s.inflight {
+			j.cancel(errDrainCancel)
+			n++
+		}
+		s.mu.Unlock()
+		s.log.Warn("drain deadline expired; canceling in-flight runs", "canceled", n)
+		// Canceled runs stop at the next scheduler quantum, so this second
+		// wait is bounded by milliseconds, not simulation budgets.
+		<-done
 	}
+	return s.journal.Close()
 }
 
 // --- request handling ---------------------------------------------------
 
-// handleSubmit admits one run request: cache hit → immediate ledger;
-// identical run in flight → coalesce onto it; otherwise enqueue (429 +
-// Retry-After when the queue is full). Sync requests then wait; ?async=1
-// returns 202 + a poll URL instead.
+// handleSubmit admits one run request: cache hit (memory, then journal
+// restore) → immediate ledger; identical run in flight → coalesce onto it;
+// otherwise enqueue (429 + Retry-After when the queue is full). Sync
+// requests then wait; ?async=1 returns 202 + a poll URL instead.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.opt.MaxBodyBytes+1))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		writeError(w, http.StatusBadRequest,
+			&APIError{Code: CodeBadRequest, Message: fmt.Sprintf("read body: %v", err)})
 		return
 	}
 	if int64(len(body)) > s.opt.MaxBodyBytes {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBodyBytes))
+			&APIError{Code: CodeTooLarge, Message: fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBodyBytes)})
 		return
 	}
-	var req RunRequest
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+	req, derr := decodeRunRequest(body)
+	if derr != nil {
+		writeError(w, http.StatusBadRequest, derr)
 		return
 	}
 	rr, err := resolve(req, s.opt.MaxInstructions)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest,
+			&APIError{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
 	timeout := s.opt.RunTimeout
 	if t := r.URL.Query().Get("timeout"); t != "" {
 		d, err := time.ParseDuration(t)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q", t))
+			writeError(w, http.StatusBadRequest,
+				&APIError{Code: CodeBadRequest, Message: fmt.Sprintf("bad timeout %q (want a positive Go duration, e.g. 30s)", t)})
 			return
 		}
 		if d < timeout {
@@ -240,7 +332,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	async := r.URL.Query().Get("async") != ""
 
 	s.mu.Lock()
-	if data, ok := s.cache[rr.key]; ok {
+	if data, ok := s.cacheLookupLocked(rr.key); ok {
 		s.mu.Unlock()
 		s.met.cacheHits.Add(1)
 		w.Header().Set("X-Cache", "hit")
@@ -250,19 +342,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, coalesced := s.inflight[rr.key]
 	if coalesced {
 		s.met.coalesced.Add(1)
+		s.registerInterestLocked(j, async)
 		s.mu.Unlock()
 		w.Header().Set("X-Cache", "coalesced")
 	} else {
 		if s.closed {
 			s.mu.Unlock()
-			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			writeError(w, http.StatusServiceUnavailable,
+				&APIError{Code: CodeDraining, Message: "server is draining", Retryable: true})
 			return
 		}
 		s.nextID++
+		ctx, cancel := context.WithCancelCause(context.Background())
 		j = &job{
 			id:      fmt.Sprintf("run-%08d", s.nextID),
 			key:     rr.key,
 			run:     rr,
+			ctx:     ctx,
+			cancel:  cancel,
 			done:    make(chan struct{}),
 			started: make(chan struct{}),
 		}
@@ -271,14 +368,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.met.cacheMisses.Add(1)
 			s.inflight[rr.key] = j
 			s.registerJobLocked(j)
+			s.registerInterestLocked(j, async)
 			s.mu.Unlock()
 			w.Header().Set("X-Cache", "miss")
+			if err := s.journal.appendSubmit(j.id, j.key); err != nil {
+				s.journalTrouble("journal submit record failed", j.id, err)
+			}
 		default:
 			s.mu.Unlock()
+			cancel(nil)
 			s.met.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests,
-				fmt.Sprintf("job queue full (%d deep); retry shortly", s.opt.QueueDepth))
+				&APIError{Code: CodeQueueFull, Retryable: true,
+					Message: fmt.Sprintf("job queue full (%d deep); retry shortly", s.opt.QueueDepth)})
 			return
 		}
 	}
@@ -292,58 +395,187 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Sync wait: the waiter was registered above; departing (timeout or
+	// client disconnect) may cancel the run if it leaves nobody interested.
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	select {
 	case <-j.done:
+		s.dropWaiter(j)
 		s.respondJob(w, j)
 	case <-ctx.Done():
-		// The simulation keeps running and will land in the cache; tell the
-		// client to come back rather than burning a second worker slot.
+		lastOut := s.dropWaiter(j)
+		msg := fmt.Sprintf("run %s still %s after %s; poll /v1/runs/%s or retry", j.id, j.state(), timeout, j.id)
+		if lastOut {
+			msg = fmt.Sprintf("run %s abandoned after %s with no remaining waiters; it is being canceled — resubmit to rerun", j.id, timeout)
+		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusGatewayTimeout,
-			fmt.Sprintf("run %s still %s after %s; poll /v1/runs/%s or retry", j.id, j.state(), timeout, j.id))
+			&APIError{Code: CodeTimeout, Message: msg, Retryable: true})
 	}
 }
 
-// handlePoll reports an async job: 200 + ledger when done, 202 + status
-// while queued/running.
+// decodeRunRequest parses a POST /v1/runs body with unknown fields
+// rejected. Split out (and fuzzed) so every malformed body maps to a
+// structured bad_request error, never a panic.
+func decodeRunRequest(body []byte) (RunRequest, *APIError) {
+	var req RunRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return RunRequest{}, &APIError{Code: CodeBadRequest, Message: fmt.Sprintf("decode request: %v", err)}
+	}
+	// A second JSON document in the body is a client bug; reject rather
+	// than silently ignoring it.
+	if dec.More() {
+		return RunRequest{}, &APIError{Code: CodeBadRequest, Message: "decode request: trailing data after JSON body"}
+	}
+	return req, nil
+}
+
+// cacheLookupLocked checks the in-memory cache, then the journal-restored
+// disk cache (promoting a disk hit into memory). Callers hold s.mu.
+func (s *Server) cacheLookupLocked(key string) ([]byte, bool) {
+	if data, ok := s.cache[key]; ok {
+		return data, true
+	}
+	hash, ok := s.diskCache[key]
+	if !ok {
+		return nil, false
+	}
+	data, err := s.journal.readResult(hash)
+	if err != nil {
+		// A lost result is a cache miss, not an outage: drop the entry and
+		// let the simulation rerun.
+		delete(s.diskCache, key)
+		s.journalTrouble("restored result unreadable; rerunning", key, err)
+		return nil, false
+	}
+	s.cache[key] = data
+	delete(s.diskCache, key)
+	return data, true
+}
+
+// registerInterestLocked records a request's stake in a job: sync requests
+// count as waiters (dropped via dropWaiter), async requests latch the
+// job as un-abandonable. Callers hold s.mu.
+func (s *Server) registerInterestLocked(j *job, async bool) {
+	if async {
+		j.async = true
+	} else {
+		j.waiters++
+	}
+}
+
+// dropWaiter removes one sync waiter from a job. When the last waiter
+// departs from a job nothing else wants (no async interest, not yet
+// terminal), the job is canceled: a queued job will be discarded without
+// executing, a running one stops at the next scheduler quantum. Returns
+// whether this drop abandoned the job.
+func (s *Server) dropWaiter(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.waiters--
+	select {
+	case <-j.done:
+		return false // already terminal; nothing to cancel
+	default:
+	}
+	if j.waiters > 0 || j.async {
+		return false
+	}
+	j.cancel(errAbandoned)
+	// Un-map the key so an identical resubmission starts fresh instead of
+	// coalescing onto a corpse.
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	return true
+}
+
+// handlePoll reports a job by id: 200 + ledger when done, 202 + status
+// while queued/running, the structured terminal document for failed or
+// canceled jobs — including jobs restored from the journal after a
+// restart.
 func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown run id %q", id))
-		return
+	j, live := s.jobs[id]
+	var restored *restoredJob
+	if !live {
+		restored = s.restored[id]
 	}
-	select {
-	case <-j.done:
-		s.respondJob(w, j)
+	s.mu.Unlock()
+	switch {
+	case live:
+		select {
+		case <-j.done:
+			s.respondJob(w, j)
+		default:
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": j.state()})
+		}
+	case restored != nil:
+		s.respondRestored(w, restored)
 	default:
-		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": j.state()})
+		writeError(w, http.StatusNotFound,
+			&APIError{Code: CodeNotFound, Message: fmt.Sprintf("unknown run id %q", id)})
 	}
 }
 
 func (s *Server) respondJob(w http.ResponseWriter, j *job) {
-	if j.err != nil {
-		writeError(w, http.StatusInternalServerError, j.err.Error())
+	if j.apiErr != nil {
+		writeJobError(w, j.id, terminalState(j.apiErr), j.apiErr)
 		return
 	}
 	obs.WriteLedgerBytes(w, http.StatusOK, j.data)
 }
 
+// respondRestored answers a poll for a journal-restored job: done jobs
+// serve their ledger back out of the result store, failed/canceled jobs
+// replay their terminal document.
+func (s *Server) respondRestored(w http.ResponseWriter, r *restoredJob) {
+	if r.state == stateDone {
+		data, err := s.journal.readResult(r.result)
+		if err != nil {
+			s.journalTrouble("restored result unreadable", r.id, err)
+			writeJobError(w, r.id, stateFailed, &APIError{
+				Code:      CodeResultLost,
+				Message:   fmt.Sprintf("run %s finished before a restart but its journaled result is unreadable; resubmit to rerun", r.id),
+				Retryable: true,
+			})
+			return
+		}
+		obs.WriteLedgerBytes(w, http.StatusOK, data)
+		return
+	}
+	writeJobError(w, r.id, r.state, r.apiErr)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	restored := len(s.restored)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"queue_depth": len(s.queue),
-		"workers":     s.opt.Workers,
+		"status":        "ok",
+		"queue_depth":   len(s.queue),
+		"workers":       s.opt.Workers,
+		"chaos":         s.chaos.String(),
+		"journal":       s.journal != nil,
+		"restored_jobs": restored,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, len(s.queue), cap(s.queue))
+}
+
+// journalTrouble logs and counts a durability-layer failure. The serving
+// path never fails a request because the journal is unhappy — results are
+// still in memory — but operators need the signal.
+func (s *Server) journalTrouble(msg, id string, err error) {
+	s.met.journalErrors.Add(1)
+	s.log.Error(msg, "id", id, "err", err)
 }
 
 // --- worker pool ---------------------------------------------------------
@@ -355,37 +587,99 @@ func (s *Server) worker() {
 		if s.testHookBeforeRun != nil {
 			s.testHookBeforeRun()
 		}
+		// A job abandoned while still queued is discarded here, un-executed:
+		// this is how "remove canceled work from the queue" is implemented
+		// for a channel-backed queue.
+		if err := context.Cause(j.ctx); err != nil {
+			s.finishJob(j, nil, classifyRunError(err), 0)
+			continue
+		}
 		s.met.inFlight.Add(1)
 		start := time.Now()
-		data, err := s.execute(j.run)
+		data, err := s.runJob(j)
 		dur := time.Since(start)
 		s.met.inFlight.Add(-1)
 		s.met.runSeconds.observe(dur.Seconds())
-		s.mu.Lock()
-		if err == nil {
-			s.cache[j.key] = data
+		s.finishJob(j, data, classifyRunError(err), dur)
+	}
+}
+
+// runJob executes one simulation under the job's context plus the
+// execution cap, with panic isolation: a panic anywhere in the simulation
+// core (or injected by chaos) is captured as a *panicError instead of
+// killing the daemon.
+func (s *Server) runJob(j *job) (data []byte, err error) {
+	ctx, cancel := context.WithTimeoutCause(j.ctx, s.opt.RunTimeout, errRunTimeout)
+	defer cancel()
+	defer func() {
+		if v := recover(); v != nil {
+			err = capturePanic(v)
 		}
-		delete(s.inflight, j.key)
-		s.mu.Unlock()
-		j.data, j.err = data, err
-		close(j.done)
+	}()
+	if err := s.chaos.Sleep(ctx, chaos.RunDelay); err != nil {
+		return nil, err
+	}
+	s.chaos.MaybePanic(chaos.RunPanic)
+	return s.execute(ctx, j.run)
+}
+
+// finishJob records a job's terminal state: cache + result store on
+// success, metrics and structured logs either way, journal end record
+// always. dur is zero for jobs discarded before execution.
+func (s *Server) finishJob(j *job, data []byte, apiErr *APIError, dur time.Duration) {
+	state := terminalState(apiErr)
+	var resultHash string
+	if apiErr == nil {
+		h, err := s.journal.writeResult(data)
 		if err != nil {
-			s.met.runsFailed.Add(1)
-			s.log.Error("run failed", "id", j.id, "mix", j.run.mix.Name, "err", err, "dur_s", dur.Seconds())
+			s.journalTrouble("result store write failed", j.id, err)
 		} else {
-			s.met.runsExecuted.Add(1)
-			s.log.Info("run executed",
-				"id", j.id, "mix", j.run.mix.Name,
-				"scheduler", string(j.run.sched), "partition", string(j.run.part),
-				"config_hash", j.run.cfgHash[:12], "dur_s", dur.Seconds())
+			resultHash = h
 		}
+	}
+	s.mu.Lock()
+	if apiErr == nil {
+		s.cache[j.key] = data
+	}
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	j.data, j.apiErr = data, apiErr
+	j.cancel(nil) // release the context's timer/goroutine resources
+	close(j.done)
+	if err := s.journal.appendEnd(j.id, j.key, state, apiErr, resultHash); err != nil {
+		s.journalTrouble("journal end record failed", j.id, err)
+	}
+
+	switch {
+	case apiErr == nil:
+		s.met.runsExecuted.Add(1)
+		s.log.Info("run executed",
+			"id", j.id, "mix", j.run.mix.Name,
+			"scheduler", string(j.run.sched), "partition", string(j.run.part),
+			"config_hash", j.run.cfgHash[:12], "dur_s", dur.Seconds())
+	case state == stateCanceled:
+		s.met.runsCanceled.Add(1)
+		s.log.Warn("run canceled",
+			"id", j.id, "mix", j.run.mix.Name, "code", apiErr.Code,
+			"reason", apiErr.Message, "dur_s", dur.Seconds())
+	default:
+		s.met.runsFailed.Add(1)
+		if apiErr.Code == CodePanic {
+			s.met.runsPanicked.Add(1)
+		}
+		s.log.Error("run failed",
+			"id", j.id, "mix", j.run.mix.Name, "code", apiErr.Code,
+			"err", apiErr.Message, "dur_s", dur.Seconds())
 	}
 }
 
 // execute runs one simulation to canonical ledger bytes: shared experiment
 // (baseline reuse), fresh per-run recorder (concurrency-safe), the same
-// BuildLedger/MarshalLedger path as the dbpsim CLI.
-func (s *Server) execute(rr resolvedRun) ([]byte, error) {
+// BuildLedger/MarshalLedger path as the dbpsim CLI, with ctx threaded into
+// the cycle loop for quantum-boundary cancellation.
+func (s *Server) execute(ctx context.Context, rr resolvedRun) ([]byte, error) {
 	exp := s.experiment(rr)
 	rec, err := obs.NewRecorder(obs.Options{
 		NumThreads: rr.mix.Cores(),
@@ -394,7 +688,7 @@ func (s *Server) execute(rr resolvedRun) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := exp.RunMixRecorded(rr.mix, rr.sched, rr.part, rec)
+	run, err := exp.RunMixRecordedContext(ctx, rr.mix, rr.sched, rr.part, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -455,6 +749,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// writeError writes a request-level structured error:
+// {"error": {code, message, retryable}}.
+func writeError(w http.ResponseWriter, status int, e *APIError) {
+	writeJSON(w, status, map[string]*APIError{"error": e})
+}
+
+// writeJobError writes a job's terminal error document, which additionally
+// names the job and its terminal state:
+// {"id", "status", "error": {code, message, retryable}}.
+func writeJobError(w http.ResponseWriter, id, state string, e *APIError) {
+	writeJSON(w, httpStatus(e), map[string]any{
+		"id":     id,
+		"status": state,
+		"error":  e,
+	})
 }

@@ -28,7 +28,10 @@ func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	if opt.Logger == nil {
 		opt.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := New(opt)
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -126,9 +129,10 @@ func TestSubmitRejectsBadRequests(t *testing.T) {
 			t.Errorf("body %q: status %d", body, resp.StatusCode)
 		}
 		var e struct {
-			Error string `json:"error"`
+			Error *APIError `json:"error"`
 		}
-		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == nil ||
+			e.Error.Code != CodeBadRequest || e.Error.Message == "" || e.Error.Retryable {
 			t.Errorf("body %q: error doc %q", body, data)
 		}
 	}
@@ -295,11 +299,14 @@ func pollStatus(t *testing.T, url, id string) (int, string) {
 func TestQueueFullReturns429(t *testing.T) {
 	release := make(chan struct{})
 	var once sync.Once
-	s := New(Options{
+	s, err := New(Options{
 		Workers:    1,
 		QueueDepth: 1,
 		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.testHookBeforeRun = func() {
 		once.Do(func() { <-release })
 	}
@@ -418,11 +425,14 @@ func TestPollUnknownID(t *testing.T) {
 // jobs, new simulations are refused with 503 while draining, and cached
 // results keep being served.
 func TestDrain(t *testing.T) {
-	s := New(Options{
+	s, err := New(Options{
 		Workers:    2,
 		QueueDepth: 8,
 		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -81,6 +82,12 @@ func (e *Experiment) benches(mix workload.Mix) ([]Bench, []int64, error) {
 // safe for concurrent use (runs are deterministic, so a racing duplicate
 // computation is wasted work, never a wrong answer).
 func (e *Experiment) AloneIPC(name string, seed int64) (float64, error) {
+	return e.AloneIPCContext(context.Background(), name, seed)
+}
+
+// AloneIPCContext is AloneIPC with cooperative cancellation (see
+// System.RunContext). A canceled baseline run is never cached.
+func (e *Experiment) AloneIPCContext(ctx context.Context, name string, seed int64) (float64, error) {
 	key := fmt.Sprintf("%s/%d", name, seed)
 	e.mu.Lock()
 	ipc, ok := e.aloneIPC[key]
@@ -100,7 +107,7 @@ func (e *Experiment) AloneIPC(name string, seed int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := sys.Run(e.Warmup, e.Measure, e.MaxCycles)
+	res, err := sys.RunContext(ctx, e.Warmup, e.Measure, e.MaxCycles)
 	if err != nil {
 		return 0, fmt.Errorf("sim: alone run of %s: %w", name, err)
 	}
@@ -134,6 +141,15 @@ func (e *Experiment) RunMix(mix workload.Mix, scheduler SchedulerKind, partition
 // baseline cache is mutex-protected, and runs are deterministic, so
 // concurrent identical calls produce bit-identical metrics.
 func (e *Experiment) RunMixRecorded(mix workload.Mix, scheduler SchedulerKind, partition PartitionKind, rec *obs.Recorder) (MixRun, error) {
+	return e.RunMixRecordedContext(context.Background(), mix, scheduler, partition, rec)
+}
+
+// RunMixRecordedContext is RunMixRecorded with cooperative cancellation
+// threaded through both the contended run and any alone-run baselines it
+// still has to measure (see System.RunContext for the quantum-boundary
+// semantics). It is how dbpserved stops a timed-out, client-abandoned, or
+// drain-interrupted simulation without burning the worker slot.
+func (e *Experiment) RunMixRecordedContext(ctx context.Context, mix workload.Mix, scheduler SchedulerKind, partition PartitionKind, rec *obs.Recorder) (MixRun, error) {
 	benches, seeds, err := e.benches(mix)
 	if err != nil {
 		return MixRun{}, err
@@ -149,13 +165,13 @@ func (e *Experiment) RunMixRecorded(mix workload.Mix, scheduler SchedulerKind, p
 	if rec != nil {
 		sys.AttachRecorder(rec)
 	}
-	res, err := sys.Run(e.Warmup, e.Measure, e.MaxCycles)
+	res, err := sys.RunContext(ctx, e.Warmup, e.Measure, e.MaxCycles)
 	if err != nil {
 		return MixRun{}, fmt.Errorf("sim: mix %s under %s/%s: %w", mix.Name, scheduler, partition, err)
 	}
 	threads := make([]stats.ThreadPerf, len(res.Threads))
 	for i, t := range res.Threads {
-		alone, err := e.AloneIPC(t.Name, seeds[i])
+		alone, err := e.AloneIPCContext(ctx, t.Name, seeds[i])
 		if err != nil {
 			return MixRun{}, err
 		}

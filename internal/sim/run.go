@@ -1,11 +1,23 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"dbpsim/internal/dram"
 	"dbpsim/internal/stats"
 )
+
+// cancelError reports a canceled run, wrapping both the context error
+// (context.Canceled / DeadlineExceeded) and any distinct cancellation
+// cause, so errors.Is works against either.
+func cancelError(ctx context.Context, cycle uint64) error {
+	err, cause := ctx.Err(), context.Cause(ctx)
+	if cause != nil && cause != err {
+		return fmt.Errorf("sim: run canceled at cycle %d: %w: %w", cycle, err, cause)
+	}
+	return fmt.Errorf("sim: run canceled at cycle %d: %w", cycle, err)
+}
 
 // ThreadResult is one thread's measured behaviour.
 type ThreadResult struct {
@@ -63,6 +75,21 @@ type Result struct {
 // it is an error. Finished cores keep executing so memory contention stays
 // realistic until the last core completes.
 func (s *System) Run(warmup, measure, maxCycles uint64) (Result, error) {
+	return s.RunContext(context.Background(), warmup, measure, maxCycles)
+}
+
+// RunContext is Run with cooperative cancellation: the cycle loop checks
+// ctx once per scheduler quantum (every SchedQuantumCPUCycles CPU cycles),
+// so a canceled run stops within one quantum — milliseconds of wall clock —
+// instead of running to completion. The check is a single integer compare
+// per cycle on the hot path, plus one channel poll per quantum; with a
+// background context it degenerates to the compare alone.
+//
+// A canceled run returns an error wrapping the context's cancellation
+// cause, so errors.Is(err, context.Canceled) (or the caller's own cause)
+// holds. Cancellation is a clean stop at a quantum boundary: no partial
+// Result is produced.
+func (s *System) RunContext(ctx context.Context, warmup, measure, maxCycles uint64) (Result, error) {
 	if measure == 0 {
 		return Result{}, fmt.Errorf("sim: measure must be positive")
 	}
@@ -81,7 +108,20 @@ func (s *System) Run(warmup, measure, maxCycles uint64) (Result, error) {
 	}
 	remaining := n
 
+	// Cancellation is only polled at quantum boundaries: done is nil for a
+	// background context, and the per-cycle cost is one compare.
+	done := ctx.Done()
+	nextCancelCheck := s.cycle
+
 	for remaining > 0 {
+		if done != nil && s.cycle >= nextCancelCheck {
+			nextCancelCheck = s.cycle + s.schedQ
+			select {
+			case <-done:
+				return Result{}, cancelError(ctx, s.cycle)
+			default:
+			}
+		}
 		if s.cycle >= maxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded %d cycles with %d cores unfinished (deadlock or undersized budget)", maxCycles, remaining)
 		}

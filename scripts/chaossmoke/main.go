@@ -1,0 +1,513 @@
+// Command chaossmoke is the CI chaos drill for dbpserved: it drives the
+// real daemon binary through hostile scenarios — injected worker panics,
+// abandoned runs, a SIGKILL mid-job with a restart — and asserts the
+// resilience contracts hold end to end:
+//
+//   - -chaos without -chaos-allow is refused (fault injection can never be
+//     enabled by a stray flag);
+//   - a worker panic becomes a structured failed response while /healthz
+//     stays 200 and later runs succeed, and ledgers produced under
+//     injection are byte-identical to an uninjected daemon's;
+//   - a sync run abandoned via ?timeout= is canceled, freeing its worker
+//     for the next request within moments, with runs_canceled_total
+//     incremented;
+//   - after SIGKILL + restart over the same -journal-dir, finished async
+//     jobs still answer GET /v1/runs/{id} with byte-identical ledgers
+//     (and re-seed the result cache), while the job killed mid-run
+//     reports failed with code "interrupted" and retryable=true.
+//
+// Usage: go run ./scripts/chaossmoke /path/to/dbpserved
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// quickBody is the fast reference run (milliseconds); bigBody's budget
+// would take minutes uncanceled.
+const (
+	quickBody = `{"benchmarks": ["mcf-like", "gcc-like"], "warmup": 1000, "measure": 5000}`
+	bigBody   = `{"benchmarks": ["mcf-like", "gcc-like"], "seed": 9001, "warmup": 0, "measure": 500000000}`
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaos-smoke: OK")
+}
+
+func run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: chaossmoke /path/to/dbpserved")
+	}
+	bin := args[0]
+
+	if err := scenarioChaosGate(bin); err != nil {
+		return fmt.Errorf("chaos gate: %w", err)
+	}
+	baseline, err := scenarioBaseline(bin)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := scenarioPanic(bin, baseline); err != nil {
+		return fmt.Errorf("panic isolation: %w", err)
+	}
+	if err := scenarioTimeout(bin); err != nil {
+		return fmt.Errorf("timeout cancellation: %w", err)
+	}
+	if err := scenarioRestart(bin, baseline); err != nil {
+		return fmt.Errorf("restart durability: %w", err)
+	}
+	return nil
+}
+
+// --- scenarios -----------------------------------------------------------
+
+// scenarioChaosGate: -chaos without -chaos-allow must be refused at
+// startup.
+func scenarioChaosGate(bin string) error {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-chaos", "panic=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return fmt.Errorf("daemon accepted -chaos without -chaos-allow")
+	}
+	if !strings.Contains(string(out), "chaos-allow") {
+		return fmt.Errorf("refusal does not name -chaos-allow: %s", out)
+	}
+	fmt.Println("chaos-smoke: gate: -chaos refused without -chaos-allow")
+	return nil
+}
+
+// scenarioBaseline runs one clean daemon and captures the uninjected
+// ledger every later scenario compares against.
+func scenarioBaseline(bin string) ([]byte, error) {
+	d, err := startDaemon(bin)
+	if err != nil {
+		return nil, err
+	}
+	defer d.kill()
+	status, ledger, _, err := d.post("/v1/runs", quickBody)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("baseline run: status %d: %s", status, ledger)
+	}
+	if err := d.drain(); err != nil {
+		return nil, err
+	}
+	fmt.Println("chaos-smoke: baseline: clean ledger captured")
+	return ledger, nil
+}
+
+// scenarioPanic: with panic=2 injected, the clean first run is
+// byte-identical to the baseline, the second run fails as a structured
+// panic while the daemon stays healthy, and the third run succeeds.
+func scenarioPanic(bin string, baseline []byte) error {
+	d, err := startDaemon(bin, "-chaos", "panic=2", "-chaos-allow")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	status, ledger, _, err := d.post("/v1/runs", quickBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("run under injection: status %d: %s", status, ledger)
+	}
+	if string(ledger) != string(baseline) {
+		return fmt.Errorf("ledger under injection differs from the uninjected baseline")
+	}
+
+	status, body, _, err := d.post("/v1/runs", seeded(9101))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusInternalServerError {
+		return fmt.Errorf("panicked run: status %d: %s", status, body)
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Error  struct {
+			Code      string `json:"code"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("panic body is not structured: %s", body)
+	}
+	if doc.Status != "failed" || doc.Error.Code != "panic" || doc.Error.Retryable {
+		return fmt.Errorf("panic doc = %s", body)
+	}
+
+	if err := d.checkHealthz(); err != nil {
+		return fmt.Errorf("healthz after panic: %w", err)
+	}
+	m, err := d.metrics()
+	if err != nil {
+		return err
+	}
+	if m["dbpserved_runs_panicked_total"] != 1 {
+		return fmt.Errorf("runs_panicked_total = %v, want 1", m["dbpserved_runs_panicked_total"])
+	}
+
+	status, body, _, err = d.post("/v1/runs", seeded(9102))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("run after panic: status %d: %s", status, body)
+	}
+	if err := d.drain(); err != nil {
+		return err
+	}
+	fmt.Println("chaos-smoke: panic: isolated, healthz 200, ledgers byte-identical")
+	return nil
+}
+
+// scenarioTimeout: a huge run abandoned via ?timeout= is canceled and the
+// single worker is reusable right away.
+func scenarioTimeout(bin string) error {
+	d, err := startDaemon(bin, "-workers", "1")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	status, body, _, err := d.post("/v1/runs?timeout=300ms", bigBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusGatewayTimeout {
+		return fmt.Errorf("abandoned run: status %d: %s", status, body)
+	}
+	// The next quick run must get the (sole) worker promptly.
+	status, body, _, err = d.post("/v1/runs?timeout=60s", quickBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("run after cancellation: status %d: %s", status, body)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		m, err := d.metrics()
+		if err != nil {
+			return err
+		}
+		if m["dbpserved_runs_canceled_total"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("runs_canceled_total never incremented")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := d.drain(); err != nil {
+		return err
+	}
+	fmt.Println("chaos-smoke: timeout: abandoned run canceled, worker slot reused")
+	return nil
+}
+
+// scenarioRestart: SIGKILL the daemon with one finished and one running
+// async job, restart over the same journal, and require the finished job's
+// ledger back byte-identical and the killed job reported interrupted.
+func scenarioRestart(bin string, baseline []byte) error {
+	jdir, err := os.MkdirTemp("", "dbpserved-chaos-journal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(jdir)
+
+	d, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	// Async quick job → done.
+	status, body, _, err := d.post("/v1/runs?async=1", quickBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusAccepted {
+		return fmt.Errorf("async submit: status %d: %s", status, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		return err
+	}
+	doneID := acc.ID
+	ledger, err := d.pollDone(doneID, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	if string(ledger) != string(baseline) {
+		return fmt.Errorf("async ledger differs from baseline before the kill")
+	}
+
+	// Async huge job → running when we pull the plug.
+	status, body, _, err = d.post("/v1/runs?async=1", bigBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusAccepted {
+		return fmt.Errorf("big async submit: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		return err
+	}
+	lostID := acc.ID
+	if err := d.waitStatus(lostID, "running", 15*time.Second); err != nil {
+		return err
+	}
+
+	// The plug.
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-d.exited
+
+	// Restart over the same journal.
+	d2, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1")
+	if err != nil {
+		return err
+	}
+	defer d2.kill()
+
+	status, body, err = d2.get("/v1/runs/" + doneID)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("restored job: status %d: %s", status, body)
+	}
+	if string(body) != string(ledger) {
+		return fmt.Errorf("restored ledger differs from the pre-kill bytes")
+	}
+
+	status, body, err = d2.get("/v1/runs/" + lostID)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Error  struct {
+			Code      string `json:"code"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if status != http.StatusInternalServerError || json.Unmarshal(body, &doc) != nil {
+		return fmt.Errorf("interrupted job: status %d: %s", status, body)
+	}
+	if doc.Status != "failed" || doc.Error.Code != "interrupted" || !doc.Error.Retryable {
+		return fmt.Errorf("interrupted doc = %s", body)
+	}
+
+	// The journaled result re-seeds the cache: no re-simulation needed.
+	status, body, cache, err := d2.post("/v1/runs", quickBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK || cache != "hit" {
+		return fmt.Errorf("restored cache: status %d, X-Cache %q (want 200/hit)", status, cache)
+	}
+	if string(body) != string(baseline) {
+		return fmt.Errorf("restored cached ledger differs from baseline")
+	}
+	if err := d2.drain(); err != nil {
+		return err
+	}
+	fmt.Println("chaos-smoke: restart: finished job preserved byte-identical, interrupted job retryable")
+	return nil
+}
+
+func seeded(seed int) string {
+	return fmt.Sprintf(`{"benchmarks": ["mcf-like", "gcc-like"], "seed": %d, "warmup": 1000, "measure": 5000}`, seed)
+}
+
+// --- daemon harness ------------------------------------------------------
+
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	tmp    string
+	exited chan error
+}
+
+// startDaemon launches the binary on a free port and waits for it to
+// report its bound address.
+func startDaemon(bin string, extra ...string) (*daemon, error) {
+	tmp, err := os.MkdirTemp("", "dbpserved-chaos")
+	if err != nil {
+		return nil, err
+	}
+	addrFile := filepath.Join(tmp, "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-log-json"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	cmd.Stdout = os.Stdout
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	d := &daemon{cmd: cmd, tmp: tmp, exited: make(chan error, 1)}
+	go func() { d.exited <- cmd.Wait() }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			d.base = "http://" + string(data)
+			return d, nil
+		}
+		select {
+		case err := <-d.exited:
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("daemon exited before binding: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("daemon never wrote %s", addrFile)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// kill is the unconditional cleanup; safe after drain.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	os.RemoveAll(d.tmp)
+}
+
+// drain SIGTERMs the daemon and requires a clean exit.
+func (d *daemon) drain() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-d.exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("daemon did not exit within 60s of SIGTERM")
+	}
+}
+
+func (d *daemon) post(path, body string) (status int, data []byte, cache string, err error) {
+	resp, err := http.Post(d.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, data, resp.Header.Get("X-Cache"), err
+}
+
+func (d *daemon) get(path string) (status int, data []byte, err error) {
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+func (d *daemon) checkHealthz() error {
+	status, data, err := d.get("/healthz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("status %d: %s", status, data)
+	}
+	return nil
+}
+
+// metrics scrapes /metrics into name{labels} → value.
+func (d *daemon) metrics() (map[string]float64, error) {
+	status, data, err := d.get("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", status)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out, nil
+}
+
+// pollDone polls an async job until it answers 200 and returns the ledger.
+func (d *daemon) pollDone(id string, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		status, data, err := d.get("/v1/runs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		if status == http.StatusOK {
+			return data, nil
+		}
+		if status != http.StatusAccepted {
+			return nil, fmt.Errorf("job %s: status %d: %s", id, status, data)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s never finished", id)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitStatus polls until the job reports the wanted lifecycle status.
+func (d *daemon) waitStatus(id, want string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		_, data, err := d.get("/v1/runs/" + id)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Status string `json:"status"`
+		}
+		if json.Unmarshal(data, &st) == nil && st.Status == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s never reached %q (last: %s)", id, want, data)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,9 +15,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
+
+	"dbpsim"
 )
 
 func main() {
@@ -72,40 +74,38 @@ func run(args []string) error {
 		return fmt.Errorf("healthz: %w", err)
 	}
 
-	body := `{"benchmarks": ["mcf-like", "gcc-like"], "warmup": 1000, "measure": 5000}`
-	post := func() (*http.Response, []byte, error) {
-		resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(body))
-		if err != nil {
-			return nil, nil, err
-		}
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		return resp, data, err
+	// Submit through the retrying client (backoff + Retry-After aware): the
+	// smoke test doubles as the client's end-to-end exercise.
+	client := &dbpsim.Client{BaseURL: base}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	warmup := uint64(1000)
+	req := dbpsim.RunRequest{
+		Benchmarks: []string{"mcf-like", "gcc-like"},
+		Warmup:     &warmup,
+		Measure:    5000,
 	}
-	resp, data, err := post()
+	res, err := client.Run(ctx, req)
 	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /v1/runs: status %d: %s", resp.StatusCode, data)
+		return fmt.Errorf("POST /v1/runs: %w", err)
 	}
 	var led struct {
 		SchemaVersion int    `json:"schema_version"`
 		Tool          string `json:"tool"`
 	}
-	if err := json.Unmarshal(data, &led); err != nil {
+	if err := json.Unmarshal(res.Ledger, &led); err != nil {
 		return fmt.Errorf("response is not JSON: %w", err)
 	}
 	if led.SchemaVersion != 1 || led.Tool != "dbpserved" {
 		return fmt.Errorf("unexpected ledger header: schema %d tool %q", led.SchemaVersion, led.Tool)
 	}
 
-	resp, _, err = post()
+	res, err = client.Run(ctx, req)
 	if err != nil {
-		return err
+		return fmt.Errorf("second POST: %w", err)
 	}
-	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
-		return fmt.Errorf("second POST: status %d, X-Cache %q (want hit)", resp.StatusCode, resp.Header.Get("X-Cache"))
+	if res.Cache != "hit" {
+		return fmt.Errorf("second POST: X-Cache %q (want hit)", res.Cache)
 	}
 
 	if err := check(http.Get(base + "/metrics")); err != nil {
