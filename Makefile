@@ -46,8 +46,12 @@ smoke:
 	rm -f /tmp/dbpserved-smoke
 
 # Chaos drill: drive the real binary through injected panics, abandoned
-# runs, and a SIGKILL-plus-restart over a journal, asserting the daemon
-# stays healthy and ledgers stay byte-identical to uninjected runs.
+# runs, and SIGKILL-plus-restart over a journal — including a kill mid-run
+# that must resume from its checkpoint (and a corrupt-checkpoint variant
+# that must fall back to a clean rerun), always with ledgers byte-identical
+# to uninterrupted runs. Set CHAOSSMOKE_ARTIFACTS=<dir> to keep journals,
+# checkpoints, and daemon logs there for post-mortem (CI uploads them on
+# failure).
 chaos-smoke:
 	$(GO) build -o /tmp/dbpserved-chaos ./cmd/dbpserved
 	$(GO) run ./scripts/chaossmoke /tmp/dbpserved-chaos

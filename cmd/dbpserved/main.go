@@ -19,8 +19,12 @@
 //
 // With -journal-dir set, async job state and results persist across
 // restarts: finished jobs keep answering GET /v1/runs/{id} (and their
-// ledgers keep cache-hitting), jobs interrupted by a crash come back as
-// failed with code "interrupted" and retryable=true.
+// ledgers keep cache-hitting), and running jobs checkpoint their simulation
+// state every -checkpoint-interval CPU cycles. A job interrupted by a crash
+// or an expired drain grace is requeued at its original id on the next
+// start and resumes from its latest checkpoint — bit-identical to an
+// uninterrupted run — falling back to a clean rerun when no usable
+// checkpoint exists.
 //
 // -chaos enables the fault-injection layer (internal/chaos) for resilience
 // drills — e.g. -chaos 'panic=2,delay=250ms'. It is refused unless
@@ -66,7 +70,8 @@ func run(args []string) error {
 		maxInstr   = fs.Uint64("max-instructions", 0, "per-request warmup+measure cap (0 = uncapped)")
 		drainGrace = fs.Duration("drain-grace", 10*time.Minute, "how long shutdown waits before canceling in-flight simulations")
 		logJSON    = fs.Bool("log-json", false, "structured logs as JSON lines instead of key=value text")
-		journalDir = fs.String("journal-dir", "", "persist job state and results under this directory (survives restarts)")
+		journalDir = fs.String("journal-dir", "", "persist job state, checkpoints, and results under this directory (survives restarts)")
+		ckptEvery  = fs.Uint64("checkpoint-interval", 25_000_000, "simulated CPU cycles between run checkpoints (needs -journal-dir)")
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. 'panic=2,delay=250ms,journal=3' (requires -chaos-allow)")
 		chaosAllow = fs.Bool("chaos-allow", false, "explicitly permit -chaos (refused otherwise)")
 	)
@@ -102,13 +107,14 @@ func run(args []string) error {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	srv, err := serve.New(serve.Options{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		RunTimeout:      *runTimeout,
-		MaxInstructions: *maxInstr,
-		Logger:          log,
-		JournalDir:      *journalDir,
-		Chaos:           injector,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		RunTimeout:         *runTimeout,
+		MaxInstructions:    *maxInstr,
+		Logger:             log,
+		JournalDir:         *journalDir,
+		CheckpointInterval: *ckptEvery,
+		Chaos:              injector,
 	})
 	if err != nil {
 		return err

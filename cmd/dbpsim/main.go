@@ -6,17 +6,28 @@
 //	dbpsim -mix W8-M1 -sched tcm -part dbp
 //	dbpsim -benchmarks mcf-like,lbm-like,gcc-like,povray-like -part equal
 //	dbpsim -mix W8-M1 -part dbp -json run.json -trace-out run.trace.json
+//	dbpsim -mix W8-M1 -part dbp -checkpoint run.ckpt     # periodic resumable snapshots
+//	dbpsim -mix W8-M1 -part dbp -restore run.ckpt        # resume an interrupted run
 //	dbpsim -diff base.json new.json
 //	dbpsim -list
+//
+// A run resumed with -restore reproduces the uninterrupted run
+// bit-identically (same flags and config required — the blob is guarded by
+// a config hash). A checkpoint that does not restore (corrupt file, or a
+// config/format change) is reported on stderr and the run restarts from
+// cycle 0 instead of failing.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"strings"
 
@@ -54,6 +65,10 @@ func run(args []string, stdout io.Writer) error {
 		latency    = fs.Bool("latency", false, "print per-thread read-latency distributions")
 		timeline   = fs.Bool("timeline", false, "print per-thread bank-allocation and IPC sparklines")
 		paranoid   = fs.Bool("paranoid", false, "cross-check system invariants during the run")
+
+		checkpointOut = fs.String("checkpoint", "", "periodically write a resumable checkpoint of the run to this file (atomic replace)")
+		restorePath   = fs.String("restore", "", "resume the run from a checkpoint file written by -checkpoint (same flags/config required)")
+		ckptInterval  = fs.Uint64("checkpoint-interval", 10_000_000, "checkpoint period in simulated CPU cycles (rounded up to the scheduler quantum)")
 
 		jsonOut    = fs.String("json", "", "write the machine-readable run ledger to this file")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace (chrome://tracing / Perfetto) to this file")
@@ -122,17 +137,21 @@ func run(args []string, stdout io.Writer) error {
 
 	// Observability: one recorder feeds the ledger's epoch series, the
 	// Chrome trace and the epoch CSV; per-request spans are captured only
-	// when the trace asks for them.
-	var rec *dbpsim.Recorder
-	if *jsonOut != "" || *traceOut != "" || *epochsCSV != "" {
-		rec, err = dbpsim.NewRecorder(dbpsim.RecorderOptions{
+	// when the trace asks for them. Built through a closure because the
+	// checkpoint-restore fallback path needs a pristine replacement.
+	newRec := func() (*dbpsim.Recorder, error) {
+		if *jsonOut == "" && *traceOut == "" && *epochsCSV == "" {
+			return nil, nil
+		}
+		return dbpsim.NewRecorder(dbpsim.RecorderOptions{
 			NumThreads: mix.Cores(),
 			NumBanks:   cfg.Geometry.NumColors(),
 			Spans:      *traceOut != "",
 		})
-		if err != nil {
-			return err
-		}
+	}
+	rec, err := newRec()
+	if err != nil {
+		return err
 	}
 
 	if *cpuProfile != "" {
@@ -147,10 +166,52 @@ func run(args []string, stdout io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
+	var ck *dbpsim.Checkpointer
+	if *checkpointOut != "" || *restorePath != "" {
+		ck = &dbpsim.Checkpointer{}
+		if *checkpointOut != "" {
+			ck.Interval = *ckptInterval
+			ck.Sink = func(blob []byte, cycle uint64) {
+				if err := writeFileAtomic(*checkpointOut, blob); err != nil {
+					fmt.Fprintf(os.Stderr, "dbpsim: checkpoint at cycle %d: %v\n", cycle, err)
+				}
+			}
+			ck.OnError = func(err error) {
+				fmt.Fprintln(os.Stderr, "dbpsim: checkpoint:", err)
+			}
+		}
+		if *restorePath != "" {
+			blob, err := os.ReadFile(*restorePath)
+			if err != nil {
+				return err
+			}
+			ck.Restore = blob
+			// Stderr, so resumed stdout stays diffable against a full run.
+			ck.OnRestore = func(cycle uint64) {
+				fmt.Fprintf(os.Stderr, "dbpsim: resumed from %s at cycle %d\n", *restorePath, cycle)
+			}
+		}
+	}
+
 	exp := dbpsim.NewExperiment(cfg, *warmup, *measure)
-	runOut, err := exp.RunMixRecorded(mix, dbpsim.SchedulerKind(*schedName), dbpsim.PartitionKind(*partName), rec)
+	sched, part := dbpsim.SchedulerKind(*schedName), dbpsim.PartitionKind(*partName)
+	runOut, err := exp.RunMixCheckpointedContext(context.Background(), mix, sched, part, rec, ck)
 	if err != nil {
-		return err
+		var rerr *dbpsim.RestoreError
+		if ck == nil || ck.Restore == nil || !errors.As(err, &rerr) {
+			return err
+		}
+		// The checkpoint does not restore into this run's configuration:
+		// warn and restart from cycle 0 rather than failing a run we know
+		// how to execute.
+		fmt.Fprintf(os.Stderr, "dbpsim: %s does not restore (%v); rerunning from cycle 0\n", *restorePath, err)
+		ck.Restore = nil
+		if rec, err = newRec(); err != nil {
+			return err
+		}
+		if runOut, err = exp.RunMixCheckpointedContext(context.Background(), mix, sched, part, rec, ck); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(stdout, "%s under %s/%s: %s\n", mix.Name, *schedName, *partName, runOut.Metrics)
@@ -212,6 +273,30 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeFileAtomic replaces path with data via a same-directory tmp file,
+// fsync, and rename, so an interrupted write never leaves a torn checkpoint
+// where a resumable one used to be.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // writeTo creates path, streams write into it, and closes it, reporting the

@@ -51,6 +51,12 @@ type (
 	SchedulerKind = sim.SchedulerKind
 	// PartitionKind selects the bank-partitioning policy.
 	PartitionKind = sim.PartitionKind
+	// Checkpointer configures periodic snapshot emission during a run
+	// and/or resume from an earlier snapshot blob.
+	Checkpointer = sim.Checkpointer
+	// RestoreError is the structured failure a corrupt, truncated, or
+	// incompatible checkpoint blob produces on restore.
+	RestoreError = sim.RestoreError
 )
 
 // Workload types (see internal/workload).

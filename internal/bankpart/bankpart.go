@@ -3,6 +3,10 @@
 // interleaving) and equal bank partitioning. Dynamic Bank Partitioning
 // (internal/core) and Memory Channel Partitioning (internal/mcp) implement
 // the same interface.
+//
+// The static policies here (None, Fixed, Equal) hold no mutable state after
+// construction, so the checkpoint subsystem (internal/sim snapshots) has
+// nothing to capture for them; only DBP and MCP carry snapshot state.
 package bankpart
 
 import (

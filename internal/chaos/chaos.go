@@ -35,6 +35,9 @@ const (
 	ResultWrite Point = "result-write"
 	// ResultRead fails loading a ledger back from the result store.
 	ResultRead Point = "result-read"
+	// Checkpoint fails persisting or loading a checkpoint blob in the
+	// on-disk checkpoint store.
+	Checkpoint Point = "checkpoint"
 )
 
 // Error is the error an injected fault surfaces as. Callers distinguish
@@ -98,7 +101,7 @@ func Parse(spec string) (*Injector, error) {
 				return nil, fmt.Errorf("chaos: bad delay %q (want a positive duration)", kv[1])
 			}
 			inj.faults[p] = &fault{every: 1, delay: d}
-		case RunPanic, JournalAppend, ResultWrite, ResultRead:
+		case RunPanic, JournalAppend, ResultWrite, ResultRead, Checkpoint:
 			n, err := strconv.ParseUint(kv[1], 10, 32)
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("chaos: bad count %q for %s (want N >= 1)", kv[1], p)

@@ -22,9 +22,11 @@ type Translator interface {
 // kernel, which routes to the right channel controller).
 type Memory interface {
 	// Submit tries to enqueue a line request; it returns false when the
-	// controller queue is full and the core must retry. onDone may be nil
+	// controller queue is full and the core must retry. tag is the core's
+	// miss tag for demand reads (0 for posted traffic); it travels with the
+	// request so snapshot restore can relink completions. onDone may be nil
 	// for posted (non-demand) traffic.
-	Submit(thread int, paddr uint64, isWrite, demand bool, onDone func()) bool
+	Submit(thread int, paddr uint64, isWrite, demand bool, tag uint64, onDone func()) bool
 }
 
 // Config holds core parameters.
@@ -123,11 +125,21 @@ type Core struct {
 	haveItem bool
 	item     trace.Item
 	gapLeft  int
+	// genCalls counts Next() calls on the trace generator, so a restored
+	// core can fast-forward a fresh, identically seeded generator to the
+	// same position (generator PRNG state is not serialisable).
+	genCalls uint64
 
 	outstandingLoads int // incomplete loads (for dependence chains)
 	demandInFlight   int // MSHR occupancy
 	pendingOps       []pendingOp
 	pf               *prefetch.Stride
+
+	// nextTag and missSlots track in-flight demand misses by tag rather
+	// than by captured ROB slot, so completions survive snapshot/restore:
+	// the memory system carries the tag and calls DemandDone with it.
+	nextTag   uint64
+	missSlots map[uint64]int
 
 	llc        *cache.Shared
 	llcLatency int
@@ -145,13 +157,15 @@ func New(id int, cfg Config, gen trace.Generator, xlate Translator, hier *cache.
 		return nil, fmt.Errorf("cpu: nil collaborator for core %d", id)
 	}
 	core := &Core{
-		id:    id,
-		cfg:   cfg,
-		gen:   gen,
-		xlate: xlate,
-		hier:  hier,
-		mem:   mem,
-		rob:   make([]robEntry, cfg.ROBSize),
+		id:        id,
+		cfg:       cfg,
+		gen:       gen,
+		xlate:     xlate,
+		hier:      hier,
+		mem:       mem,
+		rob:       make([]robEntry, cfg.ROBSize),
+		nextTag:   1,
+		missSlots: make(map[uint64]int),
 	}
 	if cfg.PrefetchDegree > 0 {
 		size := cfg.PrefetchTableSize
@@ -223,6 +237,7 @@ func (c *Core) Tick() error {
 	for filled := 0; filled < c.cfg.Width && c.count < len(c.rob); filled++ {
 		if !c.haveItem {
 			c.item = c.gen.Next()
+			c.genCalls++
 			c.gapLeft = c.item.Gap
 			c.haveItem = true
 		}
@@ -260,7 +275,7 @@ func (c *Core) insert(e robEntry) {
 func (c *Core) flushPendingOps() {
 	for len(c.pendingOps) > 0 {
 		op := c.pendingOps[0]
-		if !c.mem.Submit(c.id, op.addr, op.isWrite, false, nil) {
+		if !c.mem.Submit(c.id, op.addr, op.isWrite, false, 0, nil) {
 			c.stats.SubmitRetries++
 			return
 		}
@@ -318,11 +333,13 @@ func (c *Core) issueMemAccess(now uint64) (ok bool, err error) {
 				}
 			}
 			slot := c.tail // entry inserted below lands here
+			tag := c.nextTag
+			c.nextTag++
+			c.missSlots[tag] = slot
 			c.demandInFlight++
 			c.stats.DemandMisses++
-			submitted := c.mem.Submit(c.id, op.Addr, false, true, func() {
-				c.rob[slot].done = true
-				c.demandInFlight--
+			submitted := c.mem.Submit(c.id, op.Addr, false, true, tag, func() {
+				c.DemandDone(tag)
 			})
 			if !submitted {
 				// Roll back the MSHR; the cache already allocated the
@@ -330,6 +347,8 @@ func (c *Core) issueMemAccess(now uint64) (ok bool, err error) {
 				// it as a retry with the line present (an L2 hit), which
 				// slightly underestimates the miss penalty only under
 				// extreme backpressure.
+				delete(c.missSlots, tag)
+				c.nextTag--
 				c.demandInFlight--
 				c.stats.DemandMisses--
 				c.stats.SubmitRetries++
@@ -349,9 +368,23 @@ func (c *Core) issueMemAccess(now uint64) (ok bool, err error) {
 	return true, nil
 }
 
+// DemandDone completes the demand miss identified by tag: the waiting ROB
+// entry becomes retirable and the MSHR frees. The memory system invokes it
+// (via the closure passed to Submit, or directly after a snapshot restore
+// relinks in-flight requests); unknown tags are ignored.
+func (c *Core) DemandDone(tag uint64) {
+	slot, ok := c.missSlots[tag]
+	if !ok {
+		return
+	}
+	delete(c.missSlots, tag)
+	c.rob[slot].done = true
+	c.demandInFlight--
+}
+
 // post submits (or spills) one posted line transfer toward DRAM.
 func (c *Core) post(addr uint64, isWrite bool) {
-	if !c.mem.Submit(c.id, addr, isWrite, false, nil) {
+	if !c.mem.Submit(c.id, addr, isWrite, false, 0, nil) {
 		c.pendingOps = append(c.pendingOps, pendingOp{addr: addr, isWrite: isWrite})
 		c.stats.SubmitRetries++
 	}

@@ -28,7 +28,7 @@ type fakeMem struct {
 	}
 }
 
-func (m *fakeMem) Submit(thread int, addr uint64, isWrite, demand bool, onDone func()) bool {
+func (m *fakeMem) Submit(thread int, addr uint64, isWrite, demand bool, tag uint64, onDone func()) bool {
 	if m.full {
 		return false
 	}

@@ -1,0 +1,110 @@
+package dram
+
+import "fmt"
+
+// Snapshot/Restore capture the channel's complete mutable state so a
+// simulation can be checkpointed at a quantum boundary and resumed
+// bit-identically. The Timing configuration is not part of the state: a
+// restored channel must have been built with the same Timing, which the
+// simulation kernel guarantees by hashing the full config into the
+// snapshot header.
+
+// BankSnap is one bank's captured state.
+type BankSnap struct {
+	Open                               bool
+	Row                                int
+	ActAllowed, ColAllowed, PreAllowed uint64
+}
+
+// RankSnap is one rank's captured state.
+type RankSnap struct {
+	Banks                        []BankSnap
+	LastAct                      uint64
+	ActWindow                    [4]uint64
+	ActCount                     int
+	RefreshDue, RefreshBusyUntil uint64
+}
+
+// ChannelState is the channel's complete mutable state.
+type ChannelState struct {
+	Ranks           []RankSnap
+	BusFreeAt       uint64
+	LastBusWasWrite bool
+	WriteDataEnd    uint64
+	ColAllowed      uint64
+	Stats           Stats
+}
+
+// Snapshot captures the channel's mutable state.
+func (c *Channel) Snapshot() ChannelState {
+	st := ChannelState{
+		Ranks:           make([]RankSnap, len(c.ranks)),
+		BusFreeAt:       c.busFreeAt,
+		LastBusWasWrite: c.lastBusWasWrite,
+		WriteDataEnd:    c.writeDataEnd,
+		ColAllowed:      c.colAllowed,
+		Stats:           c.stats,
+	}
+	for i := range c.ranks {
+		r := &c.ranks[i]
+		rs := RankSnap{
+			Banks:            make([]BankSnap, len(r.banks)),
+			LastAct:          r.lastAct,
+			ActWindow:        r.actWindow,
+			ActCount:         r.actCount,
+			RefreshDue:       r.refreshDue,
+			RefreshBusyUntil: r.refreshBusyUntil,
+		}
+		for b := range r.banks {
+			bk := &r.banks[b]
+			rs.Banks[b] = BankSnap{
+				Open:       bk.open,
+				Row:        bk.row,
+				ActAllowed: bk.actAllowed,
+				ColAllowed: bk.colAllowed,
+				PreAllowed: bk.preAllowed,
+			}
+		}
+		st.Ranks[i] = rs
+	}
+	return st
+}
+
+// Restore installs a previously captured state. The channel must have the
+// same geometry as the one the snapshot was taken from.
+func (c *Channel) Restore(st ChannelState) error {
+	if len(st.Ranks) != len(c.ranks) {
+		return fmt.Errorf("dram: snapshot has %d ranks, channel has %d", len(st.Ranks), len(c.ranks))
+	}
+	for i := range st.Ranks {
+		if len(st.Ranks[i].Banks) != len(c.ranks[i].banks) {
+			return fmt.Errorf("dram: snapshot rank %d has %d banks, channel has %d",
+				i, len(st.Ranks[i].Banks), len(c.ranks[i].banks))
+		}
+	}
+	c.busFreeAt = st.BusFreeAt
+	c.lastBusWasWrite = st.LastBusWasWrite
+	c.writeDataEnd = st.WriteDataEnd
+	c.colAllowed = st.ColAllowed
+	c.stats = st.Stats
+	for i := range st.Ranks {
+		rs := &st.Ranks[i]
+		r := &c.ranks[i]
+		r.lastAct = rs.LastAct
+		r.actWindow = rs.ActWindow
+		r.actCount = rs.ActCount
+		r.refreshDue = rs.RefreshDue
+		r.refreshBusyUntil = rs.RefreshBusyUntil
+		for b := range rs.Banks {
+			bs := rs.Banks[b]
+			r.banks[b] = bankState{
+				open:       bs.Open,
+				row:        bs.Row,
+				actAllowed: bs.ActAllowed,
+				colAllowed: bs.ColAllowed,
+				preAllowed: bs.PreAllowed,
+			}
+		}
+	}
+	return nil
+}

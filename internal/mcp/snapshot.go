@@ -1,0 +1,23 @@
+package mcp
+
+import "fmt"
+
+// State is the MCP policy's mutable state (everything else — config,
+// geometry, channel masks — is rebuilt by New).
+type State struct {
+	LastGroups []int
+}
+
+// Snapshot captures the policy's mutable state.
+func (m *MCP) Snapshot() State {
+	return State{LastGroups: append([]int(nil), m.lastGroups...)}
+}
+
+// Restore installs a previously captured state.
+func (m *MCP) Restore(st State) error {
+	if len(st.LastGroups) != len(m.lastGroups) {
+		return fmt.Errorf("mcp: snapshot has %d threads, policy has %d", len(st.LastGroups), len(m.lastGroups))
+	}
+	copy(m.lastGroups, st.LastGroups)
+	return nil
+}

@@ -30,6 +30,10 @@ type Request struct {
 	// OnComplete, if non-nil, fires when the request's data transfer
 	// completes (reads only; writes complete on issue).
 	OnComplete func()
+	// Tag is an opaque requester-assigned identifier. Demand reads carry the
+	// issuing core's miss tag so a restored snapshot can relink OnComplete
+	// (a closure, which cannot be serialised) back to the owning core.
+	Tag uint64
 
 	// activated records that the controller opened a row specifically for
 	// this request, i.e. it was not a row-buffer hit.

@@ -1,0 +1,84 @@
+package obs
+
+import "fmt"
+
+// RecorderState is the recorder's mutable state. Snapshots are taken only
+// at epoch boundaries (immediately after OnEpoch ran), so the per-epoch
+// bank-touch scratch holds only stale stamps and is not serialised; Restore
+// zeroes it. EpochStamp is preserved so the stamp-wrap schedule of a resumed
+// run matches the uninterrupted one.
+type RecorderState struct {
+	Enqueues    uint64
+	Activates   uint64
+	ColReads    uint64
+	ColWrites   uint64
+	Completions uint64
+	Dropped     uint64
+	Spans       []Span
+	Epochs      []Epoch
+	Reparts     []Repartition
+	EpochStamp  uint32
+}
+
+// Snapshot captures the recorder's mutable state.
+func (r *Recorder) Snapshot() RecorderState {
+	st := RecorderState{
+		Enqueues:    r.enqueues,
+		Activates:   r.activates,
+		ColReads:    r.colReads,
+		ColWrites:   r.colWrites,
+		Completions: r.completions,
+		Dropped:     r.dropped,
+		Spans:       append([]Span(nil), r.spans...),
+		Epochs:      make([]Epoch, len(r.epochs)),
+		Reparts:     make([]Repartition, len(r.reparts)),
+		EpochStamp:  r.epochStamp,
+	}
+	for i, e := range r.epochs {
+		e.Threads = append([]EpochThread(nil), e.Threads...)
+		st.Epochs[i] = e
+	}
+	for i, rp := range r.reparts {
+		rp.Colors = append([]int(nil), rp.Colors...)
+		st.Reparts[i] = rp
+	}
+	return st
+}
+
+// Restore installs a previously captured state into a recorder built with
+// the same options, zeroing the per-epoch scratch.
+func (r *Recorder) Restore(st RecorderState) error {
+	for _, e := range st.Epochs {
+		if len(e.Threads) > r.opt.NumThreads {
+			return fmt.Errorf("obs: snapshot epoch %d has %d threads, recorder observes %d", e.Index, len(e.Threads), r.opt.NumThreads)
+		}
+	}
+	if st.EpochStamp == 0 {
+		return fmt.Errorf("obs: snapshot epoch stamp must be nonzero")
+	}
+	r.enqueues = st.Enqueues
+	r.activates = st.Activates
+	r.colReads = st.ColReads
+	r.colWrites = st.ColWrites
+	r.completions = st.Completions
+	r.dropped = st.Dropped
+	r.spans = append(r.spans[:0], st.Spans...)
+	r.epochs = make([]Epoch, len(st.Epochs))
+	for i, e := range st.Epochs {
+		e.Threads = append([]EpochThread(nil), e.Threads...)
+		r.epochs[i] = e
+	}
+	r.reparts = make([]Repartition, len(st.Reparts))
+	for i, rp := range st.Reparts {
+		rp.Colors = append([]int(nil), rp.Colors...)
+		r.reparts[i] = rp
+	}
+	for i := range r.bankMark {
+		r.bankMark[i] = 0
+	}
+	for i := range r.globalMark {
+		r.globalMark[i] = 0
+	}
+	r.epochStamp = st.EpochStamp
+	return nil
+}

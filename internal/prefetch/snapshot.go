@@ -1,0 +1,41 @@
+package prefetch
+
+import "fmt"
+
+// EntryState is one stride-table entry, flattened for serialisation.
+type EntryState struct {
+	Page       uint64
+	LastAddr   uint64
+	Stride     int64
+	Confidence int
+	Valid      bool
+}
+
+// StrideState is the prefetcher's complete mutable state (the degree and
+// table size are configuration, rebuilt by the constructor).
+type StrideState struct {
+	Entries []EntryState
+	Issued  uint64
+}
+
+// Snapshot captures the prefetcher's mutable state.
+func (s *Stride) Snapshot() StrideState {
+	st := StrideState{Entries: make([]EntryState, len(s.entries)), Issued: s.Issued}
+	for i, e := range s.entries {
+		st.Entries[i] = EntryState{Page: e.page, LastAddr: e.lastAddr, Stride: e.stride, Confidence: e.confidence, Valid: e.valid}
+	}
+	return st
+}
+
+// Restore installs a previously captured state. The prefetcher must have
+// the same table size as the snapshot source.
+func (s *Stride) Restore(st StrideState) error {
+	if len(st.Entries) != len(s.entries) {
+		return fmt.Errorf("prefetch: snapshot has %d entries, table has %d", len(st.Entries), len(s.entries))
+	}
+	for i, es := range st.Entries {
+		s.entries[i] = entry{page: es.Page, lastAddr: es.LastAddr, stride: es.Stride, confidence: es.Confidence, valid: es.Valid}
+	}
+	s.Issued = st.Issued
+	return nil
+}

@@ -16,21 +16,24 @@ import (
 )
 
 // journal is dbpserved's durability layer: an append-only JSONL record
-// stream plus a content-addressed result store, both under one directory.
-// It exists so async job state survives a daemon crash — GET /v1/runs/{id}
-// keeps answering after a restart, and jobs that were queued or running
-// when the process died are reported as failed(retryable) rather than
-// silently forgotten.
+// stream plus content-addressed blob stores for results and checkpoints,
+// all under one directory. It exists so async job state survives a daemon
+// crash — GET /v1/runs/{id} keeps answering after a restart, and jobs that
+// were queued or running when the process died are requeued (resuming from
+// their latest checkpoint when one exists) rather than silently forgotten.
 //
 // Layout:
 //
-//	<dir>/journal.jsonl        append-only stream of submit/end records
-//	<dir>/results/<sha256>     canonical ledger bytes, content-addressed
+//	<dir>/journal.jsonl         append-only stream of submit/checkpoint/end records
+//	<dir>/results/<sha256>      canonical ledger bytes, content-addressed
+//	<dir>/checkpoints/<sha256>  sim snapshot blobs, content-addressed
 //
 // Result files reuse the cache's canonical MarshalLedger bytes verbatim, so
 // a restored result is byte-identical to the one served before the crash.
 // The journal is written with an fsync per record: one simulation costs
-// seconds to minutes, so two fsyncs per job are noise.
+// seconds to minutes, so a handful of fsyncs per job is noise. Checkpoint
+// blobs are never garbage-collected in this version; the store grows with
+// interrupted work and operators may clear <dir>/checkpoints between runs.
 //
 // A nil *journal is a valid, always-off journal (the server runs without
 // -journal-dir); every method no-ops on a nil receiver, mirroring
@@ -44,16 +47,25 @@ type journal struct {
 }
 
 // journalRecord is one line of journal.jsonl. Op "submit" declares a job
-// exists; Op "end" records its terminal state. A job with a submit record
-// and no end record at replay time was lost to a crash.
+// exists; Op "checkpoint" names the job's latest persisted snapshot; Op
+// "end" records its terminal state. A job with a submit record and no end
+// record at replay time was lost to a crash — with a request body (and,
+// ideally, a checkpoint) it is requeued at startup.
 type journalRecord struct {
-	Op    string    `json:"op"` // "submit" | "end"
+	Op    string    `json:"op"` // "submit" | "checkpoint" | "end"
 	ID    string    `json:"id"`
 	Key   string    `json:"key,omitempty"`
 	State string    `json:"state,omitempty"` // done | failed | canceled
 	Error *APIError `json:"error,omitempty"`
 	// Result is the sha256 content address of the ledger bytes (State done).
 	Result string `json:"result,omitempty"`
+	// Request is the original POST /v1/runs body (Op submit), kept verbatim
+	// so an interrupted job can be re-resolved and requeued after a restart.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Checkpoint is the sha256 content address of a snapshot blob, and Cycle
+	// the simulation cycle it was taken at (Op checkpoint).
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Cycle      uint64 `json:"cycle,omitempty"`
 }
 
 // restoredJob is a terminal job reconstructed from the journal at startup:
@@ -65,6 +77,16 @@ type restoredJob struct {
 	state  string
 	apiErr *APIError
 	result string // content address of the ledger, when state == done
+
+	// interrupted marks a submit record with no matching end record: the job
+	// was queued or executing when the daemon died. When request is non-empty
+	// the server requeues it at startup, resuming from the checkpoint blob
+	// (latest wins) when one was journaled; legacy journals without bodies
+	// keep the failed(interrupted) verdict below.
+	interrupted bool
+	request     json.RawMessage
+	checkpoint  string // content address of the latest snapshot blob
+	ckptCycle   uint64
 }
 
 // openJournal opens (creating if needed) the journal under dir, replays the
@@ -74,11 +96,14 @@ type restoredJob struct {
 //
 // Replay is crash-tolerant: a torn final line (the process died mid-append)
 // is skipped, and jobs whose submit record has no matching end record come
-// back as failed with code "interrupted" and retryable=true — the client's
-// cue to resubmit.
+// back marked interrupted — requeued by the server when the submit carried
+// the request body, otherwise reported failed with code "interrupted" and
+// retryable=true as the client's cue to resubmit.
 func openJournal(dir string, inj *chaos.Injector) (*journal, map[string]*restoredJob, uint64, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
-		return nil, nil, 0, fmt.Errorf("serve: journal dir: %w", err)
+	for _, sub := range []string{"results", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, nil, 0, fmt.Errorf("serve: journal dir: %w", err)
+		}
 	}
 	path := filepath.Join(dir, "journal.jsonl")
 	restored, maxSeq, err := replayJournal(path)
@@ -127,18 +152,23 @@ func replayJournal(path string) (map[string]*restoredJob, uint64, error) {
 		switch rec.Op {
 		case "submit":
 			if _, exists := restored[rec.ID]; !exists {
-				restored[rec.ID] = &restoredJob{
-					id:  rec.ID,
-					key: rec.Key,
-					// Provisional: overwritten by the end record, or left in
-					// place as the interrupted verdict if the crash ate it.
-					state: stateFailed,
-					apiErr: &APIError{
-						Code:      CodeInterrupted,
-						Message:   "job interrupted by a daemon restart; resubmit to rerun",
-						Retryable: true,
-					},
-				}
+				restored[rec.ID] = provisionalInterrupted(rec.ID, rec.Key)
+			}
+			if r := restored[rec.ID]; !ended[rec.ID] && len(rec.Request) > 0 {
+				r.request = append(json.RawMessage(nil), rec.Request...)
+			}
+		case "checkpoint":
+			r := restored[rec.ID]
+			if r == nil {
+				// Checkpoint without a surviving submit line (torn by a
+				// crash): the job existed, but without a body it cannot be
+				// requeued — it keeps the interrupted verdict.
+				r = provisionalInterrupted(rec.ID, rec.Key)
+				restored[rec.ID] = r
+			}
+			if !ended[rec.ID] && rec.Checkpoint != "" {
+				r.checkpoint = rec.Checkpoint
+				r.ckptCycle = rec.Cycle
 			}
 		case "end":
 			r := restored[rec.ID]
@@ -149,6 +179,10 @@ func replayJournal(path string) (map[string]*restoredJob, uint64, error) {
 			r.state = rec.State
 			r.apiErr = rec.Error
 			r.result = rec.Result
+			r.interrupted = false
+			r.request = nil
+			r.checkpoint = ""
+			r.ckptCycle = 0
 			ended[rec.ID] = true
 		}
 	}
@@ -156,6 +190,24 @@ func replayJournal(path string) (map[string]*restoredJob, uint64, error) {
 		return nil, 0, fmt.Errorf("serve: replay journal: %w", err)
 	}
 	return restored, maxSeq, nil
+}
+
+// provisionalInterrupted builds the replay-time default for a job whose end
+// record has not (yet) been seen: overwritten by the end record when one
+// arrives, left in place as the interrupted verdict if the crash ate it,
+// or superseded by a startup requeue when the request body survived.
+func provisionalInterrupted(id, key string) *restoredJob {
+	return &restoredJob{
+		id:          id,
+		key:         key,
+		state:       stateFailed,
+		interrupted: true,
+		apiErr: &APIError{
+			Code:      CodeInterrupted,
+			Message:   "job interrupted by a daemon restart; resubmit to rerun",
+			Retryable: true,
+		},
+	}
 }
 
 // jobSeq extracts the numeric sequence from a "run-%08d" job id.
@@ -168,10 +220,17 @@ func jobSeq(id string) (uint64, bool) {
 	return n, err == nil
 }
 
-// appendSubmit journals a job's existence. Called as soon as the job is
-// admitted, so a crash between admission and completion is detectable.
-func (j *journal) appendSubmit(id, key string) error {
-	return j.append(journalRecord{Op: "submit", ID: id, Key: key})
+// appendSubmit journals a job's existence, carrying the original request
+// body so the job can be requeued after a crash. Called as soon as the job
+// is admitted, so a crash between admission and completion is detectable.
+func (j *journal) appendSubmit(id, key string, request json.RawMessage) error {
+	return j.append(journalRecord{Op: "submit", ID: id, Key: key, Request: request})
+}
+
+// appendCheckpoint journals a job's latest persisted snapshot. Replay keeps
+// only the newest one per job (records are appended in cycle order).
+func (j *journal) appendCheckpoint(id, key, hash string, cycle uint64) error {
+	return j.append(journalRecord{Op: "checkpoint", ID: id, Key: key, Checkpoint: hash, Cycle: cycle})
 }
 
 // appendEnd journals a job's terminal state. apiErr is nil for done jobs;
@@ -205,9 +264,7 @@ func (j *journal) append(rec journalRecord) error {
 }
 
 // writeResult persists canonical ledger bytes to the content-addressed
-// result store and returns their address. Writing the same bytes twice is
-// a no-op (same address, same content), and the tmp-file + rename dance
-// means a crash never leaves a torn result visible.
+// result store and returns their address.
 func (j *journal) writeResult(data []byte) (string, error) {
 	if j == nil {
 		return "", nil
@@ -215,37 +272,10 @@ func (j *journal) writeResult(data []byte) (string, error) {
 	if err := j.inj.Err(chaos.ResultWrite); err != nil {
 		return "", err
 	}
-	sum := sha256.Sum256(data)
-	hash := hex.EncodeToString(sum[:])
-	path := j.resultPath(hash)
-	if _, err := os.Stat(path); err == nil {
-		return hash, nil
-	}
-	tmp, err := os.CreateTemp(filepath.Join(j.dir, "results"), ".tmp-*")
-	if err != nil {
-		return "", fmt.Errorf("serve: result store: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return "", fmt.Errorf("serve: result store: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return "", fmt.Errorf("serve: result store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return "", fmt.Errorf("serve: result store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return "", fmt.Errorf("serve: result store: %w", err)
-	}
-	return hash, nil
+	return writeContentFile(filepath.Join(j.dir, "results"), "result store", data)
 }
 
-// readResult loads ledger bytes back by content address, verifying the
-// bytes still hash to their name (a corrupt or truncated file is an error,
-// never a silently wrong ledger).
+// readResult loads ledger bytes back by content address.
 func (j *journal) readResult(hash string) ([]byte, error) {
 	if j == nil {
 		return nil, fmt.Errorf("serve: no journal configured")
@@ -253,19 +283,82 @@ func (j *journal) readResult(hash string) ([]byte, error) {
 	if err := j.inj.Err(chaos.ResultRead); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(j.resultPath(hash))
-	if err != nil {
-		return nil, fmt.Errorf("serve: result store: %w", err)
+	return readContentFile(j.resultPath(hash), "result", hash)
+}
+
+// writeCheckpoint persists a snapshot blob to the content-addressed
+// checkpoint store and returns its address.
+func (j *journal) writeCheckpoint(data []byte) (string, error) {
+	if j == nil {
+		return "", nil
 	}
-	sum := sha256.Sum256(data)
-	if got := hex.EncodeToString(sum[:]); got != hash {
-		return nil, fmt.Errorf("serve: result %s corrupt (content hashes to %s)", hash, got)
+	if err := j.inj.Err(chaos.Checkpoint); err != nil {
+		return "", err
 	}
-	return data, nil
+	return writeContentFile(filepath.Join(j.dir, "checkpoints"), "checkpoint store", data)
+}
+
+// readCheckpoint loads a snapshot blob back by content address.
+func (j *journal) readCheckpoint(hash string) ([]byte, error) {
+	if j == nil {
+		return nil, fmt.Errorf("serve: no journal configured")
+	}
+	if err := j.inj.Err(chaos.Checkpoint); err != nil {
+		return nil, err
+	}
+	return readContentFile(filepath.Join(j.dir, "checkpoints", hash), "checkpoint", hash)
 }
 
 func (j *journal) resultPath(hash string) string {
 	return filepath.Join(j.dir, "results", hash)
+}
+
+// writeContentFile stores data under dir at its sha256 name and returns the
+// address. Writing the same bytes twice is a no-op (same address, same
+// content), and the tmp-file + rename dance means a crash never leaves a
+// torn blob visible.
+func writeContentFile(dir, what string, data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	path := filepath.Join(dir, hash)
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("serve: %s: %w", what, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("serve: %s: %w", what, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("serve: %s: %w", what, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("serve: %s: %w", what, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("serve: %s: %w", what, err)
+	}
+	return hash, nil
+}
+
+// readContentFile loads a content-addressed blob, verifying the bytes still
+// hash to their name (a corrupt or truncated file is an error, never a
+// silently wrong blob).
+func readContentFile(path, what, hash string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s store: %w", what, err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != hash {
+		return nil, fmt.Errorf("serve: %s %s corrupt (content hashes to %s)", what, hash, got)
+	}
+	return data, nil
 }
 
 // Close releases the journal file. Safe on nil.

@@ -27,10 +27,16 @@ type metrics struct {
 	inFlight      atomic.Int64 // jobs currently executing on a worker
 	restoredJobs  atomic.Int64 // terminal jobs replayed from the journal at startup
 
+	checkpointsWritten atomic.Int64 // checkpoint blobs persisted to the store
+	resumedRuns        atomic.Int64 // runs that resumed from a checkpoint after a restart
+	checkpointErrors   atomic.Int64 // checkpoint snapshot/persist/restore failures (non-fatal)
+
 	httpMu   sync.Mutex
 	httpCode map[int]int64 // completed HTTP requests by status code
 
-	runSeconds *histogram
+	runSeconds  *histogram
+	ckptBytes   *histogram
+	ckptSeconds *histogram
 }
 
 func newMetrics() *metrics {
@@ -39,6 +45,11 @@ func newMetrics() *metrics {
 		// Simulations span ~10ms quick probes to minutes-long full-budget
 		// runs; buckets cover that range with roughly 2.5x spacing.
 		runSeconds: newHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
+		// Checkpoint blobs scale with system size: from a few KiB for tiny
+		// test systems to tens of MiB with large caches and deep queues.
+		ckptBytes: newHistogram(4096, 16384, 65536, 262144, 1<<20, 4<<20, 16<<20, 64<<20),
+		// Persisting a checkpoint is an fsync-bounded local write.
+		ckptSeconds: newHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10),
 	}
 }
 
@@ -70,6 +81,9 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int) {
 	counter("dbpserved_runs_panicked_total", "Simulations that panicked on a worker and were isolated as failed jobs.", m.runsPanicked.Load())
 	counter("dbpserved_journal_errors_total", "Journal or result-store I/O failures (the request path degrades to in-memory).", m.journalErrors.Load())
 	gauge("dbpserved_restored_jobs", "Terminal jobs replayed from the journal at startup.", m.restoredJobs.Load())
+	counter("dbpserved_checkpoints_written_total", "Checkpoint blobs persisted to the checkpoint store.", m.checkpointsWritten.Load())
+	counter("dbpserved_resumed_runs_total", "Runs resumed from a checkpoint after a daemon restart.", m.resumedRuns.Load())
+	counter("dbpserved_checkpoint_errors_total", "Checkpoint snapshot, persist, or restore failures (runs fall back to clean execution).", m.checkpointErrors.Load())
 
 	fmt.Fprintf(w, "# HELP dbpserved_http_requests_total Completed HTTP requests by status code.\n")
 	fmt.Fprintf(w, "# TYPE dbpserved_http_requests_total counter\n")
@@ -85,6 +99,8 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int) {
 	m.httpMu.Unlock()
 
 	m.runSeconds.write(w, "dbpserved_run_seconds", "Wall-clock seconds per executed simulation.")
+	m.ckptBytes.write(w, "dbpserved_checkpoint_bytes", "Size of persisted checkpoint blobs in bytes.")
+	m.ckptSeconds.write(w, "dbpserved_checkpoint_seconds", "Wall-clock seconds to persist one checkpoint blob.")
 }
 
 // histogram is a fixed-bucket cumulative histogram (Prometheus semantics:

@@ -25,7 +25,12 @@
 //     runs_panicked_total increment; the daemon stays up.
 //   - Durability: with Options.JournalDir set, job metadata and terminal
 //     results persist to an on-disk journal (see journal.go), so async job
-//     ids survive a restart and interrupted jobs report failed(retryable).
+//     ids survive a restart. Running jobs additionally checkpoint their
+//     simulation state every CheckpointInterval CPU cycles (and once more
+//     when a drain deadline cancels them); after a restart, interrupted
+//     jobs are requeued at their original ids and resume from their latest
+//     checkpoint — bit-identical to an uninterrupted run — falling back to
+//     a clean cycle-0 rerun when the checkpoint is corrupt or missing.
 //   - Fault injection: an optional chaos.Injector fires faults at named
 //     points (run delay, worker panic, journal/result-store I/O) so tests
 //     and the chaos-smoke harness can exercise all of the above against
@@ -39,11 +44,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -78,11 +85,17 @@ type Options struct {
 	// Logger receives structured request and lifecycle logs (default:
 	// slog.Default()).
 	Logger *slog.Logger
-	// JournalDir, when set, enables the durability layer: job metadata and
-	// terminal results persist under this directory and are replayed on
-	// startup (interrupted jobs come back failed+retryable, finished results
-	// stay pollable and cache-hittable).
+	// JournalDir, when set, enables the durability layer: job metadata,
+	// checkpoints, and terminal results persist under this directory and are
+	// replayed on startup (interrupted jobs are requeued and resume from
+	// their latest checkpoint, finished results stay pollable and
+	// cache-hittable).
 	JournalDir string
+	// CheckpointInterval is how often, in simulated CPU cycles, a running
+	// job persists a resumable snapshot (default 25M cycles; rounded up to
+	// the scheduler quantum). Checkpointing is active only with JournalDir
+	// set — there is nowhere durable to put blobs without it.
+	CheckpointInterval uint64
 	// Chaos, when non-nil, injects faults at named points in the serving
 	// stack. Test-and-drill only; the daemon refuses to enable it without
 	// an explicit opt-in flag.
@@ -104,6 +117,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 25_000_000
 	}
 	if o.Tool == "" {
 		o.Tool = "dbpserved"
@@ -135,6 +151,13 @@ type job struct {
 
 	waiters int  // sync clients waiting; guarded by Server.mu
 	async   bool // async interest: never abandon-cancel; guarded by Server.mu
+
+	// body is the original request bytes, journaled with the submit record
+	// so the job can be requeued after a crash. resumeFrom, when non-nil, is
+	// a checkpoint blob the run restores before its first cycle (set only
+	// for jobs requeued at startup).
+	body       []byte
+	resumeFrom []byte
 }
 
 // state reports the job's lifecycle phase: queued/running while live,
@@ -210,12 +233,16 @@ func New(opt Options) (*Server, error) {
 		s.restored = restored
 		s.nextID = maxSeq
 		interrupted := 0
+		var resume []*restoredJob
 		for _, r := range restored {
 			if r.state == stateDone && r.result != "" && r.key != "" {
 				s.diskCache[r.key] = r.result
 			}
-			if r.apiErr != nil && r.apiErr.Code == CodeInterrupted {
+			if r.interrupted {
 				interrupted++
+				if len(r.request) > 0 {
+					resume = append(resume, r)
+				}
 			}
 		}
 		s.met.restoredJobs.Store(int64(len(restored)))
@@ -224,6 +251,7 @@ func New(opt Options) (*Server, error) {
 				"dir", opt.JournalDir, "jobs", len(restored),
 				"interrupted", interrupted, "cached_results", len(s.diskCache))
 		}
+		s.requeueInterrupted(resume)
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handlePoll)
@@ -234,6 +262,74 @@ func New(opt Options) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// requeueInterrupted re-admits jobs that were queued or executing when the
+// previous process died, at their original ids. Each is re-resolved from its
+// journaled request body and latched async (the original waiters are gone;
+// the id is the handle clients poll). A job whose latest checkpoint blob
+// loads cleanly resumes from it; a corrupt or missing blob degrades to a
+// clean cycle-0 rerun (counted in checkpoint_errors_total). Jobs that no
+// longer decode, duplicate an already-requeued key, or overflow the queue
+// keep their failed(interrupted) verdict from replay. Runs before the
+// worker pool starts, so the queue drains in requeue order.
+func (s *Server) requeueInterrupted(resume []*restoredJob) {
+	sort.Slice(resume, func(a, b int) bool { return resume[a].id < resume[b].id })
+	for _, r := range resume {
+		req, derr := decodeRunRequest(r.request)
+		if derr != nil {
+			s.log.Warn("interrupted job body no longer decodes; leaving it failed",
+				"id", r.id, "err", derr.Message)
+			continue
+		}
+		rr, err := resolve(req, s.opt.MaxInstructions)
+		if err != nil {
+			s.log.Warn("interrupted job no longer resolves; leaving it failed",
+				"id", r.id, "err", err)
+			continue
+		}
+		s.mu.Lock()
+		if _, dup := s.inflight[rr.key]; dup {
+			s.mu.Unlock()
+			s.log.Warn("interrupted job duplicates an already-requeued run; leaving it failed",
+				"id", r.id, "key", rr.key)
+			continue
+		}
+		ctx, cancel := context.WithCancelCause(context.Background())
+		j := &job{
+			id:      r.id,
+			key:     rr.key,
+			run:     rr,
+			ctx:     ctx,
+			cancel:  cancel,
+			done:    make(chan struct{}),
+			started: make(chan struct{}),
+			async:   true,
+			body:    append([]byte(nil), r.request...),
+		}
+		if r.checkpoint != "" {
+			blob, err := s.journal.readCheckpoint(r.checkpoint)
+			if err != nil {
+				s.checkpointTrouble("checkpoint unreadable; rerunning from cycle 0", r.id, err)
+			} else {
+				j.resumeFrom = blob
+			}
+		}
+		select {
+		case s.queue <- j:
+			s.inflight[rr.key] = j
+			s.registerJobLocked(j)
+			delete(s.restored, r.id)
+			s.mu.Unlock()
+			s.log.Info("interrupted job requeued",
+				"id", r.id, "mix", rr.mix.Name,
+				"resuming", j.resumeFrom != nil, "resume_cycle", r.ckptCycle)
+		default:
+			cancel(nil)
+			s.mu.Unlock()
+			s.log.Warn("queue full; interrupted job not requeued", "id", r.id)
+		}
+	}
 }
 
 // ServeHTTP dispatches with structured request logging around the mux.
@@ -362,6 +458,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			cancel:  cancel,
 			done:    make(chan struct{}),
 			started: make(chan struct{}),
+			body:    body,
 		}
 		select {
 		case s.queue <- j:
@@ -371,7 +468,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.registerInterestLocked(j, async)
 			s.mu.Unlock()
 			w.Header().Set("X-Cache", "miss")
-			if err := s.journal.appendSubmit(j.id, j.key); err != nil {
+			if err := s.journal.appendSubmit(j.id, j.key, j.body); err != nil {
 				s.journalTrouble("journal submit record failed", j.id, err)
 			}
 		default:
@@ -578,6 +675,14 @@ func (s *Server) journalTrouble(msg, id string, err error) {
 	s.log.Error(msg, "id", id, "err", err)
 }
 
+// checkpointTrouble is journalTrouble's sibling for the checkpoint path:
+// snapshot, persist, and restore faults are logged and counted, never
+// fatal — the affected run continues (or reruns) from cycle 0 at worst.
+func (s *Server) checkpointTrouble(msg, id string, err error) {
+	s.met.checkpointErrors.Add(1)
+	s.log.Error(msg, "id", id, "err", err)
+}
+
 // --- worker pool ---------------------------------------------------------
 
 func (s *Server) worker() {
@@ -620,7 +725,7 @@ func (s *Server) runJob(j *job) (data []byte, err error) {
 		return nil, err
 	}
 	s.chaos.MaybePanic(chaos.RunPanic)
-	return s.execute(ctx, j.run)
+	return s.execute(ctx, j)
 }
 
 // finishJob records a job's terminal state: cache + result store on
@@ -645,11 +750,19 @@ func (s *Server) finishJob(j *job, data []byte, apiErr *APIError, dur time.Durat
 		delete(s.inflight, j.key)
 	}
 	s.mu.Unlock()
+	// Checkpoint-then-release: a drain-canceled run already journaled its
+	// final checkpoint on the way out (Checkpointer.OnCancel). Leaving its
+	// submit record un-ended marks the job for requeue-and-resume at the
+	// next startup, so a restart costs at most one checkpoint interval of
+	// redone simulation instead of a terminal canceled verdict.
+	drainCheckpointed := s.journal != nil && apiErr != nil && context.Cause(j.ctx) == errDrainCancel
 	j.data, j.apiErr = data, apiErr
 	j.cancel(nil) // release the context's timer/goroutine resources
 	close(j.done)
-	if err := s.journal.appendEnd(j.id, j.key, state, apiErr, resultHash); err != nil {
-		s.journalTrouble("journal end record failed", j.id, err)
+	if !drainCheckpointed {
+		if err := s.journal.appendEnd(j.id, j.key, state, apiErr, resultHash); err != nil {
+			s.journalTrouble("journal end record failed", j.id, err)
+		}
 	}
 
 	switch {
@@ -678,25 +791,83 @@ func (s *Server) finishJob(j *job, data []byte, apiErr *APIError, dur time.Durat
 // execute runs one simulation to canonical ledger bytes: shared experiment
 // (baseline reuse), fresh per-run recorder (concurrency-safe), the same
 // BuildLedger/MarshalLedger path as the dbpsim CLI, with ctx threaded into
-// the cycle loop for quantum-boundary cancellation.
-func (s *Server) execute(ctx context.Context, rr resolvedRun) ([]byte, error) {
+// the cycle loop for quantum-boundary cancellation. With a journal
+// configured, the run also checkpoints periodically (and once more when a
+// drain cancels it), and resumes from j.resumeFrom when the job was
+// requeued after a restart; a checkpoint that fails to restore falls back
+// to a clean cycle-0 run rather than failing the job.
+func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
+	rr := j.run
 	exp := s.experiment(rr)
-	rec, err := obs.NewRecorder(obs.Options{
+	recOpts := obs.Options{
 		NumThreads: rr.mix.Cores(),
 		NumBanks:   rr.base.Geometry.NumColors(),
-	})
+	}
+	rec, err := obs.NewRecorder(recOpts)
 	if err != nil {
 		return nil, err
 	}
-	run, err := exp.RunMixRecordedContext(ctx, rr.mix, rr.sched, rr.part, rec)
+	ck := s.checkpointer(j)
+	run, err := exp.RunMixCheckpointedContext(ctx, rr.mix, rr.sched, rr.part, rec, ck)
 	if err != nil {
-		return nil, err
+		var rerr *sim.RestoreError
+		if !errors.As(err, &rerr) || ck == nil || ck.Restore == nil {
+			return nil, err
+		}
+		// The journaled checkpoint does not restore (corrupt blob, or a
+		// snapshot-format/config change across the restart): degrade to a
+		// clean cycle-0 rerun with a fresh recorder rather than failing a
+		// job we know how to execute.
+		s.checkpointTrouble("checkpoint restore failed; rerunning from cycle 0", j.id, err)
+		ck.Restore = nil
+		if rec, err = obs.NewRecorder(recOpts); err != nil {
+			return nil, err
+		}
+		if run, err = exp.RunMixCheckpointedContext(ctx, rr.mix, rr.sched, rr.part, rec, ck); err != nil {
+			return nil, err
+		}
 	}
 	led, err := sim.BuildLedger(s.opt.Tool, rr.base, rr.warmup, rr.measure, run, rec)
 	if err != nil {
 		return nil, err
 	}
 	return obs.MarshalLedger(led)
+}
+
+// checkpointer wires a job's run into the durability layer: nil without a
+// journal (nowhere durable to put blobs). Sink faults are non-fatal — the
+// run continues, the operator sees checkpoint_errors_total move.
+func (s *Server) checkpointer(j *job) *sim.Checkpointer {
+	if s.journal == nil {
+		return nil
+	}
+	return &sim.Checkpointer{
+		Interval: s.opt.CheckpointInterval,
+		OnCancel: true,
+		Restore:  j.resumeFrom,
+		Sink: func(blob []byte, cycle uint64) {
+			start := time.Now()
+			hash, err := s.journal.writeCheckpoint(blob)
+			if err != nil {
+				s.checkpointTrouble("checkpoint write failed", j.id, err)
+				return
+			}
+			if err := s.journal.appendCheckpoint(j.id, j.key, hash, cycle); err != nil {
+				s.checkpointTrouble("checkpoint journal record failed", j.id, err)
+				return
+			}
+			s.met.checkpointsWritten.Add(1)
+			s.met.ckptBytes.observe(float64(len(blob)))
+			s.met.ckptSeconds.observe(time.Since(start).Seconds())
+		},
+		OnError: func(err error) {
+			s.checkpointTrouble("checkpoint snapshot failed", j.id, err)
+		},
+		OnRestore: func(cycle uint64) {
+			s.met.resumedRuns.Add(1)
+			s.log.Info("run resumed from checkpoint", "id", j.id, "cycle", cycle)
+		},
+	}
 }
 
 // experiment returns the shared Experiment for a run's baseline identity,

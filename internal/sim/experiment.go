@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -150,6 +151,17 @@ func (e *Experiment) RunMixRecorded(mix workload.Mix, scheduler SchedulerKind, p
 // semantics). It is how dbpserved stops a timed-out, client-abandoned, or
 // drain-interrupted simulation without burning the worker slot.
 func (e *Experiment) RunMixRecordedContext(ctx context.Context, mix workload.Mix, scheduler SchedulerKind, partition PartitionKind, rec *obs.Recorder) (MixRun, error) {
+	return e.RunMixCheckpointedContext(ctx, mix, scheduler, partition, rec, nil)
+}
+
+// RunMixCheckpointedContext is RunMixRecordedContext with snapshot support:
+// ck (may be nil) configures periodic checkpoint emission and/or resume from
+// an earlier checkpoint (see Checkpointer). A resumed run reproduces the
+// uninterrupted run bit-identically, including its ledger bytes; the
+// alone-run baselines are not part of the snapshot — they are recomputed
+// deterministically (or recalled from the cache) after the contended run
+// finishes.
+func (e *Experiment) RunMixCheckpointedContext(ctx context.Context, mix workload.Mix, scheduler SchedulerKind, partition PartitionKind, rec *obs.Recorder, ck *Checkpointer) (MixRun, error) {
 	benches, seeds, err := e.benches(mix)
 	if err != nil {
 		return MixRun{}, err
@@ -165,8 +177,12 @@ func (e *Experiment) RunMixRecordedContext(ctx context.Context, mix workload.Mix
 	if rec != nil {
 		sys.AttachRecorder(rec)
 	}
-	res, err := sys.RunContext(ctx, e.Warmup, e.Measure, e.MaxCycles)
+	res, err := sys.RunCheckpointed(ctx, e.Warmup, e.Measure, e.MaxCycles, ck)
 	if err != nil {
+		var rerr *RestoreError
+		if errors.As(err, &rerr) {
+			return MixRun{}, err
+		}
 		return MixRun{}, fmt.Errorf("sim: mix %s under %s/%s: %w", mix.Name, scheduler, partition, err)
 	}
 	threads := make([]stats.ThreadPerf, len(res.Threads))

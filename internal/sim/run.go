@@ -78,6 +78,51 @@ func (s *System) Run(warmup, measure, maxCycles uint64) (Result, error) {
 	return s.RunContext(context.Background(), warmup, measure, maxCycles)
 }
 
+// RunProgress is the run loop's own per-thread progress (warmup crossings,
+// measurement windows), carried inside snapshots so a restored run resumes
+// mid-measurement exactly where it left off.
+type RunProgress struct {
+	Warmup      uint64
+	Measure     uint64
+	StartCycle  []uint64
+	FinishCycle []uint64
+	Started     []bool
+	Finished    []bool
+	Remaining   int
+}
+
+// Checkpointer configures checkpoint emission and restore for
+// RunCheckpointed. All fields are optional; a nil *Checkpointer disables
+// checkpointing entirely.
+type Checkpointer struct {
+	// Interval is the CPU-cycle spacing between periodic checkpoints
+	// (rounded up to the scheduler quantum). 0 disables periodic emission.
+	Interval uint64
+	// Sink receives each emitted snapshot blob and the cycle it was taken
+	// at. Checkpointing is inactive when Sink is nil.
+	Sink func(blob []byte, cycle uint64)
+	// OnCancel emits one final checkpoint at the cancellation boundary
+	// before RunCheckpointed returns the cancellation error.
+	OnCancel bool
+	// OnError observes snapshot-creation failures, which are non-fatal: the
+	// run continues without that checkpoint.
+	OnError func(error)
+	// Restore, when non-nil, is a snapshot blob to restore before running.
+	// A blob that fails to restore aborts the run with a *RestoreError so
+	// callers can fall back to a clean rerun.
+	Restore []byte
+	// OnRestore is called after a successful restore with the resumed cycle.
+	OnRestore func(cycle uint64)
+}
+
+// roundUpQuantum rounds v up to a positive multiple of the quantum q.
+func roundUpQuantum(v, q uint64) uint64 {
+	if v < q {
+		return q
+	}
+	return (v + q - 1) / q * q
+}
+
 // RunContext is Run with cooperative cancellation: the cycle loop checks
 // ctx once per scheduler quantum (every SchedQuantumCPUCycles CPU cycles),
 // so a canceled run stops within one quantum — milliseconds of wall clock —
@@ -90,11 +135,28 @@ func (s *System) Run(warmup, measure, maxCycles uint64) (Result, error) {
 // holds. Cancellation is a clean stop at a quantum boundary: no partial
 // Result is produced.
 func (s *System) RunContext(ctx context.Context, warmup, measure, maxCycles uint64) (Result, error) {
+	return s.RunCheckpointed(ctx, warmup, measure, maxCycles, nil)
+}
+
+// RunCheckpointed is RunContext with snapshot support: when ck carries a
+// Restore blob the system resumes from it, and when ck carries a Sink the
+// run emits periodic snapshots at scheduler-quantum boundaries (and a final
+// one on cancellation when OnCancel is set). A resumed run is bit-identical
+// to the uninterrupted one: same Result, same ledger bytes.
+func (s *System) RunCheckpointed(ctx context.Context, warmup, measure, maxCycles uint64, ck *Checkpointer) (Result, error) {
 	if measure == 0 {
 		return Result{}, fmt.Errorf("sim: measure must be positive")
 	}
 	if maxCycles == 0 {
 		maxCycles = (warmup + measure) * 2000
+	}
+	if ck != nil && ck.Restore != nil {
+		if err := s.RestoreSnapshot(ck.Restore); err != nil {
+			return Result{}, err
+		}
+		if ck.OnRestore != nil {
+			ck.OnRestore(s.cycle)
+		}
 	}
 	n := len(s.cores)
 	startCycle := make([]uint64, n)
@@ -107,19 +169,70 @@ func (s *System) RunContext(ctx context.Context, warmup, measure, maxCycles uint
 		}
 	}
 	remaining := n
+	if p := s.pendingProgress; p != nil {
+		s.pendingProgress = nil
+		if p.Warmup != warmup || p.Measure != measure {
+			return Result{}, &RestoreError{Err: fmt.Errorf("sim: snapshot was taken under warmup=%d measure=%d, run requested warmup=%d measure=%d", p.Warmup, p.Measure, warmup, measure)}
+		}
+		if len(p.StartCycle) != n || len(p.FinishCycle) != n || len(p.Started) != n || len(p.Finished) != n {
+			return Result{}, &RestoreError{Err: fmt.Errorf("sim: snapshot progress covers %d threads, system has %d", len(p.StartCycle), n)}
+		}
+		copy(startCycle, p.StartCycle)
+		copy(finishCycle, p.FinishCycle)
+		copy(started, p.Started)
+		copy(finished, p.Finished)
+		remaining = p.Remaining
+	}
 
-	// Cancellation is only polled at quantum boundaries: done is nil for a
-	// background context, and the per-cycle cost is one compare.
+	progress := func() RunProgress {
+		return RunProgress{
+			Warmup:      warmup,
+			Measure:     measure,
+			StartCycle:  append([]uint64(nil), startCycle...),
+			FinishCycle: append([]uint64(nil), finishCycle...),
+			Started:     append([]bool(nil), started...),
+			Finished:    append([]bool(nil), finished...),
+			Remaining:   remaining,
+		}
+	}
+	ckActive := ck != nil && ck.Sink != nil && ck.Interval > 0
+	emit := func() {
+		blob, err := s.Snapshot(progress())
+		if err != nil {
+			if ck.OnError != nil {
+				ck.OnError(err)
+			}
+			return
+		}
+		ck.Sink(blob, s.cycle)
+	}
+
+	// Cancellation and checkpointing are only polled at quantum boundaries:
+	// done is nil for a background context, and the per-cycle cost is one
+	// compare.
 	done := ctx.Done()
-	nextCancelCheck := s.cycle
+	nextPoll := s.cycle
+	var nextCkpt uint64
+	if ckActive {
+		nextCkpt = s.cycle + roundUpQuantum(ck.Interval, s.schedQ)
+	}
 
 	for remaining > 0 {
-		if done != nil && s.cycle >= nextCancelCheck {
-			nextCancelCheck = s.cycle + s.schedQ
-			select {
-			case <-done:
-				return Result{}, cancelError(ctx, s.cycle)
-			default:
+		if (done != nil || ckActive) && s.cycle >= nextPoll {
+			nextPoll = s.cycle + s.schedQ
+			if done != nil {
+				select {
+				case <-done:
+					if ck != nil && ck.OnCancel && ck.Sink != nil {
+						emit()
+					}
+					return Result{}, cancelError(ctx, s.cycle)
+				default:
+				}
+			}
+			if ckActive && s.cycle >= nextCkpt {
+				nextCkpt = s.cycle + roundUpQuantum(ck.Interval, s.schedQ)
+				emit()
 			}
 		}
 		if s.cycle >= maxCycles {

@@ -48,6 +48,16 @@ type System struct {
 	prio    *sched.ThreadPriority
 	llc     *cache.Shared
 
+	// schedImpl is the concrete scheduler (before any priority wrap) and
+	// mcpPolicy the concrete MCP instance; both are retained so the snapshot
+	// subsystem can capture their state by type.
+	schedImpl memctrl.Scheduler
+	mcpPolicy *mcp.MCP
+
+	// pendingProgress carries restored run-loop progress from
+	// RestoreSnapshot to RunCheckpointed.
+	pendingProgress *RunProgress
+
 	cycle     uint64
 	memCycles uint64
 	partQ     uint64 // partition quantum (CPU cycles), 0 = static policy
@@ -148,6 +158,7 @@ func NewSystem(cfg Config, benches []Bench) (*System, error) {
 		}
 		scheduler = bl
 	}
+	s.schedImpl = scheduler
 	if cfg.Partition == PartMCP {
 		s.prio = sched.NewThreadPriority(scheduler, cfg.Cores)
 		scheduler = s.prio
@@ -174,7 +185,7 @@ func NewSystem(cfg Config, benches []Bench) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.policy = p
+		s.policy, s.mcpPolicy = p, p
 	case PartFixed:
 		p, err := bankpart.NewFixed(cfg.FixedMasks, cfg.Geometry)
 		if err != nil {
@@ -282,7 +293,7 @@ func NewSystem(cfg Config, benches []Bench) (*System, error) {
 type memoryPort System
 
 // Submit implements cpu.Memory: route the request to its channel.
-func (p *memoryPort) Submit(thread int, paddr uint64, isWrite, demand bool, onDone func()) bool {
+func (p *memoryPort) Submit(thread int, paddr uint64, isWrite, demand bool, tag uint64, onDone func()) bool {
 	s := (*System)(p)
 	loc := s.mapper.Decode(paddr)
 	return s.ctrls[loc.Channel].Enqueue(&memctrl.Request{
@@ -290,6 +301,7 @@ func (p *memoryPort) Submit(thread int, paddr uint64, isWrite, demand bool, onDo
 		Addr:       paddr,
 		IsWrite:    isWrite,
 		Demand:     demand,
+		Tag:        tag,
 		OnComplete: onDone,
 	})
 }
@@ -495,7 +507,7 @@ func (s *System) migrate() {
 			if err != nil {
 				continue
 			}
-			if !(*memoryPort)(s).Submit(t, paddr&^(lineBytes-1), p%2 == 1, false, nil) {
+			if !(*memoryPort)(s).Submit(t, paddr&^(lineBytes-1), p%2 == 1, false, 0, nil) {
 				s.migrationDrops++
 			}
 		}

@@ -13,10 +13,21 @@
 //     incremented;
 //   - after SIGKILL + restart over the same -journal-dir, finished async
 //     jobs still answer GET /v1/runs/{id} with byte-identical ledgers
-//     (and re-seed the result cache), while the job killed mid-run
-//     reports failed with code "interrupted" and retryable=true.
+//     (and re-seed the result cache), while the job killed mid-run is
+//     requeued at its original id instead of being lost;
+//   - a job killed after writing checkpoints resumes from its latest
+//     checkpoint on restart and finishes with a ledger byte-identical to
+//     an uninterrupted reference run (resumed_runs_total = 1);
+//   - when every checkpoint blob is corrupted before the restart, the
+//     requeued job falls back to a clean cycle-0 rerun (checkpoint errors
+//     counted, nothing resumed) and still produces the reference ledger.
 //
 // Usage: go run ./scripts/chaossmoke /path/to/dbpserved
+//
+// With CHAOSSMOKE_ARTIFACTS=<dir> set (CI does this), every scratch
+// directory — journals, checkpoint blobs, per-daemon log files — is
+// created under <dir> and left in place instead of being cleaned up, so a
+// failing drill can be uploaded as a workflow artifact for post-mortem.
 package main
 
 import (
@@ -39,6 +50,30 @@ const (
 	quickBody = `{"benchmarks": ["mcf-like", "gcc-like"], "warmup": 1000, "measure": 5000}`
 	bigBody   = `{"benchmarks": ["mcf-like", "gcc-like"], "seed": 9001, "warmup": 0, "measure": 500000000}`
 )
+
+// artifactsDir, when non-empty (CHAOSSMOKE_ARTIFACTS), roots every scratch
+// directory under one path and disables cleanup so CI can upload the whole
+// post-mortem — journals, checkpoints, daemon logs — on failure.
+var artifactsDir = os.Getenv("CHAOSSMOKE_ARTIFACTS")
+
+// scratchDir creates a scenario scratch directory, under artifactsDir when
+// artifacts are being kept.
+func scratchDir(pattern string) (string, error) {
+	if artifactsDir == "" {
+		return os.MkdirTemp("", pattern)
+	}
+	if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+		return "", err
+	}
+	return os.MkdirTemp(artifactsDir, pattern)
+}
+
+// scrub removes a scratch directory — a no-op when artifacts are kept.
+func scrub(path string) {
+	if artifactsDir == "" {
+		os.RemoveAll(path)
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -69,6 +104,16 @@ func run(args []string) error {
 	}
 	if err := scenarioRestart(bin, baseline); err != nil {
 		return fmt.Errorf("restart durability: %w", err)
+	}
+	reference, err := scenarioResumeReference(bin)
+	if err != nil {
+		return fmt.Errorf("resume reference: %w", err)
+	}
+	if err := scenarioResume(bin, reference); err != nil {
+		return fmt.Errorf("checkpoint resume: %w", err)
+	}
+	if err := scenarioCorruptCheckpoint(bin, reference); err != nil {
+		return fmt.Errorf("corrupt checkpoint: %w", err)
 	}
 	return nil
 }
@@ -226,13 +271,15 @@ func scenarioTimeout(bin string) error {
 
 // scenarioRestart: SIGKILL the daemon with one finished and one running
 // async job, restart over the same journal, and require the finished job's
-// ledger back byte-identical and the killed job reported interrupted.
+// ledger back byte-identical and the killed job requeued at its original id
+// (the journaled submit record carries the request body) instead of being
+// reported as a terminal failure.
 func scenarioRestart(bin string, baseline []byte) error {
-	jdir, err := os.MkdirTemp("", "dbpserved-chaos-journal")
+	jdir, err := scratchDir("dbpserved-chaos-journal")
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(jdir)
+	defer scrub(jdir)
 
 	d, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1")
 	if err != nil {
@@ -285,8 +332,10 @@ func scenarioRestart(bin string, baseline []byte) error {
 	}
 	<-d.exited
 
-	// Restart over the same journal.
-	d2, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1")
+	// Restart over the same journal. The short drain grace keeps the final
+	// SIGTERM bounded: the requeued multi-minute job is drain-canceled after
+	// 2s (checkpoint-then-release) instead of running to completion.
+	d2, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1", "-drain-grace", "2s")
 	if err != nil {
 		return err
 	}
@@ -303,22 +352,19 @@ func scenarioRestart(bin string, baseline []byte) error {
 		return fmt.Errorf("restored ledger differs from the pre-kill bytes")
 	}
 
+	// The killed job is requeued live at its original id, not failed.
 	status, body, err = d2.get("/v1/runs/" + lostID)
 	if err != nil {
 		return err
 	}
 	var doc struct {
 		Status string `json:"status"`
-		Error  struct {
-			Code      string `json:"code"`
-			Retryable bool   `json:"retryable"`
-		} `json:"error"`
 	}
-	if status != http.StatusInternalServerError || json.Unmarshal(body, &doc) != nil {
-		return fmt.Errorf("interrupted job: status %d: %s", status, body)
+	if status != http.StatusAccepted || json.Unmarshal(body, &doc) != nil {
+		return fmt.Errorf("requeued job: status %d: %s", status, body)
 	}
-	if doc.Status != "failed" || doc.Error.Code != "interrupted" || !doc.Error.Retryable {
-		return fmt.Errorf("interrupted doc = %s", body)
+	if doc.Status != "queued" && doc.Status != "running" {
+		return fmt.Errorf("requeued job status = %q, want queued or running: %s", doc.Status, body)
 	}
 
 	// The journaled result re-seeds the cache: no re-simulation needed.
@@ -335,8 +381,190 @@ func scenarioRestart(bin string, baseline []byte) error {
 	if err := d2.drain(); err != nil {
 		return err
 	}
-	fmt.Println("chaos-smoke: restart: finished job preserved byte-identical, interrupted job retryable")
+	fmt.Println("chaos-smoke: restart: finished job preserved byte-identical, killed job requeued")
 	return nil
+}
+
+// resumeBody is the prop for the checkpoint scenarios: big enough to write
+// several checkpoints before the kill (with -checkpoint-interval 1 the
+// effective period is one 250k-cycle scheduler quantum), small enough that
+// the resumed remainder finishes in seconds.
+const resumeBody = `{"benchmarks": ["mcf-like", "gcc-like"], "seed": 9301, "warmup": 0, "measure": 2000000}`
+
+// scenarioResumeReference captures the uninterrupted ledger for resumeBody
+// on a journal-less daemon — the byte-identity yardstick for both
+// checkpoint scenarios.
+func scenarioResumeReference(bin string) ([]byte, error) {
+	d, err := startDaemon(bin)
+	if err != nil {
+		return nil, err
+	}
+	defer d.kill()
+	status, ledger, _, err := d.post("/v1/runs?timeout=120s", resumeBody)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("reference run: status %d: %s", status, ledger)
+	}
+	if err := d.drain(); err != nil {
+		return nil, err
+	}
+	fmt.Println("chaos-smoke: resume reference: uninterrupted ledger captured")
+	return ledger, nil
+}
+
+// scenarioResume is the headline checkpoint drill: kill the daemon after it
+// has journaled checkpoints for a running job, restart over the same
+// journal, and require the job to resume from its latest checkpoint and
+// finish with the reference run's exact bytes.
+func scenarioResume(bin string, reference []byte) error {
+	jdir, err := scratchDir("dbpserved-chaos-ckpt")
+	if err != nil {
+		return err
+	}
+	defer scrub(jdir)
+
+	d, id, err := startInterruptedRun(bin, jdir, 2)
+	if err != nil {
+		return err
+	}
+	d.kill()
+	<-d.exited
+
+	d2, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1", "-checkpoint-interval", "1")
+	if err != nil {
+		return err
+	}
+	defer d2.kill()
+	ledger, err := d2.pollDone(id, 180*time.Second)
+	if err != nil {
+		return fmt.Errorf("resumed job: %w", err)
+	}
+	if string(ledger) != string(reference) {
+		return fmt.Errorf("resumed ledger differs from the uninterrupted reference (%d vs %d bytes)", len(ledger), len(reference))
+	}
+	m, err := d2.metrics()
+	if err != nil {
+		return err
+	}
+	if m["dbpserved_resumed_runs_total"] != 1 {
+		return fmt.Errorf("resumed_runs_total = %v, want 1", m["dbpserved_resumed_runs_total"])
+	}
+	if err := d2.drain(); err != nil {
+		return err
+	}
+	fmt.Println("chaos-smoke: resume: killed mid-run, resumed from checkpoint, ledger byte-identical")
+	return nil
+}
+
+// scenarioCorruptCheckpoint: same kill, but every checkpoint blob is
+// corrupted before the restart. The requeued job must fall back to a clean
+// cycle-0 rerun — checkpoint errors counted, nothing resumed — and still
+// produce the reference ledger.
+func scenarioCorruptCheckpoint(bin string, reference []byte) error {
+	jdir, err := scratchDir("dbpserved-chaos-ckpt-corrupt")
+	if err != nil {
+		return err
+	}
+	defer scrub(jdir)
+
+	d, id, err := startInterruptedRun(bin, jdir, 1)
+	if err != nil {
+		return err
+	}
+	d.kill()
+	<-d.exited
+
+	ckptDir := filepath.Join(jdir, "checkpoints")
+	blobs, err := os.ReadDir(ckptDir)
+	if err != nil {
+		return err
+	}
+	if len(blobs) == 0 {
+		return fmt.Errorf("no checkpoint blobs on disk despite checkpoints_written > 0")
+	}
+	for _, e := range blobs {
+		if err := os.WriteFile(filepath.Join(ckptDir, e.Name()), []byte("corrupt"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	d2, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1", "-checkpoint-interval", "1")
+	if err != nil {
+		return err
+	}
+	defer d2.kill()
+	ledger, err := d2.pollDone(id, 180*time.Second)
+	if err != nil {
+		return fmt.Errorf("rerun job: %w", err)
+	}
+	if string(ledger) != string(reference) {
+		return fmt.Errorf("cycle-0 rerun ledger differs from the reference (%d vs %d bytes)", len(ledger), len(reference))
+	}
+	m, err := d2.metrics()
+	if err != nil {
+		return err
+	}
+	if m["dbpserved_resumed_runs_total"] != 0 {
+		return fmt.Errorf("resumed_runs_total = %v, want 0 (corrupt blob must not resume)", m["dbpserved_resumed_runs_total"])
+	}
+	if m["dbpserved_checkpoint_errors_total"] < 1 {
+		return fmt.Errorf("checkpoint_errors_total = %v, want >= 1", m["dbpserved_checkpoint_errors_total"])
+	}
+	if err := d2.drain(); err != nil {
+		return err
+	}
+	fmt.Println("chaos-smoke: corrupt checkpoint: clean cycle-0 fallback, ledger byte-identical")
+	return nil
+}
+
+// startInterruptedRun launches a checkpointing daemon over jdir, submits
+// resumeBody async, waits until at least minCkpts checkpoints are written,
+// and returns the still-running daemon plus the job id — ready for the
+// caller to pull the plug.
+func startInterruptedRun(bin, jdir string, minCkpts float64) (*daemon, string, error) {
+	d, err := startDaemon(bin, "-journal-dir", jdir, "-workers", "1", "-checkpoint-interval", "1")
+	if err != nil {
+		return nil, "", err
+	}
+	status, body, _, err := d.post("/v1/runs?async=1", resumeBody)
+	if err != nil {
+		d.kill()
+		return nil, "", err
+	}
+	if status != http.StatusAccepted {
+		d.kill()
+		return nil, "", fmt.Errorf("async submit: status %d: %s", status, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		d.kill()
+		return nil, "", err
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		m, err := d.metrics()
+		if err != nil {
+			d.kill()
+			return nil, "", err
+		}
+		if m["dbpserved_checkpoints_written_total"] >= minCkpts {
+			return d, acc.ID, nil
+		}
+		select {
+		case <-d.exited:
+			return nil, "", fmt.Errorf("daemon exited while waiting for checkpoints")
+		default:
+		}
+		if time.Now().After(deadline) {
+			d.kill()
+			return nil, "", fmt.Errorf("checkpoints_written never reached %v", minCkpts)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 func seeded(seed int) string {
@@ -353,23 +581,43 @@ type daemon struct {
 }
 
 // startDaemon launches the binary on a free port and waits for it to
-// report its bound address.
+// report its bound address. When artifacts are kept, the daemon's output
+// is additionally teed to a daemon.log in its scratch directory.
 func startDaemon(bin string, extra ...string) (*daemon, error) {
-	tmp, err := os.MkdirTemp("", "dbpserved-chaos")
+	tmp, err := scratchDir("dbpserved-chaos")
 	if err != nil {
 		return nil, err
 	}
 	addrFile := filepath.Join(tmp, "addr")
 	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-log-json"}, extra...)
 	cmd := exec.Command(bin, args...)
-	cmd.Stderr = os.Stderr
-	cmd.Stdout = os.Stdout
+	var logFile *os.File
+	var sink io.Writer = os.Stderr
+	if artifactsDir != "" {
+		logFile, err = os.Create(filepath.Join(tmp, "daemon.log"))
+		if err != nil {
+			scrub(tmp)
+			return nil, err
+		}
+		sink = io.MultiWriter(os.Stderr, logFile)
+	}
+	cmd.Stderr = sink
+	cmd.Stdout = sink
 	if err := cmd.Start(); err != nil {
-		os.RemoveAll(tmp)
+		if logFile != nil {
+			logFile.Close()
+		}
+		scrub(tmp)
 		return nil, err
 	}
 	d := &daemon{cmd: cmd, tmp: tmp, exited: make(chan error, 1)}
-	go func() { d.exited <- cmd.Wait() }()
+	go func() {
+		err := cmd.Wait()
+		if logFile != nil {
+			logFile.Close()
+		}
+		d.exited <- err
+	}()
 
 	deadline := time.Now().Add(15 * time.Second)
 	for {
@@ -379,13 +627,13 @@ func startDaemon(bin string, extra ...string) (*daemon, error) {
 		}
 		select {
 		case err := <-d.exited:
-			os.RemoveAll(tmp)
+			scrub(tmp)
 			return nil, fmt.Errorf("daemon exited before binding: %v", err)
 		default:
 		}
 		if time.Now().After(deadline) {
 			cmd.Process.Kill()
-			os.RemoveAll(tmp)
+			scrub(tmp)
 			return nil, fmt.Errorf("daemon never wrote %s", addrFile)
 		}
 		time.Sleep(25 * time.Millisecond)
@@ -395,7 +643,7 @@ func startDaemon(bin string, extra ...string) (*daemon, error) {
 // kill is the unconditional cleanup; safe after drain.
 func (d *daemon) kill() {
 	d.cmd.Process.Kill()
-	os.RemoveAll(d.tmp)
+	scrub(d.tmp)
 }
 
 // drain SIGTERMs the daemon and requires a clean exit.
