@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke
+.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,42 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# --- Benchmarks / performance ledger (see EXPERIMENTS.md) --------------------
+#
+# -run='^$' keeps unit tests out of bench runs; -count repeats each benchmark
+# so scripts/benchjson can take medians. The gate set is split into macro
+# benchmarks (one op = one full simulation run; -benchtime=1x) and micro
+# benchmarks (per-cycle and substrate costs; wall-clock benchtime), because
+# no single -benchtime suits both.
+BENCH_COUNT ?= 6
+BENCH_PR ?= 6
+BENCH_BASELINE ?= BENCH_$(BENCH_PR).json
+BENCH_MACRO = 'PolicyCycles|IdleHeavy'
+BENCH_MICRO = 'MeasureLoopSteadyState|DRAMCommandIssue|CacheAccess|TraceGeneration|AddressDecode'
+
+# Full benchmark sweep: every benchmark (paper figures + perf ledger).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) . ./internal/sim
+
+# The perf-ledger set only: fast enough for CI, stable enough to gate on.
+bench-quick:
+	$(GO) test -run='^$$' -bench=$(BENCH_MACRO) -benchmem -benchtime=1x -count=3 .
+	$(GO) test -run='^$$' -bench=$(BENCH_MICRO) -benchmem -benchtime=100ms -count=3 . ./internal/sim
+
+# Record the perf-ledger baseline (commit the resulting BENCH_<pr>.json).
+bench-json:
+	{ $(GO) test -run='^$$' -bench=$(BENCH_MACRO) -benchmem -benchtime=1x -count=3 . ; \
+	  $(GO) test -run='^$$' -bench=$(BENCH_MICRO) -benchmem -benchtime=100ms -count=3 . ./internal/sim ; } \
+	| $(GO) run ./scripts/benchjson parse -pr $(BENCH_PR) -o $(BENCH_BASELINE)
+
+# Regression gate: rerun the perf-ledger set and compare against the
+# committed baseline. Time metrics tolerate 35% (override with
+# BENCH_MAX_SLOWER); allocs/op is strict — zero-alloc stays zero-alloc.
+bench-gate:
+	{ $(GO) test -run='^$$' -bench=$(BENCH_MACRO) -benchmem -benchtime=1x -count=3 . ; \
+	  $(GO) test -run='^$$' -bench=$(BENCH_MICRO) -benchmem -benchtime=100ms -count=3 . ./internal/sim ; } \
+	| $(GO) run ./scripts/benchjson parse -o /tmp/bench-head.json
+	$(GO) run ./scripts/benchjson compare $(BENCH_BASELINE) /tmp/bench-head.json
 
 # Run the simulation service in the foreground (ctrl-C drains).
 serve:
@@ -60,8 +94,9 @@ chaos-smoke:
 # The gate CI runs: lint, build, the full test suite, the suite again under
 # the race detector with -short (the paper-shape regressions run several
 # full-length simulations; under the detector's ~15x slowdown they would
-# blow the test timeout without adding race coverage), and the dbpserved
-# smoke + chaos drills against the real binary.
+# blow the test timeout without adding race coverage), the dbpserved
+# smoke + chaos drills against the real binary, and the benchmark
+# regression gate against the committed perf-ledger baseline.
 ci:
 	$(MAKE) lint
 	$(GO) build ./...
@@ -69,6 +104,7 @@ ci:
 	$(GO) test -race -short ./...
 	$(MAKE) smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) bench-gate
 
 # Regenerate every paper table/figure (full budgets; ~15 min).
 sweep:

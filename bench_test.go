@@ -243,6 +243,113 @@ func BenchmarkAblationLightSpreadAll(b *testing.B) {
 	benchAblation(b, func(c *dbpsim.Config) { c.DBP.LightPlacement = core.LightSpreadAll })
 }
 
+// --- Performance ledger: simulator speed per policy --------------------------
+//
+// These benchmarks measure the simulator itself, not the simulated system:
+// how many nanoseconds of wall clock one simulated CPU cycle costs under
+// each paper policy. scripts/benchjson turns their output into BENCH_<pr>.json
+// and `make bench-gate` compares against the committed baseline.
+
+// reportSimSpeed reports wall nanoseconds per simulated CPU cycle and
+// simulated cycles per wall second over the accumulated cycle count.
+func reportSimSpeed(b *testing.B, simCycles uint64) {
+	b.Helper()
+	elapsed := b.Elapsed()
+	if simCycles == 0 || elapsed <= 0 {
+		return
+	}
+	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(simCycles), "ns/simcycle")
+	b.ReportMetric(float64(simCycles)/elapsed.Seconds(), "simcycles/sec")
+}
+
+// benchPolicyCycles runs a fixed 4-core mix for a fixed instruction budget
+// under one policy, with system construction off the clock.
+func benchPolicyCycles(b *testing.B, sched dbpsim.SchedulerKind, part dbpsim.PartitionKind) {
+	b.Helper()
+	b.ReportAllocs()
+	mix, ok := dbpsim.MixByName("W4-M1")
+	if !ok {
+		b.Fatal("unknown mix W4-M1")
+	}
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := dbpsim.DefaultConfig(4)
+		cfg.Scheduler = sched
+		cfg.Partition = part
+		var benches []dbpsim.Bench
+		for j, name := range mix.Members {
+			spec, ok := dbpsim.BenchByName(name)
+			if !ok {
+				b.Fatalf("unknown benchmark %s", name)
+			}
+			benches = append(benches, dbpsim.Bench{Name: name, Gen: spec.New(int64(j))})
+		}
+		sys, err := dbpsim.NewSystem(cfg, benches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := sys.Run(20_000, 100_000, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Cycles
+	}
+	reportSimSpeed(b, total)
+}
+
+func BenchmarkPolicyCycles_FRFCFS(b *testing.B) {
+	benchPolicyCycles(b, dbpsim.SchedFRFCFS, dbpsim.PartNone)
+}
+func BenchmarkPolicyCycles_TCM(b *testing.B) {
+	benchPolicyCycles(b, dbpsim.SchedTCM, dbpsim.PartNone)
+}
+func BenchmarkPolicyCycles_MCP(b *testing.B) {
+	benchPolicyCycles(b, dbpsim.SchedFRFCFS, dbpsim.PartMCP)
+}
+func BenchmarkPolicyCycles_DBP(b *testing.B) {
+	benchPolicyCycles(b, dbpsim.SchedFRFCFS, dbpsim.PartDBP)
+}
+func BenchmarkPolicyCycles_DBPTCM(b *testing.B) {
+	benchPolicyCycles(b, dbpsim.SchedTCM, dbpsim.PartDBP)
+}
+
+// benchIdleHeavy runs an idle-heavy (low-MPKI, compute-bound) 2-core
+// pairing: accesses every ~200 instructions against L1-resident working
+// sets, so after warmup nearly every cycle is a replayable full-width
+// compute cycle. SkipOn versus SkipOff quantifies the cycle-skipping
+// speedup (the perf ledger's headline number — skipping must deliver at
+// least 2x simcycles/sec here).
+func benchIdleHeavy(b *testing.B, skipping bool) {
+	b.Helper()
+	b.ReportAllocs()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := dbpsim.DefaultConfig(2)
+		benches := []dbpsim.Bench{
+			{Name: "idle-rand", Gen: trace.NewRandom(trace.Config{MemRatio: 0.001, WorkingSetBytes: 16 << 10}, 1)},
+			{Name: "idle-stream", Gen: trace.NewStream(trace.Config{MemRatio: 0.001, WorkingSetBytes: 16 << 10}, 1, 64, 2)},
+		}
+		sys, err := dbpsim.NewSystem(cfg, benches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.SetCycleSkipping(skipping)
+		b.StartTimer()
+		res, err := sys.Run(100_000, 1_000_000, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Cycles
+	}
+	reportSimSpeed(b, total)
+}
+
+func BenchmarkIdleHeavySkipOn(b *testing.B)  { benchIdleHeavy(b, true) }
+func BenchmarkIdleHeavySkipOff(b *testing.B) { benchIdleHeavy(b, false) }
+
 // --- Substrate micro-benchmarks ----------------------------------------------
 
 func BenchmarkDRAMCommandIssue(b *testing.B) {
@@ -254,6 +361,7 @@ func BenchmarkDRAMCommandIssue(b *testing.B) {
 	}
 	var now uint64
 	bank, row := 0, 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ch.CanIssue(dram.CmdActivate, 0, bank, row, now) {
@@ -277,6 +385,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 	for i := range addrs {
 		addrs[i] = g.Next().Addr
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(addrs[i%len(addrs)], i%5 == 0)
@@ -286,6 +395,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 func BenchmarkTraceGeneration(b *testing.B) {
 	spec, _ := workload.ByName("soplex-like")
 	g := spec.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Next()
@@ -294,17 +404,20 @@ func BenchmarkTraceGeneration(b *testing.B) {
 
 func BenchmarkAddressDecode(b *testing.B) {
 	m := addr.NewMapper(addr.DefaultGeometry())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Decode(uint64(i) * 64)
 	}
 }
 
-// BenchmarkSystemCycles measures raw full-system simulation speed in
-// simulated CPU cycles per wall second (reported as cycles/op across one
-// fixed run).
+// BenchmarkSystemCycles measures raw full-system simulation speed on the
+// 8-core paper configuration.
 func BenchmarkSystemCycles(b *testing.B) {
+	b.ReportAllocs()
+	var total uint64
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		cfg := dbpsim.DefaultConfig(8)
 		mix, _ := dbpsim.MixByName("W8-M1")
 		var benches []dbpsim.Bench
@@ -316,10 +429,12 @@ func BenchmarkSystemCycles(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		res, err := sys.Run(0, 100_000, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.Cycles), "simcycles")
+		total += res.Cycles
 	}
+	reportSimSpeed(b, total)
 }

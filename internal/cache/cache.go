@@ -204,6 +204,12 @@ func popcount(mask uint64) uint {
 type Hierarchy struct {
 	L1 *Cache
 	L2 *Cache
+
+	// ops is the scratch buffer Access and PrefetchL2 return slices of, so
+	// the per-access hot path never allocates. One access yields at most a
+	// handful of ops (demand fill + victim writebacks), so the buffer never
+	// grows past its initial capacity in practice.
+	ops []MemoryOp
 }
 
 // MemoryOp is a DRAM access produced by a hierarchy miss.
@@ -230,13 +236,17 @@ func NewHierarchy(l1, l2 Config) (*Hierarchy, error) {
 	if l1.LineBytes != l2.LineBytes {
 		return nil, fmt.Errorf("cache: L1 line %d != L2 line %d", l1.LineBytes, l2.LineBytes)
 	}
-	return &Hierarchy{L1: c1, L2: c2}, nil
+	return &Hierarchy{L1: c1, L2: c2, ops: make([]MemoryOp, 0, 8)}, nil
 }
 
 // Access runs one data access through the hierarchy. It returns the memory
 // operations that must reach DRAM: at most one demand fill and any
 // writebacks, in issue order. hitLevel is 1, 2 or 3 (3 = memory).
+//
+// The returned slice aliases an internal scratch buffer: it is valid only
+// until the next Access or PrefetchL2 call and must not be retained.
 func (h *Hierarchy) Access(addr uint64, isWrite bool) (ops []MemoryOp, hitLevel int) {
+	ops = h.ops[:0]
 	r1 := h.L1.Access(addr, isWrite)
 	if r1.Writeback {
 		// Dirty L1 victim lands in L2 (write-allocate there too).
@@ -267,10 +277,13 @@ func (h *Hierarchy) Access(addr uint64, isWrite bool) (ops []MemoryOp, hitLevel 
 // L1 (prefetches fill the larger level to limit pollution). It returns the
 // memory operations the fill generates — at most one non-demand read plus a
 // victim writeback — and filled=false when the line was already cached.
+// The returned slice aliases the same scratch buffer as Access and is valid
+// only until the next Access or PrefetchL2 call.
 func (h *Hierarchy) PrefetchL2(addr uint64) (ops []MemoryOp, filled bool) {
 	if h.L1.Contains(addr) || h.L2.Contains(addr) {
 		return nil, false
 	}
+	ops = h.ops[:0]
 	r := h.L2.Access(addr, false)
 	if r.Writeback {
 		ops = append(ops, MemoryOp{Addr: r.WritebackAddr, IsWrite: true})

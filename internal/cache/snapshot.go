@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"dbpsim/internal/detmap"
+)
 
 // Snapshot/Restore capture cache contents (tags, dirtiness, LRU clocks)
 // so simulations can be checkpointed and resumed bit-identically. Shapes
@@ -87,7 +91,7 @@ type SharedLineState struct {
 // UMONState is one utility monitor's complete state: the warm tag stacks
 // plus the current quantum's histograms.
 type UMONState struct {
-	Stacks   map[uint64][]uint64
+	Stacks   detmap.Map[uint64, []uint64]
 	Hist     []uint64
 	Misses   uint64
 	Accesses uint64
@@ -106,7 +110,7 @@ type SharedState struct {
 // Snapshot captures the monitor's state.
 func (u *UMON) Snapshot() UMONState {
 	st := UMONState{
-		Stacks:   make(map[uint64][]uint64, len(u.stacks)),
+		Stacks:   make(detmap.Map[uint64, []uint64], len(u.stacks)),
 		Hist:     append([]uint64(nil), u.hist...),
 		Misses:   u.misses,
 		Accesses: u.accesses,

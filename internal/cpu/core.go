@@ -24,9 +24,9 @@ type Memory interface {
 	// Submit tries to enqueue a line request; it returns false when the
 	// controller queue is full and the core must retry. tag is the core's
 	// miss tag for demand reads (0 for posted traffic); it travels with the
-	// request so snapshot restore can relink completions. onDone may be nil
-	// for posted (non-demand) traffic.
-	Submit(thread int, paddr uint64, isWrite, demand bool, tag uint64, onDone func()) bool
+	// request, and the memory system calls DemandDone(tag) on the issuing
+	// core when the demand read's data transfer completes.
+	Submit(thread int, paddr uint64, isWrite, demand bool, tag uint64) bool
 }
 
 // Config holds core parameters.
@@ -81,6 +81,10 @@ type pendingOp struct {
 	isWrite bool
 }
 
+// pendingOpsCap pre-sizes the spill buffer so steady-state bursts never
+// allocate; larger transient bursts may grow it and are trimmed back.
+const pendingOpsCap = 64
+
 // Stats exposes the core's counters.
 type Stats struct {
 	// Retired is the number of retired instructions.
@@ -130,10 +134,18 @@ type Core struct {
 	// same position (generator PRNG state is not serialisable).
 	genCalls uint64
 
-	outstandingLoads int // incomplete loads (for dependence chains)
+	outstandingLoads int // loads currently in the window (for dependence chains)
 	demandInFlight   int // MSHR occupancy
-	pendingOps       []pendingOp
-	pf               *prefetch.Stride
+
+	// maxReadyAt is the largest readyAt ever inserted. Once now reaches it
+	// (and no demand miss is in flight), every window entry is done and
+	// ready, so retirement is purely throughput-limited — the condition the
+	// streaming fast path needs. Derived state: not serialised; restore
+	// recomputes it from the window.
+	maxReadyAt uint64
+
+	pendingOps []pendingOp
+	pf         *prefetch.Stride
 
 	// nextTag and missSlots track in-flight demand misses by tag rather
 	// than by captured ROB slot, so completions survive snapshot/restore:
@@ -157,15 +169,16 @@ func New(id int, cfg Config, gen trace.Generator, xlate Translator, hier *cache.
 		return nil, fmt.Errorf("cpu: nil collaborator for core %d", id)
 	}
 	core := &Core{
-		id:        id,
-		cfg:       cfg,
-		gen:       gen,
-		xlate:     xlate,
-		hier:      hier,
-		mem:       mem,
-		rob:       make([]robEntry, cfg.ROBSize),
-		nextTag:   1,
-		missSlots: make(map[uint64]int),
+		id:         id,
+		cfg:        cfg,
+		gen:        gen,
+		xlate:      xlate,
+		hier:       hier,
+		mem:        mem,
+		rob:        make([]robEntry, cfg.ROBSize),
+		pendingOps: make([]pendingOp, 0, pendingOpsCap),
+		nextTag:    1,
+		missSlots:  make(map[uint64]int),
 	}
 	if cfg.PrefetchDegree > 0 {
 		size := cfg.PrefetchTableSize
@@ -267,22 +280,33 @@ func (c *Core) Tick() error {
 }
 
 func (c *Core) insert(e robEntry) {
+	if e.readyAt > c.maxReadyAt {
+		c.maxReadyAt = e.readyAt
+	}
 	c.rob[c.tail] = e
 	c.tail = (c.tail + 1) % len(c.rob)
 	c.count++
 }
 
 func (c *Core) flushPendingOps() {
-	for len(c.pendingOps) > 0 {
-		op := c.pendingOps[0]
-		if !c.mem.Submit(c.id, op.addr, op.isWrite, false, 0, nil) {
+	sent := 0
+	for sent < len(c.pendingOps) {
+		op := c.pendingOps[sent]
+		if !c.mem.Submit(c.id, op.addr, op.isWrite, false, 0) {
 			c.stats.SubmitRetries++
-			return
+			break
 		}
-		c.pendingOps = c.pendingOps[1:]
+		sent++
 	}
-	if len(c.pendingOps) == 0 && cap(c.pendingOps) > 64 {
-		c.pendingOps = nil // don't let a burst pin a large backing array
+	if sent > 0 {
+		// Order-preserving compaction in place: the backing array (pre-sized
+		// at construction) is reused instead of resliced away.
+		n := copy(c.pendingOps, c.pendingOps[sent:])
+		c.pendingOps = c.pendingOps[:n]
+	}
+	if len(c.pendingOps) == 0 && cap(c.pendingOps) > pendingOpsCap {
+		// Don't let a burst pin a large backing array.
+		c.pendingOps = make([]pendingOp, 0, pendingOpsCap)
 	}
 }
 
@@ -338,9 +362,10 @@ func (c *Core) issueMemAccess(now uint64) (ok bool, err error) {
 			c.missSlots[tag] = slot
 			c.demandInFlight++
 			c.stats.DemandMisses++
-			submitted := c.mem.Submit(c.id, op.Addr, false, true, tag, func() {
-				c.DemandDone(tag)
-			})
+			// The memory system calls DemandDone(tag) on completion; no
+			// per-miss closure is captured (the old per-miss func() was a
+			// steady-state heap allocation).
+			submitted := c.mem.Submit(c.id, op.Addr, false, true, tag)
 			if !submitted {
 				// Roll back the MSHR; the cache already allocated the
 				// line, but re-access next cycle will simply hit — model
@@ -368,10 +393,132 @@ func (c *Core) issueMemAccess(now uint64) (ok bool, err error) {
 	return true, nil
 }
 
+// NeverEvent marks a core that can only be woken externally (by a memory
+// completion calling DemandDone).
+const NeverEvent = ^uint64(0)
+
+// streaming reports whether the core is in a deterministic compute-streaming
+// state: every instruction it will touch for at least one full cycle is a
+// gap (non-memory) instruction, nothing is in flight, and the window holds
+// at least Width retirable entries. In this state Tick's behaviour is
+// exactly linear — retire Width, insert Width done gap entries, no cache,
+// trace-generator or memory interaction — so a whole stretch of cycles can
+// be applied in bulk by Skip. The conditions mirror Tick:
+//   - no spilled traffic to retry (flushPendingOps is a no-op);
+//   - no demand miss in flight (demandInFlight == 0 means every window entry
+//     is done — completed hit loads may still sit in the window) and every
+//     entry is already ready (now >= maxReadyAt), so the retire loop is
+//     purely throughput-limited at exactly Width per cycle;
+//   - the fill loop inserts Width gap entries (haveItem, gapLeft >= Width)
+//     without consulting the generator or the caches;
+//   - count >= Width so the retire loop never drains the window dry.
+func (c *Core) streaming() bool {
+	return len(c.pendingOps) == 0 &&
+		c.demandInFlight == 0 &&
+		c.now >= c.maxReadyAt &&
+		c.haveItem &&
+		c.gapLeft >= c.cfg.Width &&
+		c.count >= c.cfg.Width
+}
+
+// NextEvent returns the earliest CPU cycle >= now at which Tick would do
+// something Skip cannot replicate, plus the core's deterministic retire
+// rate over the window [now, event): 0 when the core is stalled (Retired
+// frozen until event), Width when it is streaming pure compute at full
+// width (Retired advances by Width each cycle). Returning the current cycle
+// means "active: tick me every cycle". The event-driven skipping fast path
+// in the simulation kernel uses it to jump over provably replayable cycles;
+// the quiescence conditions below mirror Tick exactly — a stalled cycle is
+// skippable only if the retire loop cannot retire (head not done or not
+// ready), there is no spilled traffic to retry, and the fill loop would
+// break before mutating anything (ROB full, serialised pointer chase, or
+// the side-effect-free MSHR gate in issueMemAccess).
+func (c *Core) NextEvent() (event, retireRate uint64) {
+	if c.streaming() {
+		// Full-width compute until the current gap run can no longer feed a
+		// whole cycle's worth of inserts.
+		return c.now + uint64(c.gapLeft/c.cfg.Width), uint64(c.cfg.Width)
+	}
+	if len(c.pendingOps) > 0 || c.count == 0 {
+		return c.now, 0
+	}
+	head := &c.rob[c.head]
+	if head.done && head.readyAt <= c.now {
+		return c.now, 0 // retirable this cycle
+	}
+	fillBlocked := c.count == len(c.rob) ||
+		(c.haveItem && c.gapLeft == 0 &&
+			((c.item.Dependent && c.outstandingLoads > 0) ||
+				(!c.item.IsWrite && c.demandInFlight >= c.cfg.MSHRs)))
+	if !fillBlocked {
+		return c.now, 0
+	}
+	if head.done {
+		return head.readyAt, 0 // fixed-latency load completes then
+	}
+	return NeverEvent, 0 // waiting on DRAM; the controller's events bound this
+}
+
+// Skip advances the core by delta cycles in bulk: exactly what delta
+// consecutive Ticks would do from the state NextEvent certified. For a
+// stalled core that is delta no-op ticks (cycle and stall counters advance,
+// nothing else changes). For a streaming core it retires and inserts
+// delta*Width gap instructions, reconstructing the ROB ring — including
+// each slot's readyAt — byte-for-byte as per-cycle execution would have
+// left it, in O(ROBSize) instead of O(delta). Callers must keep delta
+// within the window reported by NextEvent.
+func (c *Core) Skip(delta uint64) {
+	if c.streaming() {
+		w := uint64(c.cfg.Width)
+		n := delta * w
+		size := uint64(len(c.rob))
+		// The n retired entries are the first min(n, count) current window
+		// entries plus freshly inserted gaps; completed loads among them give
+		// up their outstanding slots exactly as Tick's retire loop would.
+		if c.outstandingLoads > 0 {
+			m := n
+			if uint64(c.count) < m {
+				m = uint64(c.count)
+			}
+			for j := uint64(0); j < m; j++ {
+				if c.rob[(uint64(c.head)+j)%size].isLoad {
+					c.outstandingLoads--
+				}
+			}
+		}
+		// Insertion j (0-based) happens in cycle now + j/w and lands at slot
+		// (tail+j) mod size. Retired slots are never cleared, so each slot's
+		// final content is the last insertion written to it — replaying the
+		// last min(n, size) insertions reproduces every touched slot exactly,
+		// including the stale bytes of entries retired within the window
+		// (which snapshots serialise).
+		start := uint64(0)
+		if n > size {
+			start = n - size
+		}
+		for j := start; j < n; j++ {
+			c.rob[(uint64(c.tail)+j)%size] = robEntry{done: true, readyAt: c.now + j/w + 1}
+		}
+		// The last gap inserted carries readyAt now+delta, matching what
+		// per-cycle inserts would have driven maxReadyAt to.
+		if last := c.now + delta; last > c.maxReadyAt {
+			c.maxReadyAt = last
+		}
+		c.head = int((uint64(c.head) + n) % size)
+		c.tail = int((uint64(c.tail) + n) % size)
+		c.gapLeft -= int(n)
+		c.stats.Retired += n
+	} else {
+		c.stats.StallCycles += delta
+	}
+	c.now += delta
+	c.stats.Cycles += delta
+}
+
 // DemandDone completes the demand miss identified by tag: the waiting ROB
 // entry becomes retirable and the MSHR frees. The memory system invokes it
-// (via the closure passed to Submit, or directly after a snapshot restore
-// relinks in-flight requests); unknown tags are ignored.
+// on read completion (or directly after a snapshot restore); unknown tags
+// are ignored.
 func (c *Core) DemandDone(tag uint64) {
 	slot, ok := c.missSlots[tag]
 	if !ok {
@@ -384,7 +531,7 @@ func (c *Core) DemandDone(tag uint64) {
 
 // post submits (or spills) one posted line transfer toward DRAM.
 func (c *Core) post(addr uint64, isWrite bool) {
-	if !c.mem.Submit(c.id, addr, isWrite, false, 0, nil) {
+	if !c.mem.Submit(c.id, addr, isWrite, false, 0) {
 		c.pendingOps = append(c.pendingOps, pendingOp{addr: addr, isWrite: isWrite})
 		c.stats.SubmitRetries++
 	}

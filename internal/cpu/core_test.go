@@ -12,13 +12,16 @@ type identityXlate struct{}
 
 func (identityXlate) Translate(v uint64) (uint64, bool, error) { return v, false, nil }
 
-// fakeMem records submissions and completes demands after a fixed delay.
+// fakeMem records submissions and completes demands after a fixed delay by
+// calling DemandDone(tag) on the issuing core, mirroring the real memory
+// system's flattened completion path.
 type fakeMem struct {
 	latency  int
 	full     bool
+	core     *Core
 	inflight []struct {
-		at   uint64
-		done func()
+		at  uint64
+		tag uint64
 	}
 	now     uint64
 	submits []struct {
@@ -28,7 +31,7 @@ type fakeMem struct {
 	}
 }
 
-func (m *fakeMem) Submit(thread int, addr uint64, isWrite, demand bool, tag uint64, onDone func()) bool {
+func (m *fakeMem) Submit(thread int, addr uint64, isWrite, demand bool, tag uint64) bool {
 	if m.full {
 		return false
 	}
@@ -37,11 +40,11 @@ func (m *fakeMem) Submit(thread int, addr uint64, isWrite, demand bool, tag uint
 		isWrite bool
 		demand  bool
 	}{addr, isWrite, demand})
-	if onDone != nil {
+	if demand && tag != 0 {
 		m.inflight = append(m.inflight, struct {
-			at   uint64
-			done func()
-		}{m.now + uint64(m.latency), onDone})
+			at  uint64
+			tag uint64
+		}{m.now + uint64(m.latency), tag})
 	}
 	return true
 }
@@ -50,7 +53,7 @@ func (m *fakeMem) tick() {
 	m.now++
 	for i := 0; i < len(m.inflight); {
 		if m.now >= m.inflight[i].at {
-			m.inflight[i].done()
+			m.core.DemandDone(m.inflight[i].tag)
 			m.inflight[i] = m.inflight[len(m.inflight)-1]
 			m.inflight = m.inflight[:len(m.inflight)-1]
 			continue
@@ -73,6 +76,7 @@ func testHierarchy(t *testing.T) *cache.Hierarchy {
 
 func run(t *testing.T, c *Core, m *fakeMem, cycles int) {
 	t.Helper()
+	m.core = c
 	for i := 0; i < cycles; i++ {
 		if err := c.Tick(); err != nil {
 			t.Fatal(err)
@@ -300,6 +304,7 @@ func TestPrefetcherReducesDemandMisses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		m.core = c
 		for i := 0; i < 30000; i++ {
 			if err := c.Tick(); err != nil {
 				t.Fatal(err)

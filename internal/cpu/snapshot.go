@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dbpsim/internal/cache"
+	"dbpsim/internal/detmap"
 	"dbpsim/internal/prefetch"
 )
 
@@ -42,7 +43,7 @@ type CoreState struct {
 	DemandInFlight   int
 	PendingOps       []PendingOpState
 	NextTag          uint64
-	MissSlots        map[uint64]int
+	MissSlots        detmap.Map[uint64, int]
 
 	Stats Stats
 	Now   uint64
@@ -70,7 +71,7 @@ func (c *Core) Snapshot() CoreState {
 		DemandInFlight:   c.demandInFlight,
 		PendingOps:       make([]PendingOpState, len(c.pendingOps)),
 		NextTag:          c.nextTag,
-		MissSlots:        make(map[uint64]int, len(c.missSlots)),
+		MissSlots:        detmap.Copy(c.missSlots),
 		Stats:            c.stats,
 		Now:              c.now,
 		Hier:             c.hier.Snapshot(),
@@ -80,9 +81,6 @@ func (c *Core) Snapshot() CoreState {
 	}
 	for i, op := range c.pendingOps {
 		st.PendingOps[i] = PendingOpState{Addr: op.addr, IsWrite: op.isWrite}
-	}
-	for tag, slot := range c.missSlots {
-		st.MissSlots[tag] = slot
 	}
 	if c.pf != nil {
 		pf := c.pf.Snapshot()
@@ -121,7 +119,7 @@ func (c *Core) Restore(st CoreState) error {
 	c.gapLeft = st.GapLeft
 	c.outstandingLoads = st.OutstandingLoads
 	c.demandInFlight = st.DemandInFlight
-	c.pendingOps = nil
+	c.pendingOps = c.pendingOps[:0]
 	for _, op := range st.PendingOps {
 		c.pendingOps = append(c.pendingOps, pendingOp{addr: op.Addr, isWrite: op.IsWrite})
 	}
@@ -135,6 +133,14 @@ func (c *Core) Restore(st CoreState) error {
 	}
 	c.stats = st.Stats
 	c.now = st.Now
+	// maxReadyAt is derived state (not serialised): recompute it over the
+	// live window so the streaming fast path's readiness check stays sound.
+	c.maxReadyAt = 0
+	for j := 0; j < c.count; j++ {
+		if r := c.rob[(c.head+j)%len(c.rob)].readyAt; r > c.maxReadyAt {
+			c.maxReadyAt = r
+		}
+	}
 	// Fast-forward the fresh generator to the snapshot's trace position.
 	for n := c.genCalls; n < st.GenCalls; n++ {
 		c.gen.Next()

@@ -1,0 +1,82 @@
+package detmap
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDeterministicAcrossInsertionOrders(t *testing.T) {
+	// Build the same logical map many times with different insertion orders;
+	// every encoding must be byte-identical. (Plain maps fail this almost
+	// immediately under Go's randomised iteration.)
+	var want []byte
+	for trial := 0; trial < 20; trial++ {
+		m := make(Map[uint64, int], 64)
+		if trial%2 == 0 {
+			for i := 0; i < 64; i++ {
+				m[uint64(i*37%64)] = i
+			}
+		} else {
+			for i := 63; i >= 0; i-- {
+				m[uint64(i*37%64)] = 64 - (64 - i)
+			}
+		}
+		// Normalise values so all trials hold the same entries.
+		for k := range m {
+			m[k] = int(k) * 3
+		}
+		got := encode(t, m)
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d produced different bytes", trial)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := Map[int, []uint64]{3: {1, 2}, -5: nil, 0: {9}}
+	raw := encode(t, in)
+	var out Map[int, []uint64]
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: in=%v out=%v", in, out)
+	}
+}
+
+func TestEmptyAndNil(t *testing.T) {
+	var empty Map[int, int]
+	raw := encode(t, &empty)
+	var out Map[int, int]
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("want empty, got %v", out)
+	}
+	if Copy[int, int](nil) != nil {
+		t.Fatal("Copy(nil) must be nil")
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	src := map[int]int{1: 10, 2: 20}
+	dst := Copy(src)
+	dst[1] = 99
+	if src[1] != 10 {
+		t.Fatal("Copy aliased the source map")
+	}
+}

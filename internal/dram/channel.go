@@ -100,6 +100,18 @@ func (c *Channel) RefreshDue(rank int, now uint64) bool {
 	return c.timing.RefreshEnabled && now >= r.refreshDue
 }
 
+// RefreshDeadline returns the rank's next refresh due time; enabled is false
+// when the channel does not model refresh at all.
+func (c *Channel) RefreshDeadline(rank int) (due uint64, enabled bool) {
+	return c.ranks[rank].refreshDue, c.timing.RefreshEnabled
+}
+
+// RefreshBusyUntil returns the end of the rank's in-flight refresh (0 when
+// no refresh has ever been issued).
+func (c *Channel) RefreshBusyUntil(rank int) uint64 {
+	return c.ranks[rank].refreshBusyUntil
+}
+
 // Refreshing reports whether the rank is currently busy with a refresh.
 func (c *Channel) Refreshing(rank int, now uint64) bool {
 	return now < c.ranks[rank].refreshBusyUntil
@@ -188,6 +200,87 @@ func (c *Channel) CanIssue(cmd Command, rank, bank, row int, now uint64) bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// NeverIssuable is returned by EarliestIssue when the command cannot become
+// legal without some other command changing bank state first.
+const NeverIssuable = ^uint64(0)
+
+// EarliestIssue returns the earliest cycle T >= now at which CanIssue(cmd,
+// rank, bank, row, T) holds, assuming no intervening command changes the
+// channel's state. Every timing constraint is a lower bound of the form
+// "T >= timestamp", so the answer is exact: the maximum of the applicable
+// timestamps. Commands whose structural precondition fails (e.g. a RD to a
+// closed bank) return NeverIssuable — issuing them first requires another
+// command, which callers must account for separately. The result feeds the
+// event-driven cycle-skipping fast path; it must stay in lockstep with
+// CanIssue.
+func (c *Channel) EarliestIssue(cmd Command, rank, bank, row int, now uint64) uint64 {
+	r := &c.ranks[rank]
+	t := now
+	if r.refreshBusyUntil > t {
+		t = r.refreshBusyUntil
+	}
+	max := func(v uint64) {
+		if v > t {
+			t = v
+		}
+	}
+	switch cmd {
+	case CmdActivate:
+		b := &r.banks[bank]
+		if b.open {
+			return NeverIssuable
+		}
+		max(b.actAllowed)
+		if r.actCount > 0 {
+			max(r.lastAct + uint64(c.timing.TRRD))
+		}
+		if r.actCount >= 4 {
+			max(r.actWindow[0] + uint64(c.timing.TFAW))
+		}
+		return t
+	case CmdPrecharge:
+		b := &r.banks[bank]
+		if !b.open {
+			return NeverIssuable
+		}
+		max(b.preAllowed)
+		return t
+	case CmdRead:
+		b := &r.banks[bank]
+		if !b.open || b.row != row {
+			return NeverIssuable
+		}
+		max(b.colAllowed)
+		max(c.colAllowed)
+		max(c.writeDataEnd + uint64(c.timing.TWTR))
+		free := c.busFreeAt
+		if c.lastBusWasWrite && free > 0 {
+			free += uint64(c.timing.TRTW)
+		}
+		if free > uint64(c.timing.CL) {
+			max(free - uint64(c.timing.CL))
+		}
+		return t
+	case CmdWrite:
+		b := &r.banks[bank]
+		if !b.open || b.row != row {
+			return NeverIssuable
+		}
+		max(b.colAllowed)
+		max(c.colAllowed)
+		free := c.busFreeAt
+		if !c.lastBusWasWrite && free > 0 {
+			free += uint64(c.timing.TRTW)
+		}
+		if free > uint64(c.timing.CWL) {
+			max(free - uint64(c.timing.CWL))
+		}
+		return t
+	default:
+		return NeverIssuable
 	}
 }
 

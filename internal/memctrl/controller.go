@@ -80,7 +80,19 @@ type Controller struct {
 	// command, for the row-timeout policy.
 	lastColCmd []uint64
 
+	// qobs and tickEv cache the scheduler's optional-interface checks so the
+	// hot path is a nil branch instead of a per-event type assertion.
+	qobs   QueueObserver
+	tickEv TickEventer
+
+	// free is the request pool: pool-owned requests are recycled here after
+	// service so the steady-state enqueue path allocates nothing.
+	free []*Request
+
 	perThread []ThreadStats
+	// demandDone, when set, is called with (thread, tag) when a demand read
+	// completes — the flattened completion path (no per-request closures).
+	demandDone func(thread int, tag uint64)
 	// completionHook, when set, receives (thread, latency in memory cycles)
 	// for every completed read.
 	completionHook func(thread int, latency uint64)
@@ -107,15 +119,21 @@ func NewController(channelID int, ch *dram.Channel, m *addr.Mapper, sched Schedu
 	if numThreads <= 0 {
 		return nil, fmt.Errorf("memctrl: numThreads must be positive, got %d", numThreads)
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:        cfg,
 		channelID:  channelID,
 		ch:         ch,
 		mapper:     m,
 		sched:      sched,
+		readQ:      make([]*Request, 0, cfg.ReadQueueCap),
+		writeQ:     make([]*Request, 0, cfg.WriteQueueCap),
+		inflight:   make([]inflight, 0, 16),
 		perThread:  make([]ThreadStats, numThreads),
 		lastColCmd: make([]uint64, ch.NumRanks()*ch.NumBanksPerRank()),
-	}, nil
+	}
+	c.qobs, _ = sched.(QueueObserver)
+	c.tickEv, _ = sched.(TickEventer)
+	return c, nil
 }
 
 // ChannelID returns the controller's channel index.
@@ -175,6 +193,21 @@ func (c *Controller) SetCompletionHook(fn func(thread int, latency uint64)) {
 	c.completionHook = fn
 }
 
+// SetDemandCompleter installs the demand-read completion callback: fn is
+// invoked with (thread, tag) when a demand read's data transfer finishes.
+// One controller-level callback replaces a per-request closure, so the
+// steady-state miss path allocates nothing and snapshot restore needs no
+// relinking.
+func (c *Controller) SetDemandCompleter(fn func(thread int, tag uint64)) {
+	c.demandDone = fn
+}
+
+// HasOutstandingReads reports whether any read is queued or in flight (the
+// profiler's cheap gate for BLP sampling).
+func (c *Controller) HasOutstandingReads() bool {
+	return len(c.readQ) > 0 || len(c.inflight) > 0
+}
+
 // SetRecorder attaches (or, with nil, detaches) the observability recorder.
 func (c *Controller) SetRecorder(r *obs.Recorder) { c.rec = r }
 
@@ -184,18 +217,44 @@ func (c *Controller) globalBank(r *Request) int {
 	return c.mapper.Geometry().BankID(r.Loc.Channel, r.Loc.Rank, r.Loc.Bank)
 }
 
+// Submit accepts a request by value, backing it with a pooled object so the
+// steady-state enqueue path never allocates. It returns false when the
+// target queue is full (the caller must retry). The request's Loc, ID and
+// Arrival are filled in on acceptance.
+func (c *Controller) Submit(r Request) bool {
+	var req *Request
+	if n := len(c.free); n > 0 {
+		req = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		req = new(Request)
+	}
+	*req = r
+	req.pooled = true
+	return c.Enqueue(req) // a full queue recycles req before returning false
+}
+
+// recycle returns a pool-owned request to the free list once nothing in the
+// controller references it any more (read completion or write service).
+func (c *Controller) recycle(r *Request) {
+	if r.pooled {
+		c.free = append(c.free, r)
+	}
+}
+
 // Enqueue accepts a request into the controller, returning false when the
 // target queue is full (the core must retry). The request's Loc, ID and
 // Arrival are filled in here.
 func (c *Controller) Enqueue(r *Request) bool {
 	if r.IsWrite {
 		if len(c.writeQ) >= c.cfg.WriteQueueCap {
+			c.recycle(r)
 			return false
 		}
-	} else {
-		if len(c.readQ) >= c.cfg.ReadQueueCap {
-			return false
-		}
+	} else if len(c.readQ) >= c.cfg.ReadQueueCap {
+		c.recycle(r)
+		return false
 	}
 	r.Loc = c.mapper.Decode(r.Addr)
 	r.ID = c.nextID
@@ -208,8 +267,8 @@ func (c *Controller) Enqueue(r *Request) bool {
 		c.writeQ = append(c.writeQ, r)
 	} else {
 		c.readQ = append(c.readQ, r)
-		if obs, ok := c.sched.(QueueObserver); ok {
-			obs.OnEnqueue(r)
+		if c.qobs != nil {
+			c.qobs.OnEnqueue(r)
 		}
 	}
 	if c.rec != nil {
@@ -305,11 +364,17 @@ func (c *Controller) completeTransfers() {
 			if c.rec != nil {
 				c.rec.OnComplete(r.Thread, c.channelID, r.Arrival, c.now, r.RowHit())
 			}
+			if c.demandDone != nil && r.Demand && r.Tag != 0 {
+				c.demandDone(r.Thread, r.Tag)
+			}
 			if r.OnComplete != nil {
 				r.OnComplete()
 			}
-			c.inflight[i] = c.inflight[len(c.inflight)-1]
-			c.inflight = c.inflight[:len(c.inflight)-1]
+			last := len(c.inflight) - 1
+			c.inflight[i] = c.inflight[last]
+			c.inflight[last] = inflight{} // drop the stale alias
+			c.inflight = c.inflight[:last]
+			c.recycle(r)
 			continue
 		}
 		i++
@@ -496,8 +561,11 @@ func (c *Controller) selectAndIssue(q *[]*Request, preferred int, less func(a, b
 		issued, served := c.issueFor(r)
 		if issued {
 			if served {
-				*q = append((*q)[:preferred], (*q)[preferred+1:]...)
+				removeAt(q, preferred)
 				c.notifyServed(r)
+				if r.IsWrite {
+					c.recycle(r) // writes complete on issue
+				}
 			}
 			return true
 		}
@@ -524,11 +592,24 @@ func (c *Controller) selectAndIssue(q *[]*Request, preferred int, less func(a, b
 			continue
 		}
 		if served {
-			*q = append((*q)[:best], (*q)[best+1:]...)
+			removeAt(q, best)
 			c.notifyServed(r)
+			if r.IsWrite {
+				c.recycle(r) // writes complete on issue
+			}
 		}
 		return true
 	}
+}
+
+// removeAt deletes index i from q preserving order, shifting the tail down
+// in place and clearing the vacated slot so no stale request stays reachable
+// through the backing array.
+func removeAt(q *[]*Request, i int) {
+	s := *q
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	*q = s[:len(s)-1]
 }
 
 // notifyServed reports a served read to an observing scheduler.
@@ -536,7 +617,107 @@ func (c *Controller) notifyServed(r *Request) {
 	if r.IsWrite {
 		return
 	}
-	if obs, ok := c.sched.(QueueObserver); ok {
-		obs.OnService(r)
+	if c.qobs != nil {
+		c.qobs.OnService(r)
 	}
+}
+
+// earliestIssue lower-bounds the memory cycle at which r's next DRAM command
+// could legally issue, given the channel's current timing state.
+func (c *Controller) earliestIssue(r *Request) uint64 {
+	return c.ch.EarliestIssue(c.nextCommand(r), r.Loc.Rank, r.Loc.Bank, r.Loc.Row, c.now)
+}
+
+// NextEvent returns a conservative lower bound on the next memory cycle at
+// which ticking this controller could do anything beyond the no-op
+// bookkeeping that Skip replicates (cycle count, busy accounting, idempotent
+// drain-mode check). Returning now means "active this cycle — do not skip".
+// The bound only has to be a lower bound: waking early lands on ordinary
+// no-op ticks, so early wake-ups cost time but never correctness.
+func (c *Controller) NextEvent() uint64 {
+	if c.tickEv == nil {
+		// Unknown scheduler with a potentially stateful OnTick: never skip.
+		return c.now
+	}
+	wake := c.tickEv.NextTickEvent(c.now)
+	if wake <= c.now {
+		return c.now
+	}
+	// In-flight read transfers complete (and unblock cores) at dataEnd.
+	for _, f := range c.inflight {
+		if f.dataEnd < wake {
+			wake = f.dataEnd
+		}
+	}
+	// Refresh machinery: a due refresh needs the command slot right now; a
+	// rank mid-refresh frees its banks at RefreshBusyUntil; otherwise the
+	// next deadline is the event.
+	for rank := 0; rank < c.ch.NumRanks(); rank++ {
+		due, enabled := c.ch.RefreshDeadline(rank)
+		if !enabled {
+			continue
+		}
+		if c.ch.RefreshDue(rank, c.now) {
+			if !c.ch.Refreshing(rank, c.now) {
+				return c.now
+			}
+			if t := c.ch.RefreshBusyUntil(rank); t < wake {
+				wake = t
+			}
+		} else if due < wake {
+			wake = due
+		}
+	}
+	// Queued requests become serviceable once their next command's timing
+	// constraints lapse. Scheduler order does not matter here: skipping is
+	// only legal when no command at all can issue, and no request's command
+	// can issue before its own earliest-issue time.
+	for _, r := range c.readQ {
+		if t := c.earliestIssue(r); t < wake {
+			wake = t
+		}
+	}
+	for _, r := range c.writeQ {
+		if t := c.earliestIssue(r); t < wake {
+			wake = t
+		}
+	}
+	// Row-timeout policy: an idle open row is precharged once it has seen no
+	// column traffic for RowTimeout cycles (closeIdleRows also requires no
+	// queued same-row hit, but ignoring that only wakes us early).
+	if c.cfg.RowTimeout > 0 {
+		nb := c.ch.NumBanksPerRank()
+		for rank := 0; rank < c.ch.NumRanks(); rank++ {
+			for bank := 0; bank < nb; bank++ {
+				if _, open := c.ch.OpenRow(rank, bank); !open {
+					continue
+				}
+				t := c.lastColCmd[rank*nb+bank] + c.cfg.RowTimeout
+				if e := c.ch.EarliestIssue(dram.CmdPrecharge, rank, bank, 0, c.now); e > t {
+					t = e
+				}
+				if t < wake {
+					wake = t
+				}
+			}
+		}
+	}
+	if wake < c.now {
+		wake = c.now
+	}
+	return wake
+}
+
+// Skip advances the controller by m memory cycles in one jump, replicating
+// exactly what m consecutive no-op Ticks would have done. Callers must only
+// invoke it after NextEvent reported no activity anywhere in the skipped
+// range.
+func (c *Controller) Skip(m uint64) {
+	if len(c.readQ) > 0 || len(c.inflight) > 0 {
+		c.BusyReadCycles += m
+	}
+	// Every no-op tick runs the drain-mode check; it is idempotent while the
+	// queues are untouched, so one call replicates all m of them.
+	c.updateDrainMode()
+	c.now += m
 }

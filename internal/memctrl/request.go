@@ -28,16 +28,24 @@ type Request struct {
 	// Arrival is the memory-cycle the request entered the controller.
 	Arrival uint64
 	// OnComplete, if non-nil, fires when the request's data transfer
-	// completes (reads only; writes complete on issue).
+	// completes (reads only; writes complete on issue). The simulation
+	// kernel routes demand completions through the controller-level
+	// demand completer instead (see SetDemandCompleter); this per-request
+	// hook remains for tests and external callers.
 	OnComplete func()
-	// Tag is an opaque requester-assigned identifier. Demand reads carry the
-	// issuing core's miss tag so a restored snapshot can relink OnComplete
-	// (a closure, which cannot be serialised) back to the owning core.
+	// Tag is an opaque requester-assigned identifier. Demand reads carry
+	// the issuing core's miss tag; the controller's demand completer hands
+	// it back on completion, which also survives snapshot restore without
+	// any relinking.
 	Tag uint64
 
 	// activated records that the controller opened a row specifically for
 	// this request, i.e. it was not a row-buffer hit.
 	activated bool
+	// pooled marks requests owned by the controller's internal pool; only
+	// those are recycled after service (caller-allocated requests passed to
+	// Enqueue are never reused behind the caller's back).
+	pooled bool
 }
 
 // RowHit reports whether the request was serviced from an already-open row.
@@ -67,6 +75,21 @@ type Scheduler interface {
 	Less(ctx SchedContext, a, b *Request) bool
 	// OnTick is called once per memory cycle before scheduling.
 	OnTick(now uint64)
+}
+
+// NeverEvent marks "no self-scheduled future event": a component returning
+// it changes state only in reaction to others.
+const NeverEvent = ^uint64(0)
+
+// TickEventer is an optional Scheduler extension enabling event-driven cycle
+// skipping. NextTickEvent returns the earliest memory cycle >= now at which
+// the scheduler's OnTick would mutate its state, assuming the queue contents
+// do not change in between; NeverEvent means "no such cycle". Returning now
+// (or less) marks the scheduler active this cycle and suppresses skipping.
+// A scheduler that does not implement TickEventer is never skipped over —
+// the conservative default for third-party schedulers with stateful OnTick.
+type TickEventer interface {
+	NextTickEvent(now uint64) uint64
 }
 
 // QueueObserver is an optional Scheduler extension: schedulers that need to

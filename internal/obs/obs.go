@@ -229,7 +229,7 @@ func (r *Recorder) touch(thread, globalBank int) {
 // OnEpoch closes the current epoch: the caller provides the clock position
 // and per-thread profile-derived fields; the recorder fills in the
 // hook-derived occupancy fields and advances the epoch stamp. The threads
-// slice is retained (callers must pass a fresh slice per epoch).
+// slice is copied, so callers may reuse a scratch buffer across epochs.
 func (r *Recorder) OnEpoch(cycle, memCycle uint64, threads []EpochThread) {
 	if r == nil {
 		return
@@ -253,12 +253,14 @@ func (r *Recorder) OnEpoch(cycle, memCycle uint64, threads []EpochThread) {
 		}
 		threads[t].BanksTouched = n
 	}
+	kept := make([]EpochThread, len(threads))
+	copy(kept, threads)
 	r.epochs = append(r.epochs, Epoch{
 		Index:         len(r.epochs),
 		Cycle:         cycle,
 		MemCycle:      memCycle,
 		BankOccupancy: float64(touched) / float64(r.opt.NumBanks),
-		Threads:       threads,
+		Threads:       kept,
 	})
 	r.epochStamp++
 	if r.epochStamp == 0 { // wrapped: marks are stale-safe only if nonzero

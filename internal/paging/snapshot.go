@@ -1,6 +1,10 @@
 package paging
 
-import "fmt"
+import (
+	"fmt"
+
+	"dbpsim/internal/detmap"
+)
 
 // AllocatorState is the frame allocator's complete mutable state.
 type AllocatorState struct {
@@ -40,7 +44,7 @@ func (a *Allocator) Restore(st AllocatorState) error {
 // first-touch sequence that Migrate and Rebalance scan, which keeps resumed
 // migration decisions deterministic.
 type PageTableState struct {
-	Entries        map[uint64]uint64
+	Entries        detmap.Map[uint64, uint64]
 	Order          []uint64
 	MaskColors     []int
 	RR             int
@@ -51,15 +55,12 @@ type PageTableState struct {
 // Snapshot captures the page table's mutable state.
 func (pt *PageTable) Snapshot() PageTableState {
 	st := PageTableState{
-		Entries:        make(map[uint64]uint64, len(pt.entries)),
+		Entries:        detmap.Copy(pt.entries),
 		Order:          append([]uint64(nil), pt.order...),
 		MaskColors:     pt.mask.Colors(),
 		RR:             pt.rr,
 		PagesAllocated: pt.PagesAllocated,
 		PagesMigrated:  pt.PagesMigrated,
-	}
-	for vpn, pfn := range pt.entries {
-		st.Entries[vpn] = pfn
 	}
 	return st
 }

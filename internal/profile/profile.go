@@ -83,13 +83,20 @@ type Profiler struct {
 	// Last-seen core counters for delta computation.
 	lastRetired []uint64
 	lastMisses  []uint64
+
+	// visit is the ForEachOutstandingRead callback, bound once at
+	// construction so the per-cycle sampling pass allocates nothing.
+	visit func(thread, bank int, pageKey uint64)
+	// scratch backs the slice returned by Quantum; each call overwrites the
+	// previous one's contents.
+	scratch []ThreadSample
 }
 
 // New builds a profiler over the given cores and controllers. cores[i] must
 // correspond to thread i.
 func New(cores []CoreSource, ctrls []ControllerSource, numBanks int) *Profiler {
 	n := len(cores)
-	return &Profiler{
+	p := &Profiler{
 		numThreads:  n,
 		numBanks:    numBanks,
 		cores:       cores,
@@ -102,11 +109,35 @@ func New(cores []CoreSource, ctrls []ControllerSource, numBanks int) *Profiler {
 		mlpSum:      make([]uint64, n),
 		lastRetired: make([]uint64, n),
 		lastMisses:  make([]uint64, n),
+		scratch:     make([]ThreadSample, n),
 	}
+	p.visit = func(thread, bank int, pageKey uint64) {
+		if thread < 0 || thread >= p.numThreads || bank < 0 || bank >= p.numBanks {
+			return
+		}
+		idx := thread*p.numBanks + bank
+		if p.mark[idx] != p.version {
+			p.mark[idx] = p.version
+			p.count[thread]++
+		}
+		// Linear dedupe: outstanding reads per thread are MSHR-bounded.
+		known := false
+		for _, k := range p.pages[thread] {
+			if k == pageKey {
+				known = true
+				break
+			}
+		}
+		if !known {
+			p.pages[thread] = append(p.pages[thread], pageKey)
+		}
+	}
+	return p
 }
 
-// SampleBLP takes one BLP sample; call once per memory cycle.
-func (p *Profiler) SampleBLP() {
+// mark visits every outstanding read, stamping distinct (thread, bank) pairs
+// and collecting distinct pages per thread into the reused scratch.
+func (p *Profiler) markOutstanding() {
 	p.version++
 	if p.version == 0 { // wrapped: invalidate stamps
 		for i := range p.mark {
@@ -119,28 +150,13 @@ func (p *Profiler) SampleBLP() {
 		p.pages[i] = p.pages[i][:0]
 	}
 	for _, c := range p.ctrls {
-		c.ForEachOutstandingRead(func(thread, bank int, pageKey uint64) {
-			if thread < 0 || thread >= p.numThreads || bank < 0 || bank >= p.numBanks {
-				return
-			}
-			idx := thread*p.numBanks + bank
-			if p.mark[idx] != p.version {
-				p.mark[idx] = p.version
-				p.count[thread]++
-			}
-			// Linear dedupe: outstanding reads per thread are MSHR-bounded.
-			known := false
-			for _, k := range p.pages[thread] {
-				if k == pageKey {
-					known = true
-					break
-				}
-			}
-			if !known {
-				p.pages[thread] = append(p.pages[thread], pageKey)
-			}
-		})
+		c.ForEachOutstandingRead(p.visit)
 	}
+}
+
+// SampleBLP takes one BLP sample; call once per memory cycle.
+func (p *Profiler) SampleBLP() {
+	p.markOutstanding()
 	for t, n := range p.count {
 		if n > 0 {
 			p.blpSum[t] += uint64(n)
@@ -150,11 +166,34 @@ func (p *Profiler) SampleBLP() {
 	}
 }
 
+// SkipSample accounts for m consecutive cycles during which the outstanding
+// request set is known to be frozen (event-driven cycle skipping): one
+// marking pass stands in for m identical per-cycle samples, leaving the
+// accumulators exactly as m SampleBLP calls would have.
+func (p *Profiler) SkipSample(m uint64) {
+	if m == 0 {
+		return
+	}
+	p.markOutstanding()
+	for t, n := range p.count {
+		if n > 0 {
+			p.blpSum[t] += m * uint64(n)
+			p.mlpSum[t] += m * uint64(len(p.pages[t]))
+			p.blpTime[t] += m
+		}
+	}
+}
+
 // Quantum produces per-thread samples for the elapsed quantum and resets
 // the quantum accumulators (including the controllers' per-thread
-// counters).
+// counters). The returned slice is backed by an internal scratch buffer and
+// is only valid until the next Quantum call; callers that retain samples
+// across quanta must copy them.
 func (p *Profiler) Quantum() []ThreadSample {
-	out := make([]ThreadSample, p.numThreads)
+	out := p.scratch
+	for i := range out {
+		out[i] = ThreadSample{}
+	}
 	for t := 0; t < p.numThreads; t++ {
 		s := &out[t]
 		s.Thread = t

@@ -82,6 +82,10 @@ func (a *ATLAS) Attained(thread int) float64 {
 // OnTick implements memctrl.Scheduler.
 func (*ATLAS) OnTick(uint64) {}
 
+// NextTickEvent implements memctrl.TickEventer: OnTick never mutates state
+// (rank updates arrive via UpdateQuantum at quantum boundaries).
+func (*ATLAS) NextTickEvent(uint64) uint64 { return memctrl.NeverEvent }
+
 // Less implements memctrl.Scheduler: rank, then row hit, then age.
 func (a *ATLAS) Less(ctx memctrl.SchedContext, x, y *memctrl.Request) bool {
 	rx, ry := a.Rank(x.Thread), a.Rank(y.Thread)

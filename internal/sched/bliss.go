@@ -71,6 +71,13 @@ func (b *BLISS) OnTick(now uint64) {
 	}
 }
 
+// NextTickEvent implements memctrl.TickEventer: the next blacklist clear.
+// lastClear is serialised state, so skipping must deliver the clearing
+// OnTick at exactly this cycle.
+func (b *BLISS) NextTickEvent(uint64) uint64 {
+	return b.lastClear + b.clearEvery
+}
+
 // Blacklisted reports whether a thread is currently blacklisted (for
 // tests).
 func (b *BLISS) Blacklisted(thread int) bool { return b.blacklisted[thread] }

@@ -49,6 +49,10 @@ func (c *FRFCFSCap) OnService(r *memctrl.Request) {
 // OnTick implements memctrl.Scheduler.
 func (*FRFCFSCap) OnTick(uint64) {}
 
+// NextTickEvent implements memctrl.TickEventer: OnTick never mutates state
+// (streaks advance on service events, not ticks).
+func (*FRFCFSCap) NextTickEvent(uint64) uint64 { return memctrl.NeverEvent }
+
 // Streak reports a bank's current consecutive row-hit count (for tests).
 func (c *FRFCFSCap) Streak(channel, rank, bank int) int {
 	return c.streak[channel<<16|rank<<8|bank]

@@ -62,6 +62,17 @@ func (p *PARBS) OnTick(uint64) {
 	p.formBatch()
 }
 
+// NextTickEvent implements memctrl.TickEventer. With a batch reform pending
+// the very next OnTick mutates state, so the scheduler is active now; in
+// every other state OnTick stays a no-op until the queue contents change
+// (which wakes the controller anyway).
+func (p *PARBS) NextTickEvent(now uint64) uint64 {
+	if len(p.marked) == 0 && len(p.outstanding) > 0 {
+		return now
+	}
+	return memctrl.NeverEvent
+}
+
 // formBatch marks the oldest cap requests of every (thread, bank) pair.
 func (p *PARBS) formBatch() {
 	type key struct{ thread, bank int }

@@ -24,6 +24,9 @@ func (*FCFS) Less(_ memctrl.SchedContext, a, b *memctrl.Request) bool {
 // OnTick implements memctrl.Scheduler.
 func (*FCFS) OnTick(uint64) {}
 
+// NextTickEvent implements memctrl.TickEventer: OnTick never mutates state.
+func (*FCFS) NextTickEvent(uint64) uint64 { return memctrl.NeverEvent }
+
 // FRFCFS serves row-buffer hits first, then oldest-first — the standard
 // throughput-oriented baseline the paper builds on.
 type FRFCFS struct{}
@@ -45,6 +48,9 @@ func (*FRFCFS) Less(ctx memctrl.SchedContext, a, b *memctrl.Request) bool {
 
 // OnTick implements memctrl.Scheduler.
 func (*FRFCFS) OnTick(uint64) {}
+
+// NextTickEvent implements memctrl.TickEventer: OnTick never mutates state.
+func (*FRFCFS) NextTickEvent(uint64) uint64 { return memctrl.NeverEvent }
 
 // ThreadPriority wraps an inner scheduler with a coarse per-thread priority
 // level (higher level = served first). MCP's integrated scheme uses it to
@@ -88,3 +94,13 @@ func (t *ThreadPriority) Less(ctx memctrl.SchedContext, a, b *memctrl.Request) b
 
 // OnTick implements memctrl.Scheduler.
 func (t *ThreadPriority) OnTick(now uint64) { t.inner.OnTick(now) }
+
+// NextTickEvent implements memctrl.TickEventer by delegating to the inner
+// scheduler; a wrapped scheduler without event support pins the controller
+// to cycle-by-cycle ticking (returning now marks it permanently active).
+func (t *ThreadPriority) NextTickEvent(now uint64) uint64 {
+	if te, ok := t.inner.(memctrl.TickEventer); ok {
+		return te.NextTickEvent(now)
+	}
+	return now
+}

@@ -2,7 +2,9 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 
+	"dbpsim/internal/detmap"
 	"dbpsim/internal/memctrl"
 )
 
@@ -81,23 +83,41 @@ func (a *ATLAS) Restore(st ATLASState) error {
 type PARBSState struct {
 	Marked          []RequestRef
 	Outstanding     []RequestRef
-	MarkedPerThread map[int]int
+	MarkedPerThread detmap.Map[int, int]
 }
 
 // Snapshot captures the scheduler's mutable state. ref maps a live request
 // to its cross-snapshot reference (the kernel supplies the channel).
 func (p *PARBS) Snapshot(ref func(r *memctrl.Request) RequestRef) PARBSState {
-	st := PARBSState{MarkedPerThread: make(map[int]int, len(p.markedPerThread))}
+	st := PARBSState{MarkedPerThread: detmap.Copy(p.markedPerThread)}
 	for r := range p.marked {
 		st.Marked = append(st.Marked, ref(r))
 	}
 	for r := range p.outstanding {
 		st.Outstanding = append(st.Outstanding, ref(r))
 	}
-	for k, v := range p.markedPerThread {
-		st.MarkedPerThread[k] = v
-	}
+	// The batch sets are iterated in map order; sort the references so the
+	// serialised state is byte-deterministic (Restore rebuilds sets, so the
+	// order carries no meaning).
+	sortRefs(st.Marked)
+	sortRefs(st.Outstanding)
 	return st
+}
+
+// sortRefs orders references by (channel, ID) for deterministic encoding.
+func sortRefs(refs []RequestRef) {
+	slices.SortFunc(refs, func(a, b RequestRef) int {
+		if a.Channel != b.Channel {
+			return a.Channel - b.Channel
+		}
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
 }
 
 // Restore installs a previously captured state. lookup resolves a reference
@@ -133,7 +153,7 @@ func (p *PARBS) Restore(st PARBSState, lookup func(ref RequestRef) *memctrl.Requ
 type BLISSState struct {
 	LastThread  int
 	Streak      int
-	Blacklisted map[int]bool
+	Blacklisted detmap.Map[int, bool]
 	LastClear   uint64
 }
 
@@ -142,11 +162,8 @@ func (b *BLISS) Snapshot() BLISSState {
 	st := BLISSState{
 		LastThread:  b.lastThread,
 		Streak:      b.streak,
-		Blacklisted: make(map[int]bool, len(b.blacklisted)),
+		Blacklisted: detmap.Copy(b.blacklisted),
 		LastClear:   b.lastClear,
-	}
-	for k, v := range b.blacklisted {
-		st.Blacklisted[k] = v
 	}
 	return st
 }
@@ -165,16 +182,12 @@ func (b *BLISS) Restore(st BLISSState) error {
 
 // FRFCFSCapState is the capped FR-FCFS scheduler's mutable state.
 type FRFCFSCapState struct {
-	Streak map[int]int
+	Streak detmap.Map[int, int]
 }
 
 // Snapshot captures the scheduler's mutable state.
 func (c *FRFCFSCap) Snapshot() FRFCFSCapState {
-	st := FRFCFSCapState{Streak: make(map[int]int, len(c.streak))}
-	for k, v := range c.streak {
-		st.Streak[k] = v
-	}
-	return st
+	return FRFCFSCapState{Streak: detmap.Copy(c.streak)}
 }
 
 // Restore installs a previously captured state.

@@ -238,6 +238,13 @@ func (t *TCM) OnTick(now uint64) {
 	}
 }
 
+// NextTickEvent implements memctrl.TickEventer: the next shuffle boundary.
+// lastShuffle is serialised state, so skipping must deliver the OnTick that
+// advances it at exactly this cycle.
+func (t *TCM) NextTickEvent(uint64) uint64 {
+	return t.lastShuffle + t.cfg.ShuffleInterval
+}
+
 // Less implements memctrl.Scheduler. Priority: latency cluster strictly
 // first (ordered by its MPKI rank); within the bandwidth cluster row hits
 // go before the shuffled rank so locality survives, with the rank deciding

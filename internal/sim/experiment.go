@@ -37,6 +37,13 @@ type Experiment struct {
 	// RunMixRecorded instead.
 	Recorder *obs.Recorder
 
+	// DisableCycleSkipping turns off the event-driven clock-jump fast path
+	// on every system the experiment builds (mix runs and alone baselines).
+	// Skipping is bit-identical to per-cycle execution (asserted by test),
+	// so this exists for A/B validation and performance comparison, not
+	// correctness.
+	DisableCycleSkipping bool
+
 	mu       sync.Mutex
 	aloneIPC map[string]float64
 }
@@ -108,6 +115,7 @@ func (e *Experiment) AloneIPCContext(ctx context.Context, name string, seed int6
 	if err != nil {
 		return 0, err
 	}
+	sys.SetCycleSkipping(!e.DisableCycleSkipping)
 	res, err := sys.RunContext(ctx, e.Warmup, e.Measure, e.MaxCycles)
 	if err != nil {
 		return 0, fmt.Errorf("sim: alone run of %s: %w", name, err)
@@ -174,6 +182,7 @@ func (e *Experiment) RunMixCheckpointedContext(ctx context.Context, mix workload
 	if err != nil {
 		return MixRun{}, err
 	}
+	sys.SetCycleSkipping(!e.DisableCycleSkipping)
 	if rec != nil {
 		sys.AttachRecorder(rec)
 	}

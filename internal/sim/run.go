@@ -217,6 +217,14 @@ func (s *System) RunCheckpointed(ctx context.Context, warmup, measure, maxCycles
 		nextCkpt = s.cycle + roundUpQuantum(ck.Interval, s.schedQ)
 	}
 
+	// retireTargets feeds the cycle-skipping fast path each iteration: core
+	// i's next threshold in the crossing checks below, so jumps never
+	// overshoot a warmup or measurement boundary.
+	var retireTargets []uint64
+	if s.skipping {
+		retireTargets = make([]uint64, n)
+	}
+
 	for remaining > 0 {
 		if (done != nil || ckActive) && s.cycle >= nextPoll {
 			nextPoll = s.cycle + s.schedQ
@@ -238,8 +246,33 @@ func (s *System) RunCheckpointed(ctx context.Context, warmup, measure, maxCycles
 		if s.cycle >= maxCycles {
 			return Result{}, fmt.Errorf("sim: exceeded %d cycles with %d cores unfinished (deadlock or undersized budget)", maxCycles, remaining)
 		}
-		if err := s.step(); err != nil {
-			return Result{}, err
+		jumped := false
+		if s.skipping {
+			// Event-driven cycle skipping: when every component is quiescent
+			// (or streaming deterministically), jump the clock to the next
+			// event instead of ticking through replayable cycles. Jumps are
+			// clamped so Retired counts cross the warmup/measure thresholds
+			// at exactly the cycle per-cycle execution would record below.
+			for i := range retireTargets {
+				switch {
+				case finished[i]:
+					retireTargets[i] = noRetireTarget
+				case !started[i]:
+					retireTargets[i] = warmup
+				default:
+					retireTargets[i] = warmup + measure
+				}
+			}
+			var err error
+			jumped, err = s.trySkip(maxCycles, retireTargets)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		if !jumped {
+			if err := s.step(); err != nil {
+				return Result{}, err
+			}
 		}
 		for i, c := range s.cores {
 			if finished[i] {

@@ -22,7 +22,12 @@ import (
 // SnapshotVersion is the current snapshot blob format version. Readers
 // accept blobs of their own version or older; newer blobs are rejected with
 // a structured error. Format changes within a version must be additive.
-const SnapshotVersion uint32 = 1
+//
+// Version 2 made every map-shaped state field encode deterministically
+// (sorted keys via detmap.Map), so blobs of identical machine state are
+// byte-identical. Version-1 blobs used gob's randomised map encoding and
+// cannot be decoded by version-2 readers.
+const SnapshotVersion uint32 = 2
 
 // snapshotMagic opens every snapshot blob.
 var snapshotMagic = [8]byte{'D', 'B', 'P', 'S', 'N', 'A', 'P', 0}
@@ -220,6 +225,11 @@ func decodeSnapshot(blob []byte, wantCfg [32]byte) (st *systemState, err error) 
 	if version == 0 || version > SnapshotVersion {
 		return fail(fmt.Errorf("snapshot version %d not supported (reader supports up to %d)", version, SnapshotVersion))
 	}
+	if version < 2 {
+		// Version 1 serialised maps in gob's randomised order; its payloads
+		// do not decode into the deterministic map types used since v2.
+		return fail(fmt.Errorf("snapshot version %d predates deterministic encoding and cannot be restored", version))
+	}
 	var cfgHash [32]byte
 	copy(cfgHash[:], blob[12:44])
 	if cfgHash != wantCfg {
@@ -341,15 +351,13 @@ func (s *System) RestoreSnapshot(blob []byte) error {
 			return fail(err)
 		}
 	}
-	// Index restored requests, relink demand completions to their cores.
+	// Index restored requests for scheduler-state rebinding. Demand
+	// completions need no relinking: the controllers' demand completer
+	// (wired at construction) routes them back to the cores by tag.
 	byRef := make(map[sched.RequestRef]*memctrl.Request)
 	for ch, ctrl := range s.ctrls {
 		ctrl.ForEachRequest(func(r *memctrl.Request) {
 			byRef[sched.RequestRef{Channel: ch, ID: r.ID}] = r
-			if r.Demand && !r.IsWrite && r.Tag != 0 {
-				req := r
-				req.OnComplete = func() { s.cores[req.Thread].DemandDone(req.Tag) }
-			}
 		})
 	}
 

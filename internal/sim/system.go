@@ -62,6 +62,15 @@ type System struct {
 	memCycles uint64
 	partQ     uint64 // partition quantum (CPU cycles), 0 = static policy
 	schedQ    uint64
+	// skipping enables event-driven cycle skipping (see trySkip). On by
+	// default; results are bit-identical either way, so it is a run-speed
+	// knob, not a config parameter (and deliberately not part of the
+	// snapshot config fingerprint).
+	skipping bool
+	// skippedCycles counts CPU cycles covered by clock jumps instead of
+	// per-cycle ticking. Host-side observability only: never serialised and
+	// never part of any ledger (it differs between skip modes by design).
+	skippedCycles uint64
 
 	// aggregated profile between partition quanta
 	agg      []profile.ThreadSample
@@ -79,6 +88,10 @@ type System struct {
 	// rec, when non-nil, receives epoch samples and repartition events (the
 	// controllers hold their own pointer for request-lifecycle hooks).
 	rec *obs.Recorder
+	// epochScratch and partScratch are reused across quanta so the
+	// steady-state loop does not allocate.
+	epochScratch []obs.EpochThread
+	partScratch  []profile.ThreadSample
 	// bestIPC[t] is thread t's best epoch IPC so far — the alone-run proxy
 	// behind the recorder's runtime slowdown estimate.
 	bestIPC []float64
@@ -107,6 +120,8 @@ func NewSystem(cfg Config, benches []Bench) (*System, error) {
 		agg:         make([]profile.ThreadSample, cfg.Cores),
 		life:        make([]profile.ThreadSample, cfg.Cores),
 		lifeBLPWSum: make([]float64, cfg.Cores),
+		partScratch: make([]profile.ThreadSample, cfg.Cores),
+		skipping:    true,
 	}
 	s.alloc = paging.NewAllocator(s.mapper)
 
@@ -205,6 +220,7 @@ func NewSystem(cfg Config, benches []Bench) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		ctrl.SetDemandCompleter(s.demandDone)
 		s.ctrls[ch] = ctrl
 	}
 
@@ -292,18 +308,28 @@ func NewSystem(cfg Config, benches []Bench) (*System, error) {
 // memoryPort adapts System to cpu.Memory without exporting Submit on System.
 type memoryPort System
 
-// Submit implements cpu.Memory: route the request to its channel.
-func (p *memoryPort) Submit(thread int, paddr uint64, isWrite, demand bool, tag uint64, onDone func()) bool {
+// Submit implements cpu.Memory: route the request to its channel. The
+// by-value controller Submit backs it with a pooled request, so the
+// steady-state miss path allocates nothing.
+func (p *memoryPort) Submit(thread int, paddr uint64, isWrite, demand bool, tag uint64) bool {
 	s := (*System)(p)
 	loc := s.mapper.Decode(paddr)
-	return s.ctrls[loc.Channel].Enqueue(&memctrl.Request{
-		Thread:     thread,
-		Addr:       paddr,
-		IsWrite:    isWrite,
-		Demand:     demand,
-		Tag:        tag,
-		OnComplete: onDone,
+	return s.ctrls[loc.Channel].Submit(memctrl.Request{
+		Thread:  thread,
+		Addr:    paddr,
+		IsWrite: isWrite,
+		Demand:  demand,
+		Tag:     tag,
 	})
+}
+
+// demandDone is the controllers' flattened demand-completion path: it hands
+// a finished demand read back to the issuing core by tag (replacing the old
+// per-request OnComplete closures).
+func (s *System) demandDone(thread int, tag uint64) {
+	if thread >= 0 && thread < len(s.cores) {
+		s.cores[thread].DemandDone(tag)
+	}
 }
 
 // AttachRecorder wires an observability recorder into the system: the
@@ -332,6 +358,19 @@ func (s *System) DBP() *core.DBP { return s.dbp }
 // Cycle returns the current CPU cycle.
 func (s *System) Cycle() uint64 { return s.cycle }
 
+// SetCycleSkipping toggles event-driven cycle skipping (default on). Results
+// — ledgers, stats, checkpoints — are bit-identical either way; turning it
+// off only forces the run loop back to strict cycle-by-cycle ticking (useful
+// for debugging and for the bit-identity test suite itself).
+func (s *System) SetCycleSkipping(on bool) { s.skipping = on }
+
+// CycleSkipping reports whether event-driven cycle skipping is enabled.
+func (s *System) CycleSkipping() bool { return s.skipping }
+
+// SkippedCycles returns the CPU cycles covered by event-driven clock jumps
+// so far (0 with skipping disabled). Diagnostic only; not simulated state.
+func (s *System) SkippedCycles() uint64 { return s.skippedCycles }
+
 // step advances the whole system by one CPU cycle.
 func (s *System) step() error {
 	for _, c := range s.cores {
@@ -340,7 +379,11 @@ func (s *System) step() error {
 		}
 	}
 	if s.cycle%uint64(s.cfg.CPUClockRatio) == 0 {
-		s.prof.SampleBLP()
+		// Empty samples only touch unserialised sampler scratch, so gating
+		// on outstanding work changes no observable state.
+		if s.anyOutstanding() {
+			s.prof.SampleBLP()
+		}
 		for _, ctrl := range s.ctrls {
 			ctrl.Tick()
 		}
@@ -351,6 +394,111 @@ func (s *System) step() error {
 		s.onSchedQuantum()
 	}
 	return s.invErr
+}
+
+// anyOutstanding reports whether any controller holds queued or in-flight
+// reads (the cheap gate for BLP sampling).
+func (s *System) anyOutstanding() bool {
+	for _, ctrl := range s.ctrls {
+		if ctrl.HasOutstandingReads() {
+			return true
+		}
+	}
+	return false
+}
+
+// noRetireTarget marks a core whose retired-instruction count has no
+// pending run-loop crossing (its measurement window is already finished).
+const noRetireTarget = ^uint64(0)
+
+// trySkip attempts an event-driven clock jump: when every core and
+// controller reports no activity before some future cycle — or provably
+// linear activity a bulk Skip can replay — the system state over the gap is
+// exactly what per-cycle ticking would produce, so the clock jumps there
+// directly with the per-cycle bookkeeping applied in bulk.
+// The jump is clamped to the next scheduler-quantum boundary (keeping epoch,
+// checkpoint and poll cadence byte-identical) and to maxCycles (keeping
+// deadlock detection identical). retireTargets[i] is core i's next
+// retired-instruction threshold in the run loop (warmup or warmup+measure;
+// noRetireTarget when finished): jumps are clamped so a streaming core lands
+// exactly on the cycle where per-cycle execution would detect the crossing,
+// keeping startCycle/finishCycle — and hence measured IPC — bit-identical.
+// Returns jumped=false when any component is active now, a crossing
+// detection is pending, or the jump would not clear at least one full cycle.
+func (s *System) trySkip(maxCycles uint64, retireTargets []uint64) (jumped bool, err error) {
+	c := s.cycle
+	limit := (c/s.schedQ + 1) * s.schedQ
+	if maxCycles < limit {
+		limit = maxCycles
+	}
+	if limit <= c+1 {
+		return false, nil
+	}
+	wake := limit
+	for i, core := range s.cores {
+		e, rate := core.NextEvent()
+		if e <= c {
+			return false, nil
+		}
+		if t := retireTargets[i]; t != noRetireTarget {
+			r := core.Retired()
+			if r >= t {
+				// Crossing already happened but the run loop has not recorded
+				// it yet; step so detection fires at the per-cycle-exact cycle.
+				return false, nil
+			}
+			if rate > 0 {
+				// Streaming at rate/cycle: per-cycle execution would record
+				// the crossing with s.cycle == cross, so never jump past it.
+				if cross := c + (t-r+rate-1)/rate; cross < wake {
+					wake = cross
+				}
+			}
+		}
+		if e < wake {
+			wake = e
+		}
+	}
+	ratio := uint64(s.cfg.CPUClockRatio)
+	memLimit := (limit + ratio - 1) / ratio
+	for _, ctrl := range s.ctrls {
+		me := ctrl.NextEvent()
+		if me >= memLimit { // also covers memctrl.NeverEvent without overflow
+			continue
+		}
+		ce := me * ratio // the CPU cycle that processes memory cycle me
+		if ce <= c {
+			return false, nil
+		}
+		if ce < wake {
+			wake = ce
+		}
+	}
+	if wake <= c+1 {
+		return false, nil
+	}
+
+	delta := wake - c
+	s.skippedCycles += delta
+	for _, core := range s.cores {
+		core.Skip(delta)
+	}
+	// Memory cycles ticked in CPU-cycle range [c, wake): multiples of ratio.
+	m := (wake+ratio-1)/ratio - (c+ratio-1)/ratio
+	if m > 0 {
+		if s.anyOutstanding() {
+			s.prof.SkipSample(m)
+		}
+		for _, ctrl := range s.ctrls {
+			ctrl.Skip(m)
+		}
+		s.memCycles += m
+	}
+	s.cycle = wake
+	if s.cycle%s.schedQ == 0 {
+		s.onSchedQuantum()
+	}
+	return true, s.invErr
 }
 
 // TimelinePoint is one profiling quantum's per-thread snapshot.
@@ -439,7 +587,7 @@ func (s *System) repartitionLLC() {
 
 // onPartitionQuantum feeds the aggregated profile to the partition policy.
 func (s *System) onPartitionQuantum() {
-	samples := make([]profile.ThreadSample, len(s.agg))
+	samples := s.partScratch[:len(s.agg)]
 	for i, a := range s.agg {
 		x := a
 		if x.ReadsServed > 0 {
@@ -507,7 +655,7 @@ func (s *System) migrate() {
 			if err != nil {
 				continue
 			}
-			if !(*memoryPort)(s).Submit(t, paddr&^(lineBytes-1), p%2 == 1, false, 0, nil) {
+			if !(*memoryPort)(s).Submit(t, paddr&^(lineBytes-1), p%2 == 1, false, 0) {
 				s.migrationDrops++
 			}
 		}
@@ -526,7 +674,10 @@ const (
 // each thread's best epoch IPC so far stands in for its alone-run IPC
 // (DESIGN.md records this reconstruction decision).
 func (s *System) recordEpoch(samples []profile.ThreadSample) {
-	threads := make([]obs.EpochThread, len(samples))
+	if cap(s.epochScratch) < len(samples) {
+		s.epochScratch = make([]obs.EpochThread, len(samples))
+	}
+	threads := s.epochScratch[:len(samples)]
 	for i, smp := range samples {
 		ipc := float64(smp.Instructions) / float64(s.schedQ)
 		if ipc > s.bestIPC[i] {
