@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke
+.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke scenario-smoke
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,15 @@ vet:
 fmt:
 	gofmt -l -w .
 
-# Static analysis beyond vet: gofmt cleanliness always; staticcheck and
-# govulncheck when they are on PATH (the hermetic build container has only
-# the go toolchain, so they are opportunistic locally but installed in CI).
+# Static analysis beyond vet: gofmt cleanliness always; a doc-consistency
+# check that every field used by the committed scenario files is documented
+# in docs/SCENARIOS.md; staticcheck and govulncheck when they are on PATH
+# (the hermetic build container has only the go toolchain, so they are
+# opportunistic locally but installed in CI).
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 	$(GO) vet ./...
+	$(GO) run ./scripts/doccheck
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "lint: staticcheck not on PATH; skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
@@ -79,6 +82,17 @@ smoke:
 	$(GO) run ./scripts/smoke /tmp/dbpserved-smoke
 	rm -f /tmp/dbpserved-smoke
 
+# Scenario smoke: run every committed scenarios/*.json through the real
+# dbpsim binary and the real dbpserved daemon at a short budget, asserting
+# the ledgers parse, carry the scenario identity, and that the scenario
+# content hash keys the service cache (identical request hits, same-name
+# different-content request misses).
+scenario-smoke:
+	$(GO) build -o /tmp/dbpsim-scenario ./cmd/dbpsim
+	$(GO) build -o /tmp/dbpserved-scenario ./cmd/dbpserved
+	$(GO) run ./scripts/scenariosmoke /tmp/dbpsim-scenario /tmp/dbpserved-scenario
+	rm -f /tmp/dbpsim-scenario /tmp/dbpserved-scenario
+
 # Chaos drill: drive the real binary through injected panics, abandoned
 # runs, and SIGKILL-plus-restart over a journal — including a kill mid-run
 # that must resume from its checkpoint (and a corrupt-checkpoint variant
@@ -103,6 +117,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(MAKE) smoke
+	$(MAKE) scenario-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-gate
 

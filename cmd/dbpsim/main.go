@@ -5,6 +5,7 @@
 //
 //	dbpsim -mix W8-M1 -sched tcm -part dbp
 //	dbpsim -benchmarks mcf-like,lbm-like,gcc-like,povray-like -part equal
+//	dbpsim -scenario scenarios/diurnal.json -part dbp -json run.json
 //	dbpsim -mix W8-M1 -part dbp -json run.json -trace-out run.trace.json
 //	dbpsim -mix W8-M1 -part dbp -checkpoint run.ckpt     # periodic resumable snapshots
 //	dbpsim -mix W8-M1 -part dbp -restore run.ckpt        # resume an interrupted run
@@ -50,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		mixName    = fs.String("mix", "W8-M1", "workload mix name (see -list)")
 		benchList  = fs.String("benchmarks", "", "comma-separated benchmark names (overrides -mix)")
+		scenPath   = fs.String("scenario", "", "phase-shifting scenario JSON file (overrides -mix/-benchmarks; see docs/SCENARIOS.md)")
 		schedName  = fs.String("sched", "frfcfs", "scheduler: fcfs|frfcfs|tcm|atlas")
 		partName   = fs.String("part", "none", "partitioning: none|equal|dbp|mcp")
 		warmup     = fs.Uint64("warmup", 200_000, "per-core warmup instructions")
@@ -107,7 +109,18 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
+	// A scenario replaces the stationary mix: thread count and identity
+	// come from the timeline file, and the run reports under the synthetic
+	// "scenario:<name>" mix label.
+	var scen *dbpsim.Scenario
 	mix, err := resolveMix(*mixName, *benchList)
+	if *scenPath != "" {
+		scen, err = dbpsim.LoadScenario(*scenPath)
+		if err != nil {
+			return err
+		}
+		mix, err = dbpsim.ScenarioMix(scen), nil
+	}
 	if err != nil {
 		return err
 	}
@@ -195,7 +208,13 @@ func run(args []string, stdout io.Writer) error {
 
 	exp := dbpsim.NewExperiment(cfg, *warmup, *measure)
 	sched, part := dbpsim.SchedulerKind(*schedName), dbpsim.PartitionKind(*partName)
-	runOut, err := exp.RunMixCheckpointedContext(context.Background(), mix, sched, part, rec, ck)
+	doRun := func() (dbpsim.MixRun, error) {
+		if scen != nil {
+			return dbpsim.RunScenario(context.Background(), exp, scen, sched, part, rec, ck)
+		}
+		return exp.RunMixCheckpointedContext(context.Background(), mix, sched, part, rec, ck)
+	}
+	runOut, err := doRun()
 	if err != nil {
 		var rerr *dbpsim.RestoreError
 		if ck == nil || ck.Restore == nil || !errors.As(err, &rerr) {
@@ -209,7 +228,7 @@ func run(args []string, stdout io.Writer) error {
 		if rec, err = newRec(); err != nil {
 			return err
 		}
-		if runOut, err = exp.RunMixCheckpointedContext(context.Background(), mix, sched, part, rec, ck); err != nil {
+		if runOut, err = doRun(); err != nil {
 			return err
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dbpsim/internal/experiments"
+	"dbpsim/internal/scenario"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dbpsweep", flag.ContinueOnError)
 	var (
 		expName    = fs.String("exp", "main", "experiment id or 'all' (one of: "+strings.Join(experiments.Names(), ", ")+")")
+		scenPath   = fs.String("scenario", "", "run the policy comparison on a phase-shifting scenario JSON file instead of -exp")
 		quick      = fs.Bool("quick", false, "reduced budgets and mix list")
 		csvDir     = fs.String("csv", "", "directory to write per-experiment CSV files")
 		quiet      = fs.Bool("q", false, "suppress progress lines")
@@ -76,6 +78,10 @@ func run(args []string, stdout io.Writer) error {
 	opts.LedgerDir = *jsonDir
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  …", line) }
+	}
+
+	if *scenPath != "" {
+		return runScenario(*scenPath, opts, stdout, *csvDir, *mdPath, *plot)
 	}
 
 	reg := experiments.Registry()
@@ -127,6 +133,40 @@ func run(args []string, stdout io.Writer) error {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "  %s finished in %.1fs\n", id, time.Since(start).Seconds())
 		}
+	}
+	return nil
+}
+
+// runScenario loads one scenario file and runs the phase-shifting policy
+// comparison on it, reusing the sweep's output plumbing (-csv, -md, -plot).
+func runScenario(path string, opts experiments.Options, stdout io.Writer, csvDir, mdPath string, plot bool) error {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	out, err := experiments.ScenarioSweep(opts, sc)
+	if err != nil {
+		return err
+	}
+	if mdPath != "" {
+		md, err := os.OpenFile(mdPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer md.Close()
+		if err := out.WriteMarkdown(md); err != nil {
+			return err
+		}
+	}
+	writeOut := out.Write
+	if plot {
+		writeOut = out.WritePlot
+	}
+	if err := writeOut(stdout); err != nil {
+		return err
+	}
+	if csvDir != "" && out.Table != nil {
+		return writeCSV(csvDir, out.ID, out.Table.CSV())
 	}
 	return nil
 }

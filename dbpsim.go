@@ -18,11 +18,13 @@
 package dbpsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"dbpsim/internal/obs"
+	"dbpsim/internal/scenario"
 	"dbpsim/internal/serve"
 	"dbpsim/internal/sim"
 	"dbpsim/internal/stats"
@@ -66,6 +68,33 @@ type (
 	// Mix is one multi-programmed workload.
 	Mix = workload.Mix
 )
+
+// Scenario types (see internal/scenario): declarative phase-shifting
+// workload timelines for stressing the dynamic policies.
+type (
+	// Scenario is a versioned, seeded timeline of per-thread phases.
+	Scenario = scenario.Scenario
+	// ScenarioThread is one tenant's phase sequence.
+	ScenarioThread = scenario.Thread
+	// ScenarioPhase is one segment of a thread's timeline.
+	ScenarioPhase = scenario.Phase
+)
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// DecodeScenario parses and validates scenario JSON.
+func DecodeScenario(data []byte) (*Scenario, error) { return scenario.Decode(data) }
+
+// ScenarioMix builds the synthetic mix identity a scenario run reports
+// under ("scenario:<name>"). It is a label, not a runnable suite mix.
+func ScenarioMix(sc *Scenario) Mix { return sim.ScenarioMix(sc) }
+
+// RunScenario evaluates one (scheduler, partition) policy on a
+// phase-shifting scenario, with optional recorder and checkpointer.
+func RunScenario(ctx context.Context, exp *Experiment, sc *Scenario, scheduler SchedulerKind, partition PartitionKind, rec *Recorder, ck *Checkpointer) (MixRun, error) {
+	return exp.RunScenarioCheckpointedContext(ctx, sc, scheduler, partition, rec, ck)
+}
 
 // Observability types (see internal/obs).
 type (
@@ -167,6 +196,10 @@ func SaveLedger(path string, l Ledger) error { return obs.SaveLedger(path, l) }
 
 // LoadLedger reads and validates a run-ledger JSON file.
 func LoadLedger(path string) (Ledger, error) { return obs.LoadLedger(path) }
+
+// LoadLedgerBytes parses and validates an in-memory run-ledger document
+// (e.g. a dbpserved response body).
+func LoadLedgerBytes(data []byte) (Ledger, error) { return obs.UnmarshalLedger(data) }
 
 // DiffLedgers compares two ledgers: how does new improve on base?
 func DiffLedgers(base, new Ledger) LedgerDiff { return obs.Diff(base, new) }

@@ -15,7 +15,14 @@ import (
 // (fields are only ever added, never renamed or repurposed) and reject
 // newer ones. Bump this on any additive change; a breaking change would
 // instead introduce a new document type.
-const SchemaVersion = 1
+//
+// History:
+//
+//	v1: initial schema.
+//	v2: added scenario/scenario_hash/shifts at the top level, per-epoch
+//	    active_threads/max_slowdown_est, and per-epoch-thread phase/idle
+//	    (all additive; stationary runs omit every new field).
+const SchemaVersion = 2
 
 // Metrics is the ledger's flattened copy of stats.SystemMetrics' aggregate
 // fields (the per-thread detail lives in Ledger.Threads).
@@ -56,6 +63,10 @@ type Ledger struct {
 	Mix       string `json:"mix"`
 	Scheduler string `json:"scheduler"`
 	Partition string `json:"partition"`
+	// Scenario and ScenarioHash identify the phase-shifting timeline that
+	// drove the run (schema v2; empty for stationary mix runs).
+	Scenario     string `json:"scenario,omitempty"`
+	ScenarioHash string `json:"scenario_hash,omitempty"`
 	// Warmup and Measure are the per-core instruction budgets.
 	Warmup  uint64 `json:"warmup"`
 	Measure uint64 `json:"measure"`
@@ -78,6 +89,9 @@ type Ledger struct {
 	Epochs []Epoch `json:"epochs,omitempty"`
 	// Repartitions holds recorded mask changes when a recorder was attached.
 	Repartitions []Repartition `json:"repartitions,omitempty"`
+	// Shifts holds recorded demand shifts and the partition policy's
+	// reaction latency to each (schema v2; scenario runs only).
+	Shifts []Shift `json:"shifts,omitempty"`
 }
 
 // SetMetrics fills the ledger's Metrics and Threads from stats types.

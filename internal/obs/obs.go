@@ -29,6 +29,7 @@ const (
 	CounterRepartitions = "obs.repartitions"  // partition-policy mask changes
 	CounterEpochs       = "obs.epochs"        // epoch boundaries recorded
 	CounterDropped      = "obs.dropped_spans" // request spans dropped at the event cap
+	CounterShifts       = "obs.demand_shifts" // scenario demand shifts recorded
 )
 
 // DefaultMaxSpans caps the per-request span buffer (completed reads kept
@@ -83,6 +84,12 @@ type EpochThread struct {
 	// IPC seen so far divided by this epoch's IPC (≥1 once warmed up; 0
 	// when the thread retired nothing this epoch). See DESIGN.md.
 	SlowdownEst float64 `json:"slowdown_est"`
+	// Phase is the scenario phase ID active during the epoch (schema v2;
+	// empty for stationary runs).
+	Phase string `json:"phase,omitempty"`
+	// Idle marks a thread whose scenario phase models a departed/idle
+	// tenant (schema v2).
+	Idle bool `json:"idle,omitempty"`
 }
 
 // Epoch is one epoch-boundary sample (one scheduling quantum).
@@ -97,6 +104,31 @@ type Epoch struct {
 	BankOccupancy float64 `json:"bank_occupancy"`
 	// Threads holds the per-thread detail in thread order.
 	Threads []EpochThread `json:"threads"`
+	// ActiveThreads counts threads not in an idle scenario phase this epoch
+	// (schema v2; only set on scenario runs, where phase labels exist).
+	ActiveThreads int `json:"active_threads,omitempty"`
+	// MaxSlowdownEst is the epoch's maximum per-thread SlowdownEst — the
+	// fairness-over-time series (schema v2; 0 when no thread progressed).
+	MaxSlowdownEst float64 `json:"max_slowdown_est,omitempty"`
+}
+
+// Shift is one recorded scenario demand shift: the quantum boundary at
+// which one or more threads' timeline phases changed. When a later
+// partition-policy mask change occurs, the shift is marked reacted and its
+// reaction latency (repartition cycle − shift cycle) recorded — the
+// repartition-reaction series the paper's dynamism claim is judged by.
+type Shift struct {
+	// Cycle and MemCycle locate the shift on both clocks.
+	Cycle    uint64 `json:"cycle"`
+	MemCycle uint64 `json:"mem_cycle"`
+	// Threads lists the threads whose phase changed at this boundary.
+	Threads []int `json:"threads"`
+	// Reacted reports whether a repartition followed before the run ended.
+	Reacted bool `json:"reacted"`
+	// ReactionCycle is the first mask change at or after the shift.
+	ReactionCycle uint64 `json:"reaction_cycle,omitempty"`
+	// ReactionLatency is ReactionCycle − Cycle, in CPU cycles.
+	ReactionLatency uint64 `json:"reaction_latency,omitempty"`
 }
 
 // Repartition is one recorded partition-policy decision that changed masks.
@@ -122,6 +154,10 @@ type Recorder struct {
 	spans   []Span
 	epochs  []Epoch
 	reparts []Repartition
+	shifts  []Shift
+	// firstUnreacted indexes the earliest shift no repartition has closed
+	// yet; everything before it is reacted (shifts close in order).
+	firstUnreacted int
 
 	// Per-epoch scratch: bankMark[t*NumBanks+b] == epochStamp means thread
 	// t touched bank b this epoch; globalMark likewise per bank. Stamps
@@ -255,13 +291,30 @@ func (r *Recorder) OnEpoch(cycle, memCycle uint64, threads []EpochThread) {
 	}
 	kept := make([]EpochThread, len(threads))
 	copy(kept, threads)
-	r.epochs = append(r.epochs, Epoch{
+	ep := Epoch{
 		Index:         len(r.epochs),
 		Cycle:         cycle,
 		MemCycle:      memCycle,
 		BankOccupancy: float64(touched) / float64(r.opt.NumBanks),
 		Threads:       kept,
-	})
+	}
+	scenario := false
+	for _, th := range kept {
+		if th.Phase != "" || th.Idle {
+			scenario = true
+		}
+		if th.SlowdownEst > ep.MaxSlowdownEst {
+			ep.MaxSlowdownEst = th.SlowdownEst
+		}
+	}
+	if scenario {
+		for _, th := range kept {
+			if !th.Idle {
+				ep.ActiveThreads++
+			}
+		}
+	}
+	r.epochs = append(r.epochs, ep)
 	r.epochStamp++
 	if r.epochStamp == 0 { // wrapped: marks are stale-safe only if nonzero
 		r.epochStamp = 1
@@ -281,6 +334,30 @@ func (r *Recorder) OnRepartition(cycle, memCycle uint64, colors []int) {
 		return
 	}
 	r.reparts = append(r.reparts, Repartition{Cycle: cycle, MemCycle: memCycle, Colors: colors})
+	// A mask change answers every demand shift that preceded it. Shifts
+	// close in order, so everything before firstUnreacted is already done.
+	for r.firstUnreacted < len(r.shifts) {
+		s := &r.shifts[r.firstUnreacted]
+		if s.Cycle >= cycle {
+			break
+		}
+		s.Reacted = true
+		s.ReactionCycle = cycle
+		s.ReactionLatency = cycle - s.Cycle
+		r.firstUnreacted++
+	}
+}
+
+// OnDemandShift records a scenario timeline event: the listed threads
+// changed phase (and therefore demand) at the given cycle. The threads
+// slice is copied.
+func (r *Recorder) OnDemandShift(cycle, memCycle uint64, threads []int) {
+	if r == nil {
+		return
+	}
+	kept := make([]int, len(threads))
+	copy(kept, threads)
+	r.shifts = append(r.shifts, Shift{Cycle: cycle, MemCycle: memCycle, Threads: kept})
 }
 
 // Epochs returns the recorded epoch series (nil on a nil recorder).
@@ -307,6 +384,14 @@ func (r *Recorder) Repartitions() []Repartition {
 	return r.reparts
 }
 
+// Shifts returns the recorded demand shifts (nil on a nil recorder).
+func (r *Recorder) Shifts() []Shift {
+	if r == nil {
+		return nil
+	}
+	return r.shifts
+}
+
 // Counters returns the recorder's event counters as a name → value map
 // (nil on a nil recorder), using the Counter* names.
 func (r *Recorder) Counters() map[string]uint64 {
@@ -320,6 +405,7 @@ func (r *Recorder) Counters() map[string]uint64 {
 		CounterColumnWrites: r.colWrites,
 		CounterCompletions:  r.completions,
 		CounterRepartitions: uint64(len(r.reparts)),
+		CounterShifts:       uint64(len(r.shifts)),
 		CounterEpochs:       uint64(len(r.epochs)),
 		CounterDropped:      r.dropped,
 	}
@@ -336,14 +422,15 @@ func (r *Recorder) WriteEpochCSV(w io.Writer) error {
 
 // WriteEpochCSV renders an epoch series as CSV.
 func WriteEpochCSV(w io.Writer, epochs []Epoch) error {
-	if _, err := fmt.Fprintln(w, "epoch,cycle,mem_cycle,bank_occupancy,thread,served,row_hit_rate,ipc,banks,banks_touched,slowdown_est"); err != nil {
+	if _, err := fmt.Fprintln(w, "epoch,cycle,mem_cycle,bank_occupancy,thread,served,row_hit_rate,ipc,banks,banks_touched,slowdown_est,phase,idle"); err != nil {
 		return err
 	}
 	for _, e := range epochs {
 		for t, th := range e.Threads {
-			if _, err := fmt.Fprintf(w, "%d,%d,%d,%.4f,%d,%d,%.4f,%.4f,%d,%d,%.4f\n",
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%.4f,%d,%d,%.4f,%.4f,%d,%d,%.4f,%s,%t\n",
 				e.Index, e.Cycle, e.MemCycle, e.BankOccupancy,
-				t, th.Served, th.RowHitRate, th.IPC, th.Banks, th.BanksTouched, th.SlowdownEst); err != nil {
+				t, th.Served, th.RowHitRate, th.IPC, th.Banks, th.BanksTouched, th.SlowdownEst,
+				th.Phase, th.Idle); err != nil {
 				return err
 			}
 		}

@@ -200,7 +200,7 @@ func TestEpochCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "epoch,cycle,mem_cycle,bank_occupancy,thread,") {
 		t.Errorf("header = %q", lines[0])
 	}
-	if want := "0,500,125,0.5000,0,4,0.5000,1.2500,1,1,1.0000"; lines[1] != want {
+	if want := "0,500,125,0.5000,0,4,0.5000,1.2500,1,1,1.0000,,false"; lines[1] != want {
 		t.Errorf("row = %q, want %q", lines[1], want)
 	}
 }

@@ -18,6 +18,9 @@ type RecorderState struct {
 	Epochs      []Epoch
 	Reparts     []Repartition
 	EpochStamp  uint32
+	// Shifts is gob-additive: snapshots written before demand-shift
+	// tracking decode with a nil slice, which restores correctly.
+	Shifts []Shift
 }
 
 // Snapshot captures the recorder's mutable state.
@@ -41,6 +44,11 @@ func (r *Recorder) Snapshot() RecorderState {
 	for i, rp := range r.reparts {
 		rp.Colors = append([]int(nil), rp.Colors...)
 		st.Reparts[i] = rp
+	}
+	st.Shifts = make([]Shift, len(r.shifts))
+	for i, sh := range r.shifts {
+		sh.Threads = append([]int(nil), sh.Threads...)
+		st.Shifts[i] = sh
 	}
 	return st
 }
@@ -72,6 +80,17 @@ func (r *Recorder) Restore(st RecorderState) error {
 	for i, rp := range st.Reparts {
 		rp.Colors = append([]int(nil), rp.Colors...)
 		r.reparts[i] = rp
+	}
+	r.shifts = make([]Shift, len(st.Shifts))
+	for i, sh := range st.Shifts {
+		sh.Threads = append([]int(nil), sh.Threads...)
+		r.shifts[i] = sh
+	}
+	// Shifts close strictly in order, so the first still-open one marks
+	// the boundary; everything before it is reacted.
+	r.firstUnreacted = 0
+	for r.firstUnreacted < len(r.shifts) && r.shifts[r.firstUnreacted].Reacted {
+		r.firstUnreacted++
 	}
 	for i := range r.bankMark {
 		r.bankMark[i] = 0

@@ -1,0 +1,219 @@
+// Package scenario implements the declarative phase-shifting workload
+// timeline engine (schema scenario/v1).
+//
+// A scenario is a versioned JSON document describing a non-stationary
+// multi-programmed workload: per-thread piecewise phases whose benchmark
+// profile and memory intensity change over time (drift, ramps), threads
+// that arrive and depart mid-run (multi-tenant churn, modelled as idle
+// phases), load spikes and maintenance-window batch phases. The compiler
+// (Compile) lowers a scenario onto the simulator's quantum grid; the
+// resulting Runtime drives phase-switchable generators
+// (workload.Switched) so that cycle skipping and checkpoint/restore stay
+// bit-identical — every phase switch happens at a scheduler-quantum
+// boundary and is replayed by call index on restore.
+//
+// Like the run-ledger schema, scenario/v1 is additive-only: fields are
+// never renamed or repurposed, and readers accept documents whose
+// schema_version is ≤ their own.
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dbpsim/internal/workload"
+)
+
+// SchemaVersion is the scenario schema version this package writes and the
+// newest version it accepts (readers accept ≤ SchemaVersion).
+const SchemaVersion = 1
+
+// Scenario is one declarative workload timeline (schema scenario/v1).
+type Scenario struct {
+	// SchemaVersion is the scenario/vN schema version of the document.
+	SchemaVersion int `json:"schema_version"`
+	// Name identifies the scenario ("diurnal", "churn" ...).
+	Name string `json:"name"`
+	// Description explains what the timeline models.
+	Description string `json:"description,omitempty"`
+	// Seed is the base RNG seed; per-thread, per-phase generator seeds are
+	// derived deterministically from it and the thread name, so the same
+	// scenario + seed always produces the same access stream.
+	Seed int64 `json:"seed,omitempty"`
+	// Threads are the per-core timelines, one per simulated core.
+	Threads []Thread `json:"threads"`
+}
+
+// Thread is one core's timeline: an ordered list of phases.
+type Thread struct {
+	// Name identifies the thread ("tenant-a" ...). Names must be unique
+	// within a scenario; generator seeds derive from them, so a thread
+	// keeps its exact access stream when extracted into a single-thread
+	// alone-baseline scenario.
+	Name string `json:"name"`
+	// Phases are executed in order; the last phase may run forever.
+	Phases []Phase `json:"phases"`
+}
+
+// Phase is one piecewise segment of a thread's timeline.
+type Phase struct {
+	// ID labels the phase in the ledger epoch series ("night", "spike" ...).
+	ID string `json:"id"`
+	// Bench names the suite benchmark profile active during the phase.
+	// Empty or "idle" means the thread is idle (departed tenant): an
+	// L1-resident stream with ~zero DRAM traffic.
+	Bench string `json:"bench,omitempty"`
+	// DurationCycles is the phase length in CPU cycles, rounded up to the
+	// scheduler quantum at compile time. 0 is only legal on a thread's
+	// last phase and means "until the run ends".
+	DurationCycles uint64 `json:"duration_cycles,omitempty"`
+	// MPKIScale scales the benchmark's target MPKI (load spikes > 1,
+	// lulls < 1). 0 means 1.0 (unscaled).
+	MPKIScale float64 `json:"mpki_scale,omitempty"`
+	// RampSteps > 1 splits the phase into that many equal sub-segments
+	// whose MPKI interpolates linearly from the previous phase's
+	// effective MPKI to this phase's target — a gradual drift instead of
+	// a step. All sub-segments share this phase's ID.
+	RampSteps int `json:"ramp_steps,omitempty"`
+}
+
+// IsIdle reports whether the phase models an idle/departed thread.
+func (p Phase) IsIdle() bool { return p.Bench == "" || p.Bench == "idle" }
+
+// Decode parses and validates a scenario document. Unknown fields are
+// rejected (they would silently change meaning under an older reader), and
+// documents newer than SchemaVersion are refused.
+func Decode(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after document")
+	}
+	if sc.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("scenario: document has schema_version %d, newer than this reader's %d",
+			sc.SchemaVersion, SchemaVersion)
+	}
+	if sc.SchemaVersion < 1 {
+		return nil, fmt.Errorf("scenario: missing or invalid schema_version %d (want 1..%d)",
+			sc.SchemaVersion, SchemaVersion)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Load reads and decodes a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Validate checks structural invariants: unique thread names, known
+// benchmark profiles, positive durations everywhere except a final
+// run-forever phase, and no ramps on unbounded phases.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(sc.Threads) == 0 {
+		return fmt.Errorf("scenario %s: no threads", sc.Name)
+	}
+	seen := make(map[string]bool, len(sc.Threads))
+	for ti, th := range sc.Threads {
+		if th.Name == "" {
+			return fmt.Errorf("scenario %s: thread %d has no name", sc.Name, ti)
+		}
+		if seen[th.Name] {
+			return fmt.Errorf("scenario %s: duplicate thread name %q", sc.Name, th.Name)
+		}
+		seen[th.Name] = true
+		if len(th.Phases) == 0 {
+			return fmt.Errorf("scenario %s: thread %s has no phases", sc.Name, th.Name)
+		}
+		for pi, ph := range th.Phases {
+			where := fmt.Sprintf("scenario %s: thread %s phase %d (%q)", sc.Name, th.Name, pi, ph.ID)
+			if ph.ID == "" {
+				return fmt.Errorf("%s: missing id", where)
+			}
+			if !ph.IsIdle() {
+				if _, ok := workload.ByName(ph.Bench); !ok {
+					return fmt.Errorf("%s: unknown benchmark %q", where, ph.Bench)
+				}
+			}
+			if ph.DurationCycles == 0 && pi != len(th.Phases)-1 {
+				return fmt.Errorf("%s: duration_cycles 0 is only legal on the last phase", where)
+			}
+			if ph.MPKIScale < 0 {
+				return fmt.Errorf("%s: negative mpki_scale %g", where, ph.MPKIScale)
+			}
+			if ph.RampSteps < 0 {
+				return fmt.Errorf("%s: negative ramp_steps %d", where, ph.RampSteps)
+			}
+			if ph.RampSteps > 1 && ph.DurationCycles == 0 {
+				return fmt.Errorf("%s: ramp_steps on an unbounded phase", where)
+			}
+			if ph.RampSteps > 64 {
+				return fmt.Errorf("%s: ramp_steps %d too large (max 64)", where, ph.RampSteps)
+			}
+		}
+	}
+	return nil
+}
+
+// Cores returns the scenario's core count (one thread per core).
+func (sc *Scenario) Cores() int { return len(sc.Threads) }
+
+// ThreadNames returns the thread names in core order.
+func (sc *Scenario) ThreadNames() []string {
+	out := make([]string, len(sc.Threads))
+	for i, th := range sc.Threads {
+		out[i] = th.Name
+	}
+	return out
+}
+
+// Hash returns the scenario's content hash: hex sha256 over the canonical
+// JSON encoding (struct field order, no insignificant whitespace). Two
+// files that decode to the same scenario hash identically regardless of
+// formatting. The hash keys result caches and checkpoint fingerprints.
+func (sc *Scenario) Hash() string {
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		// Scenario contains only marshalable fields; unreachable.
+		panic(fmt.Sprintf("scenario: hash marshal: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Single extracts thread t into a standalone single-thread scenario for
+// alone-run baselines. Generator seeds derive from the thread name, so the
+// extracted thread replays the exact access stream it has in the full
+// scenario.
+func (sc *Scenario) Single(t int) (*Scenario, error) {
+	if t < 0 || t >= len(sc.Threads) {
+		return nil, fmt.Errorf("scenario %s: no thread %d", sc.Name, t)
+	}
+	return &Scenario{
+		SchemaVersion: sc.SchemaVersion,
+		Name:          sc.Name + "/" + sc.Threads[t].Name,
+		Seed:          sc.Seed,
+		Threads:       []Thread{sc.Threads[t]},
+	}, nil
+}

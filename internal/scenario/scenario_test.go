@@ -1,0 +1,321 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// valid returns a structurally valid two-thread scenario document.
+func valid() *Scenario {
+	return &Scenario{
+		SchemaVersion: 1,
+		Name:          "test",
+		Seed:          42,
+		Threads: []Thread{
+			{Name: "a", Phases: []Phase{
+				{ID: "p1", Bench: "mcf-like", DurationCycles: 1000},
+				{ID: "p2", Bench: "povray-like"},
+			}},
+			{Name: "b", Phases: []Phase{
+				{ID: "steady", Bench: "gcc-like"},
+			}},
+		},
+	}
+}
+
+func mustJSON(t *testing.T, sc *Scenario) []byte {
+	t.Helper()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	sc, err := Decode(mustJSON(t, valid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "test" || sc.Cores() != 2 {
+		t.Fatalf("decoded %q with %d cores", sc.Name, sc.Cores())
+	}
+	if got := sc.ThreadNames(); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("thread names = %v", got)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"newer schema", func(s *Scenario) { s.SchemaVersion = SchemaVersion + 1 }, "newer"},
+		{"zero schema", func(s *Scenario) { s.SchemaVersion = 0 }, "schema_version"},
+		{"no name", func(s *Scenario) { s.Name = "" }, "missing name"},
+		{"no threads", func(s *Scenario) { s.Threads = nil }, "no threads"},
+		{"dup thread", func(s *Scenario) { s.Threads[1].Name = "a" }, "duplicate"},
+		{"no phases", func(s *Scenario) { s.Threads[0].Phases = nil }, "no phases"},
+		{"no phase id", func(s *Scenario) { s.Threads[0].Phases[0].ID = "" }, "missing id"},
+		{"unknown bench", func(s *Scenario) { s.Threads[0].Phases[0].Bench = "nope" }, "unknown benchmark"},
+		{"mid zero duration", func(s *Scenario) { s.Threads[0].Phases[0].DurationCycles = 0 }, "only legal on the last"},
+		{"negative scale", func(s *Scenario) { s.Threads[0].Phases[0].MPKIScale = -1 }, "mpki_scale"},
+		{"unbounded ramp", func(s *Scenario) { s.Threads[1].Phases[0].RampSteps = 4 }, "unbounded"},
+		{"huge ramp", func(s *Scenario) { s.Threads[0].Phases[0].RampSteps = 65 }, "too large"},
+	}
+	for _, tc := range cases {
+		sc := valid()
+		tc.mut(sc)
+		_, err := Decode(mustJSON(t, sc))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndTrailingData(t *testing.T) {
+	if _, err := Decode([]byte(`{"schema_version":1,"name":"x","bogus":1,"threads":[]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Decode(append(mustJSON(t, valid()), []byte("{}")...)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestHashIsContentNotFormatting(t *testing.T) {
+	a, err := Decode(mustJSON(t, valid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same content, different formatting.
+	pretty, err := json.MarshalIndent(valid(), "", "    ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(pretty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("hash depends on document formatting")
+	}
+	// Different content, different hash.
+	c := valid()
+	c.Seed = 43
+	cc, err := Decode(mustJSON(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == cc.Hash() {
+		t.Error("different scenarios share a hash")
+	}
+}
+
+func TestSingleExtractsThread(t *testing.T) {
+	sc := valid()
+	single, err := sc.Single(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Cores() != 1 || single.Threads[0].Name != "b" {
+		t.Fatalf("single = %+v", single)
+	}
+	if single.Seed != sc.Seed {
+		t.Fatal("single-thread scenario lost the seed")
+	}
+	if _, err := sc.Single(2); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+}
+
+func TestCompileGridInvariants(t *testing.T) {
+	sc := &Scenario{
+		SchemaVersion: 1,
+		Name:          "grid",
+		Threads: []Thread{
+			{Name: "ramped", Phases: []Phase{
+				{ID: "p1", Bench: "mcf-like", DurationCycles: 100, MPKIScale: 0.5},
+				{ID: "p2", Bench: "mcf-like", DurationCycles: 1000, RampSteps: 4},
+				{ID: "p3", Bench: "idle"},
+			}},
+		},
+	}
+	const q = 250
+	rt, err := sc.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := rt.segs[0]
+	// 1 + 4 ramp sub-segments + 1 idle.
+	if len(segs) != 6 {
+		t.Fatalf("segments = %d, want 6", len(segs))
+	}
+	for i, s := range segs {
+		if s.start%q != 0 {
+			t.Errorf("segment %d starts off-grid at %d", i, s.start)
+		}
+		if i > 0 && s.start <= segs[i-1].start {
+			t.Errorf("segment %d start %d not after %d", i, s.start, segs[i-1].start)
+		}
+	}
+	// Ramp sub-segments interpolate monotonically toward the target and
+	// share the phase ID.
+	for i := 1; i <= 4; i++ {
+		if segs[i].phaseID != "p2" {
+			t.Errorf("ramp segment %d has phase %q", i, segs[i].phaseID)
+		}
+	}
+	if !segs[5].idle {
+		t.Error("final idle phase not marked idle")
+	}
+	// Events cover every non-initial segment, in order.
+	if len(rt.events) != 5 {
+		t.Fatalf("events = %d, want 5", len(rt.events))
+	}
+	for i := 1; i < len(rt.events); i++ {
+		if less(rt.events[i], rt.events[i-1]) {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestCompileRejectsZeroQuantum(t *testing.T) {
+	if _, err := valid().Compile(0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+}
+
+func TestAdvanceAndNextChange(t *testing.T) {
+	sc := valid() // thread a switches at roundUp(1000, 250) = 1000
+	rt, err := sc.Compile(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.NextChange(); got != 1000 {
+		t.Fatalf("NextChange = %d, want 1000", got)
+	}
+	if shifted := rt.Advance(750); shifted != nil {
+		t.Fatalf("Advance(750) = %v, want nil", shifted)
+	}
+	shifted := rt.Advance(1000)
+	if len(shifted) != 1 || shifted[0] != 0 {
+		t.Fatalf("Advance(1000) = %v, want [0]", shifted)
+	}
+	if id, idle := rt.ThreadPhase(0); id != "p2" || idle {
+		t.Fatalf("thread 0 phase = %q idle=%v", id, idle)
+	}
+	if id, _ := rt.ThreadPhase(1); id != "steady" {
+		t.Fatalf("thread 1 phase = %q", id)
+	}
+	if got := rt.NextChange(); got != NoChange {
+		t.Fatalf("NextChange after exhaustion = %d", got)
+	}
+	if shifted := rt.Advance(1_000_000); shifted != nil {
+		t.Fatalf("Advance past exhaustion = %v", shifted)
+	}
+}
+
+func TestRuntimeSnapshotRestore(t *testing.T) {
+	sc := valid()
+	rt, err := sc.Compile(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the timeline and some generator calls forward.
+	var want []any
+	for i := 0; i < 50; i++ {
+		want = append(want, rt.Generator(0).Next())
+	}
+	rt.Advance(1000)
+	for i := 0; i < 50; i++ {
+		want = append(want, rt.Generator(0).Next())
+	}
+	blob, err := rt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh runtime restores the snapshot, then fast-forwards its
+	// generators by call count exactly as sim's core restore does.
+	rt2, err := sc.Compile(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got := rt2.Generator(0).Next(); got != w {
+			t.Fatalf("replayed access %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if rt2.NextChange() != rt.NextChange() {
+		t.Fatal("restored runtime disagrees on NextChange")
+	}
+	if id, _ := rt2.ThreadPhase(0); id != "p2" {
+		t.Fatalf("restored phase = %q, want p2", id)
+	}
+}
+
+func TestRuntimeRestoreRejectsBadState(t *testing.T) {
+	rt, err := valid().Compile(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Restore([]byte("not gob")); err == nil {
+		t.Error("garbage blob accepted")
+	}
+	// A snapshot from a scenario with a different thread count must fail.
+	other := valid()
+	other.Threads = other.Threads[:1]
+	ort, err := other.Compile(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ort.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Restore(blob); err == nil {
+		t.Error("mismatched thread count accepted")
+	}
+}
+
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add(mustJSONFuzz(valid()))
+	f.Add([]byte(`{"schema_version":1,"name":"x","threads":[{"name":"t","phases":[{"id":"p"}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything Decode accepts must validate, hash, and compile without
+		// panicking, and survive a marshal→decode round trip.
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails Validate: %v", err)
+		}
+		_ = sc.Hash()
+		if _, err := sc.Compile(250_000); err != nil {
+			t.Fatalf("accepted scenario fails Compile: %v", err)
+		}
+		again, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := Decode(again); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}
+
+func mustJSONFuzz(sc *Scenario) []byte {
+	data, err := json.Marshal(sc)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

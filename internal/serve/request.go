@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dbpsim/internal/obs"
+	"dbpsim/internal/scenario"
 	"dbpsim/internal/sim"
 	"dbpsim/internal/workload"
 )
@@ -28,6 +29,11 @@ type RunRequest struct {
 	// Benchmarks is an explicit benchmark list (one per core), overriding
 	// Mix — the service's equivalent of dbpsim -benchmarks.
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Scenario is an inline phase-shifting scenario document (the same
+	// scenario/v1 JSON the CLI loads with -scenario). It overrides both Mix
+	// and Benchmarks: the timeline decides the thread count, and the run is
+	// cached under the scenario's content hash.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 	// Scheduler and Partition name the policy point (defaults: frfcfs/none).
 	Scheduler string `json:"scheduler,omitempty"`
 	Partition string `json:"partition,omitempty"`
@@ -49,6 +55,7 @@ type RunRequest struct {
 // of the run — config hash, mix membership, budgets) and expKey (the
 // alone-run baseline identity, shared across policies and mixes).
 type resolvedRun struct {
+	scen    *scenario.Scenario // non-nil for scenario runs
 	mix     workload.Mix
 	sched   sim.SchedulerKind
 	part    sim.PartitionKind
@@ -67,8 +74,17 @@ type resolvedRun struct {
 func resolve(req RunRequest, maxInstructions uint64) (resolvedRun, error) {
 	var rr resolvedRun
 
-	// Workload: explicit benchmark list wins, else a named mix.
-	if len(req.Benchmarks) > 0 {
+	// Workload: a scenario timeline wins, then an explicit benchmark list,
+	// else a named mix. Scenario mixes are synthetic labels ("scenario:<name>"
+	// with thread names as members) and must not be suite-validated.
+	if len(req.Scenario) > 0 {
+		sc, err := scenario.Decode(req.Scenario)
+		if err != nil {
+			return rr, err
+		}
+		rr.scen = sc
+		rr.mix = sim.ScenarioMix(sc)
+	} else if len(req.Benchmarks) > 0 {
 		members := make([]string, len(req.Benchmarks))
 		for i, name := range req.Benchmarks {
 			members[i] = strings.TrimSpace(name)
@@ -131,6 +147,12 @@ func resolve(req RunRequest, maxInstructions uint64) (resolvedRun, error) {
 	cfg := base
 	cfg.Scheduler = rr.sched
 	cfg.Partition = rr.part
+	if rr.scen != nil {
+		// The scenario hash joins the config identity, so the run key (and
+		// with it the result cache and the job journal) distinguishes runs
+		// by timeline content, not just by the "scenario:<name>" label.
+		cfg.ScenarioHash = rr.scen.Hash()
+	}
 	if err := cfg.Validate(); err != nil {
 		return rr, err
 	}
@@ -167,6 +189,7 @@ func experimentKey(base sim.Config, warmup, measure uint64) (string, error) {
 	neutral.Cores = 1
 	neutral.Scheduler = sim.SchedFRFCFS
 	neutral.Partition = sim.PartNone
+	neutral.ScenarioHash = ""
 	data, err := sim.MarshalConfig(neutral)
 	if err != nil {
 		return "", err

@@ -808,7 +808,13 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 		return nil, err
 	}
 	ck := s.checkpointer(j)
-	run, err := exp.RunMixCheckpointedContext(ctx, rr.mix, rr.sched, rr.part, rec, ck)
+	doRun := func(rec *obs.Recorder) (sim.MixRun, error) {
+		if rr.scen != nil {
+			return exp.RunScenarioCheckpointedContext(ctx, rr.scen, rr.sched, rr.part, rec, ck)
+		}
+		return exp.RunMixCheckpointedContext(ctx, rr.mix, rr.sched, rr.part, rec, ck)
+	}
+	run, err := doRun(rec)
 	if err != nil {
 		var rerr *sim.RestoreError
 		if !errors.As(err, &rerr) || ck == nil || ck.Restore == nil {
@@ -823,7 +829,7 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 		if rec, err = obs.NewRecorder(recOpts); err != nil {
 			return nil, err
 		}
-		if run, err = exp.RunMixCheckpointedContext(ctx, rr.mix, rr.sched, rr.part, rec, ck); err != nil {
+		if run, err = doRun(rec); err != nil {
 			return nil, err
 		}
 	}

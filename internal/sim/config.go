@@ -143,6 +143,14 @@ type Config struct {
 
 	// Seed drives all randomised components.
 	Seed int64
+
+	// ScenarioHash is the content hash of the phase-shifting scenario
+	// driving the run (empty for stationary mix runs). It is part of the
+	// canonical config JSON — and therefore of the ledger config hash, the
+	// checkpoint fingerprint, and the service cache key — so two runs that
+	// differ only in their timeline never collide. The omitempty tag keeps
+	// stationary configs byte-identical to their pre-scenario encoding.
+	ScenarioHash string `json:",omitempty"`
 }
 
 // DefaultConfig returns the paper-style baseline system for the given core

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"dbpsim/internal/obs"
+	"dbpsim/internal/scenario"
 	"dbpsim/internal/stats"
 	"dbpsim/internal/workload"
 )
@@ -127,13 +128,20 @@ func (e *Experiment) AloneIPCContext(ctx context.Context, name string, seed int6
 	return ipc, nil
 }
 
-// MixRun is the outcome of one policy on one mix.
+// MixRun is the outcome of one policy on one mix (or, for scenario runs,
+// on one phase-shifting timeline — Scenario/ScenarioHash are then set and
+// Mix is the synthetic scenario identity from ScenarioMix).
 type MixRun struct {
 	Mix       workload.Mix
 	Scheduler SchedulerKind
 	Partition PartitionKind
 	Metrics   stats.SystemMetrics
 	Result    Result
+
+	// Scenario names the driving timeline; empty for stationary mix runs.
+	Scenario string
+	// ScenarioHash is the scenario content hash (see scenario.Hash).
+	ScenarioHash string
 }
 
 // RunMix evaluates one mix under the given scheduler/partition pair, using
@@ -207,6 +215,125 @@ func (e *Experiment) RunMixCheckpointedContext(ctx context.Context, mix workload
 		return MixRun{}, fmt.Errorf("sim: metrics for mix %s: %w", mix.Name, err)
 	}
 	return MixRun{Mix: mix, Scheduler: scheduler, Partition: partition, Metrics: m, Result: res}, nil
+}
+
+// ScenarioMix is the synthetic mix identity of a scenario run: the
+// scenario's thread names standing in for benchmark members so ledgers and
+// core counts work unchanged. It must never be validated against the
+// benchmark suite (thread names are tenant labels, not suite entries).
+func ScenarioMix(sc *scenario.Scenario) workload.Mix {
+	return workload.Mix{Name: "scenario:" + sc.Name, Members: sc.ThreadNames()}
+}
+
+// RunScenarioRecordedContext evaluates one phase-shifting scenario under the
+// given scheduler/partition pair. See RunScenarioCheckpointedContext.
+func (e *Experiment) RunScenarioRecordedContext(ctx context.Context, sc *scenario.Scenario, scheduler SchedulerKind, partition PartitionKind, rec *obs.Recorder) (MixRun, error) {
+	return e.RunScenarioCheckpointedContext(ctx, sc, scheduler, partition, rec, nil)
+}
+
+// RunScenarioCheckpointedContext is the scenario analogue of
+// RunMixCheckpointedContext: it compiles the timeline onto the experiment's
+// quantum grid, runs it under the given policy pair, and computes the paper
+// metrics against per-thread alone baselines. Each thread's alone baseline
+// is the thread extracted into a single-thread scenario (same seeds, same
+// timeline) on the neutral 1-core FR-FCFS system, cached under the scenario
+// hash. Scenario runs checkpoint and resume bit-identically: the runtime's
+// timeline position and generator switch logs ride inside the blob.
+func (e *Experiment) RunScenarioCheckpointedContext(ctx context.Context, sc *scenario.Scenario, scheduler SchedulerKind, partition PartitionKind, rec *obs.Recorder, ck *Checkpointer) (MixRun, error) {
+	rt, err := sc.Compile(e.Base.SchedQuantumCPUCycles)
+	if err != nil {
+		return MixRun{}, err
+	}
+	hash := sc.Hash()
+	cfg := e.Base
+	cfg.Cores = rt.Cores()
+	cfg.Scheduler = scheduler
+	cfg.Partition = partition
+	cfg.ScenarioHash = hash
+	benches := make([]Bench, rt.Cores())
+	for i, name := range rt.Names() {
+		benches[i] = Bench{Name: name, Gen: rt.Generator(i)}
+	}
+	sys, err := NewSystem(cfg, benches)
+	if err != nil {
+		return MixRun{}, err
+	}
+	sys.SetCycleSkipping(!e.DisableCycleSkipping)
+	sys.SetScenario(rt)
+	if rec != nil {
+		sys.AttachRecorder(rec)
+	}
+	res, err := sys.RunCheckpointed(ctx, e.Warmup, e.Measure, e.MaxCycles, ck)
+	if err != nil {
+		var rerr *RestoreError
+		if errors.As(err, &rerr) {
+			return MixRun{}, err
+		}
+		return MixRun{}, fmt.Errorf("sim: scenario %s under %s/%s: %w", sc.Name, scheduler, partition, err)
+	}
+	threads := make([]stats.ThreadPerf, len(res.Threads))
+	for i, t := range res.Threads {
+		alone, err := e.aloneScenarioIPC(ctx, sc, hash, i)
+		if err != nil {
+			return MixRun{}, err
+		}
+		threads[i] = stats.ThreadPerf{Name: t.Name, IPCShared: t.IPC, IPCAlone: alone}
+	}
+	m, err := stats.ComputeMetrics(threads)
+	if err != nil {
+		return MixRun{}, fmt.Errorf("sim: metrics for scenario %s: %w", sc.Name, err)
+	}
+	return MixRun{
+		Mix:          ScenarioMix(sc),
+		Scheduler:    scheduler,
+		Partition:    partition,
+		Metrics:      m,
+		Result:       res,
+		Scenario:     sc.Name,
+		ScenarioHash: hash,
+	}, nil
+}
+
+// aloneScenarioIPC measures (or recalls) a scenario thread's alone-run IPC:
+// the thread extracted into a single-thread scenario on the 1-core neutral
+// baseline system. Generator seeds derive from the thread name, so the
+// extracted run replays exactly the access stream the thread has in the full
+// scenario. Cached in the shared alone-IPC map under a hash-scoped key.
+func (e *Experiment) aloneScenarioIPC(ctx context.Context, sc *scenario.Scenario, hash string, t int) (float64, error) {
+	key := fmt.Sprintf("scn:%s/%d", hash, t)
+	e.mu.Lock()
+	ipc, ok := e.aloneIPC[key]
+	e.mu.Unlock()
+	if ok {
+		return ipc, nil
+	}
+	single, err := sc.Single(t)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := single.Compile(e.Base.SchedQuantumCPUCycles)
+	if err != nil {
+		return 0, err
+	}
+	cfg := e.Base
+	cfg.Cores = 1
+	cfg.Scheduler = SchedFRFCFS
+	cfg.Partition = PartNone
+	sys, err := NewSystem(cfg, []Bench{{Name: single.Threads[0].Name, Gen: rt.Generator(0)}})
+	if err != nil {
+		return 0, err
+	}
+	sys.SetCycleSkipping(!e.DisableCycleSkipping)
+	sys.SetScenario(rt)
+	res, err := sys.RunContext(ctx, e.Warmup, e.Measure, e.MaxCycles)
+	if err != nil {
+		return 0, fmt.Errorf("sim: alone run of scenario thread %s: %w", single.Threads[0].Name, err)
+	}
+	ipc = res.Threads[0].IPC
+	e.mu.Lock()
+	e.aloneIPC[key] = ipc
+	e.mu.Unlock()
+	return ipc, nil
 }
 
 // PolicyPoint names one (scheduler, partition) combination under study.

@@ -18,6 +18,7 @@ func BuildLedger(tool string, base Config, warmup, measure uint64, run MixRun, r
 	cfg.Cores = run.Mix.Cores()
 	cfg.Scheduler = run.Scheduler
 	cfg.Partition = run.Partition
+	cfg.ScenarioHash = run.ScenarioHash
 	cfgJSON, err := MarshalConfig(cfg)
 	if err != nil {
 		return obs.Ledger{}, err
@@ -29,6 +30,8 @@ func BuildLedger(tool string, base Config, warmup, measure uint64, run MixRun, r
 		Mix:           run.Mix.Name,
 		Scheduler:     string(run.Scheduler),
 		Partition:     string(run.Partition),
+		Scenario:      run.Scenario,
+		ScenarioHash:  run.ScenarioHash,
 		Warmup:        warmup,
 		Measure:       measure,
 		Cycles:        run.Result.Cycles,
@@ -49,6 +52,7 @@ func BuildLedger(tool string, base Config, warmup, measure uint64, run MixRun, r
 	if rec != nil {
 		l.Epochs = rec.Epochs()
 		l.Repartitions = rec.Repartitions()
+		l.Shifts = rec.Shifts()
 		for name, v := range rec.Counters() {
 			l.Counters[name] = v
 		}

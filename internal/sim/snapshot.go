@@ -89,6 +89,12 @@ type systemState struct {
 	BestIPC        []float64
 	MigrationDrops uint64
 	InvariantErr   string
+
+	// ScnState is the scenario runtime's serialised state (applied timeline
+	// events and per-thread generator switch logs); nil for stationary runs.
+	// Gob field additions are backwards-compatible, so SnapshotVersion stays
+	// unchanged: old blobs decode with ScnState nil.
+	ScnState []byte
 }
 
 // configFingerprint hashes the system's effective configuration the same way
@@ -187,6 +193,13 @@ func (s *System) Snapshot(progress RunProgress) ([]byte, error) {
 	if s.rec != nil {
 		v := s.rec.Snapshot()
 		st.Rec = &v
+	}
+	if s.scn != nil {
+		b, err := s.scn.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("sim: snapshot scenario state: %w", err)
+		}
+		st.ScnState = b
 	}
 
 	var payload bytes.Buffer
@@ -337,6 +350,9 @@ func (s *System) RestoreSnapshot(blob []byte) error {
 	if s.rec != nil && st.Rec == nil {
 		return fail(fmt.Errorf("snapshot was taken without a recorder attached; attach none or rerun"))
 	}
+	if (s.scn != nil) != (st.ScnState != nil) {
+		return fail(fmt.Errorf("snapshot scenario presence does not match the system (snapshot %v, system %v)", st.ScnState != nil, s.scn != nil))
+	}
 	if len(st.Agg) != len(s.agg) || len(st.Life) != len(s.life) || len(st.LifeBLPWSum) != len(s.lifeBLPWSum) {
 		return fail(fmt.Errorf("snapshot profile aggregates cover %d threads, system has %d", len(st.Agg), len(s.agg)))
 	}
@@ -361,6 +377,15 @@ func (s *System) RestoreSnapshot(blob []byte) error {
 		})
 	}
 
+	// Scenario state installs before the cores: core restore fast-forwards
+	// each fresh generator by its recorded Next() count, and the switch logs
+	// set here replay every phase change at its original call index during
+	// that fast-forward.
+	if s.scn != nil {
+		if err := s.scn.Restore(st.ScnState); err != nil {
+			return fail(err)
+		}
+	}
 	for i, c := range s.cores {
 		if err := c.Restore(st.Cores[i]); err != nil {
 			return fail(err)

@@ -14,6 +14,7 @@ import (
 	"dbpsim/internal/obs"
 	"dbpsim/internal/paging"
 	"dbpsim/internal/profile"
+	"dbpsim/internal/scenario"
 	"dbpsim/internal/sched"
 	"dbpsim/internal/stats"
 	"dbpsim/internal/trace"
@@ -84,6 +85,11 @@ type System struct {
 	latHist  []*stats.Histogram
 	checker  *invariantChecker
 	invErr   error
+
+	// scn, when non-nil, is the compiled phase-shifting scenario runtime:
+	// its timeline events are applied at scheduler-quantum boundaries (see
+	// onSchedQuantum) and its next-event cycle bounds cycle skipping.
+	scn *scenario.Runtime
 
 	// rec, when non-nil, receives epoch samples and repartition events (the
 	// controllers hold their own pointer for request-lifecycle hooks).
@@ -349,6 +355,18 @@ func (s *System) AttachRecorder(r *obs.Recorder) {
 // Recorder returns the attached recorder (nil when observability is off).
 func (s *System) Recorder() *obs.Recorder { return s.rec }
 
+// SetScenario attaches a compiled scenario runtime whose generators the
+// system's cores are already running (the benches passed to NewSystem must
+// be the runtime's generators). Timeline events then fire at
+// scheduler-quantum boundaries: demand shifts are reported to the recorder,
+// phase labels annotate the epoch series, and the runtime's state rides in
+// snapshots so resumed runs replay every phase switch bit-identically. Must
+// be called before Run (and before RestoreSnapshot when resuming).
+func (s *System) SetScenario(r *scenario.Runtime) { s.scn = r }
+
+// Scenario returns the attached scenario runtime (nil for stationary runs).
+func (s *System) Scenario() *scenario.Runtime { return s.scn }
+
 // Policy returns the active partition policy.
 func (s *System) Policy() bankpart.Policy { return s.policy }
 
@@ -430,6 +448,15 @@ func (s *System) trySkip(maxCycles uint64, retireTargets []uint64) (jumped bool,
 	limit := (c/s.schedQ + 1) * s.schedQ
 	if maxCycles < limit {
 		limit = maxCycles
+	}
+	if s.scn != nil {
+		// Timeline events land on quantum boundaries, so the quantum clamp
+		// above already covers them; this explicit clamp keeps the invariant
+		// local (the skip planner's horizon includes the next timeline event)
+		// rather than depending on the compiler's rounding.
+		if nc := s.scn.NextChange(); nc < limit {
+			limit = nc
+		}
 	}
 	if limit <= c+1 {
 		return false, nil
@@ -565,6 +592,15 @@ func (s *System) onSchedQuantum() {
 	if s.partQ > 0 && s.cycle%s.partQ == 0 {
 		s.onPartitionQuantum()
 	}
+	// Timeline events apply last: the epoch recorded above describes the
+	// phase that was active during the quantum just ended, and a repartition
+	// decided this quantum can never spuriously "react" to a shift applied
+	// at the same boundary (reaction latency stays strictly positive).
+	if s.scn != nil {
+		if shifted := s.scn.Advance(s.cycle); len(shifted) > 0 && s.rec != nil {
+			s.rec.OnDemandShift(s.cycle, s.memCycles, shifted)
+		}
+	}
 }
 
 // repartitionLLC reruns UCP's greedy way allocation from the UMON
@@ -694,6 +730,9 @@ func (s *System) recordEpoch(samples []profile.ThreadSample) {
 		}
 		if ipc > 0 {
 			et.SlowdownEst = s.bestIPC[i] / ipc
+		}
+		if s.scn != nil {
+			et.Phase, et.Idle = s.scn.ThreadPhase(i)
 		}
 		threads[i] = et
 	}

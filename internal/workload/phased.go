@@ -1,0 +1,94 @@
+package workload
+
+import "dbpsim/internal/trace"
+
+// SwitchPoint records one externally-commanded generator switch: from call
+// index Call onward, sub-generator Part serves Next(). The call index — not
+// a cycle number — is the replayable coordinate: checkpoint restore rebuilds
+// a fresh generator and fast-forwards it by calling Next() exactly as many
+// times as the original saw, so a switch log keyed by call index replays
+// switches at precisely the original positions.
+type SwitchPoint struct {
+	// Call is the Next() call index at which the switch takes effect
+	// (the first call with index >= Call is served by Part).
+	Call uint64
+	// Part is the index of the sub-generator to switch to.
+	Part int
+}
+
+// Switched is a trace generator whose active sub-generator is selected
+// externally — by the scenario timeline — instead of by the generator
+// itself. Switches are appended to a call-indexed log, and Next() replays
+// the log as the call counter passes each switch point, which makes the
+// generator deterministic under checkpoint restore: restore installs the
+// saved log into a fresh Switched (SetLog) before the core replays its
+// recorded Next() count, and every switch fires at the same call it
+// originally did.
+type Switched struct {
+	parts []trace.Generator
+	log   []SwitchPoint
+	pos   int // next log entry to apply
+	cur   int // active part index
+	calls uint64
+}
+
+// NewSwitched builds a switched generator over parts, starting on part 0.
+func NewSwitched(parts []trace.Generator) *Switched {
+	if len(parts) == 0 {
+		panic("workload: NewSwitched with no parts")
+	}
+	return &Switched{parts: parts}
+}
+
+// Next serves the next access from the active part, applying any pending
+// switch points first.
+func (g *Switched) Next() trace.Item {
+	for g.pos < len(g.log) && g.log[g.pos].Call <= g.calls {
+		g.cur = g.log[g.pos].Part
+		g.pos++
+	}
+	g.calls++
+	return g.parts[g.cur].Next()
+}
+
+// Switch makes part the active sub-generator starting with the next Next()
+// call, recording the transition in the switch log.
+func (g *Switched) Switch(part int) {
+	if part < 0 || part >= len(g.parts) {
+		panic("workload: Switch to out-of-range part")
+	}
+	g.log = append(g.log, SwitchPoint{Call: g.calls, Part: part})
+}
+
+// Parts returns the number of sub-generators.
+func (g *Switched) Parts() int { return len(g.parts) }
+
+// Log returns a copy of the switch log for snapshotting.
+func (g *Switched) Log() []SwitchPoint {
+	return append([]SwitchPoint(nil), g.log...)
+}
+
+// SetLog installs a saved switch log into a fresh generator. It must be
+// called before any Next() calls; the log then replays during the restore
+// fast-forward.
+func (g *Switched) SetLog(log []SwitchPoint) {
+	if g.calls != 0 {
+		panic("workload: SetLog on a generator that already ran")
+	}
+	g.log = append([]SwitchPoint(nil), log...)
+	g.pos, g.cur = 0, 0
+}
+
+// IdleSpec models a departed or idle tenant: a pure L1-resident hot stream
+// (TargetMPKI 0) that occupies its core but produces ~zero DRAM traffic.
+func IdleSpec() Spec {
+	return Spec{
+		Name:        "idle",
+		Class:       Light,
+		Pattern:     PatternStream,
+		Streams:     1,
+		TargetMPKI:  0,
+		ColdBytes:   1 << 20,
+		Description: "departed/idle tenant: L1-resident stream, ~zero DRAM traffic",
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"dbpsim/internal/trace"
+)
+
+// switchedParts builds two distinguishable sub-generators.
+func switchedParts(t *testing.T) []trace.Generator {
+	t.Helper()
+	a, ok := ByName("mcf-like")
+	if !ok {
+		t.Fatal("suite is missing mcf-like")
+	}
+	b, ok := ByName("povray-like")
+	if !ok {
+		t.Fatal("suite is missing povray-like")
+	}
+	return []trace.Generator{a.New(1), b.New(2)}
+}
+
+func TestSwitchedReplaysLogAtSameCalls(t *testing.T) {
+	// A live run with mid-stream switches and a fresh generator replaying
+	// the recorded log must produce identical access streams — this is the
+	// property checkpoint restore depends on.
+	live := NewSwitched(switchedParts(t))
+	var want []trace.Item
+	for i := 0; i < 100; i++ {
+		want = append(want, live.Next())
+	}
+	live.Switch(1)
+	for i := 0; i < 100; i++ {
+		want = append(want, live.Next())
+	}
+	live.Switch(0)
+	for i := 0; i < 100; i++ {
+		want = append(want, live.Next())
+	}
+
+	replay := NewSwitched(switchedParts(t))
+	replay.SetLog(live.Log())
+	for i, w := range want {
+		if got := replay.Next(); got != w {
+			t.Fatalf("replayed item %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestSwitchedLogIsACopy(t *testing.T) {
+	g := NewSwitched(switchedParts(t))
+	g.Next()
+	g.Switch(1)
+	log := g.Log()
+	if want := []SwitchPoint{{Call: 1, Part: 1}}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("log = %+v, want %+v", log, want)
+	}
+	log[0].Part = 0 // mutating the copy must not affect the generator
+	if got := g.Log()[0].Part; got != 1 {
+		t.Fatalf("internal log mutated through Log() copy: part = %d", got)
+	}
+}
+
+func TestSwitchedPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty parts", func() { NewSwitched(nil) })
+	g := NewSwitched(switchedParts(t))
+	mustPanic("out-of-range switch", func() { g.Switch(2) })
+	g.Next()
+	mustPanic("SetLog after Next", func() { g.SetLog(nil) })
+}
+
+func TestIdleSpecIsQuiet(t *testing.T) {
+	spec := IdleSpec()
+	if spec.TargetMPKI != 0 {
+		t.Fatalf("idle TargetMPKI = %g, want 0", spec.TargetMPKI)
+	}
+	if _, ok := ByName(spec.Name); ok {
+		t.Fatalf("idle spec %q must not shadow a suite benchmark", spec.Name)
+	}
+	g := spec.New(7)
+	for i := 0; i < 10; i++ {
+		g.Next() // must be a working generator
+	}
+}

@@ -1,0 +1,100 @@
+// Command doccheck keeps docs/SCENARIOS.md honest: it collects every JSON
+// object key used by the committed scenarios/*.json files and fails if any
+// of them is not mentioned (as `key`) in the schema documentation. Run by
+// `make lint`, so a new scenario field cannot land without its docs.
+//
+// Usage: go run ./scripts/doccheck
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const schemaDoc = "docs/SCENARIOS.md"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	files, err := filepath.Glob("scenarios/*.json")
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no committed scenario files under scenarios/ (run from the repo root)")
+	}
+	doc, err := os.ReadFile(schemaDoc)
+	if err != nil {
+		return err
+	}
+	text := string(doc)
+
+	missing := map[string][]string{} // field -> files using it
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		for _, key := range collectKeys(v, nil) {
+			// Array-valued fields are documented as `key[]`.
+			if !strings.Contains(text, "`"+key+"`") && !strings.Contains(text, "`"+key+"[]`") {
+				missing[key] = append(missing[key], f)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		keys := make([]string, 0, len(missing))
+		for k := range missing {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(os.Stderr, "doccheck: field %q (used by %s) is not documented in %s\n",
+				k, strings.Join(missing[k], ", "), schemaDoc)
+		}
+		return fmt.Errorf("%d scenario field(s) missing from %s", len(missing), schemaDoc)
+	}
+	fmt.Printf("doccheck: ok (%d scenario files, every field documented in %s)\n", len(files), schemaDoc)
+	return nil
+}
+
+// collectKeys walks a decoded JSON value and returns every object key,
+// deduplicated.
+func collectKeys(v any, acc []string) []string {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			if !contains(acc, k) {
+				acc = append(acc, k)
+			}
+			acc = collectKeys(child, acc)
+		}
+	case []any:
+		for _, child := range t {
+			acc = collectKeys(child, acc)
+		}
+	}
+	return acc
+}
+
+func contains(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

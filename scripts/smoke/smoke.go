@@ -96,7 +96,7 @@ func run(args []string) error {
 	if err := json.Unmarshal(res.Ledger, &led); err != nil {
 		return fmt.Errorf("response is not JSON: %w", err)
 	}
-	if led.SchemaVersion != 1 || led.Tool != "dbpserved" {
+	if led.SchemaVersion < 1 || led.SchemaVersion > 2 || led.Tool != "dbpserved" {
 		return fmt.Errorf("unexpected ledger header: schema %d tool %q", led.SchemaVersion, led.Tool)
 	}
 
