@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke scenario-smoke
+.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke scenario-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,9 @@ fmt:
 
 # Static analysis beyond vet: gofmt cleanliness always; a doc-consistency
 # check that every field used by the committed scenario files is documented
-# in docs/SCENARIOS.md; staticcheck and govulncheck when they are on PATH
+# in docs/SCENARIOS.md and that every dbpserved flag and serve/fleet metric
+# is documented in docs/SERVICE.md, docs/FLEET.md, or README.md;
+# staticcheck and govulncheck when they are on PATH
 # (the hermetic build container has only the go toolchain, so they are
 # opportunistic locally but installed in CI).
 lint:
@@ -105,11 +107,22 @@ chaos-smoke:
 	$(GO) run ./scripts/chaossmoke /tmp/dbpserved-chaos
 	rm -f /tmp/dbpserved-chaos
 
+# Fleet drill: boot a real coordinator + 3 real workers, run a batch sweep
+# (NDJSON stream, one simulation per unique cell fleet-wide), SIGKILL the
+# owner of a long run mid-flight and require the coordinator to finish it
+# on a survivor from the mirrored checkpoint — every ledger byte-identical
+# to a single-node reference daemon's. Set FLEETSMOKE_ARTIFACTS=<dir> to
+# keep per-daemon logs there for post-mortem (CI uploads them on failure).
+fleet-smoke:
+	$(GO) build -o /tmp/dbpserved-fleet ./cmd/dbpserved
+	$(GO) run ./scripts/fleetsmoke /tmp/dbpserved-fleet
+	rm -f /tmp/dbpserved-fleet
+
 # The gate CI runs: lint, build, the full test suite, the suite again under
 # the race detector with -short (the paper-shape regressions run several
 # full-length simulations; under the detector's ~15x slowdown they would
 # blow the test timeout without adding race coverage), the dbpserved
-# smoke + chaos drills against the real binary, and the benchmark
+# smoke + chaos + fleet drills against the real binary, and the benchmark
 # regression gate against the committed perf-ledger baseline.
 ci:
 	$(MAKE) lint
@@ -119,6 +132,7 @@ ci:
 	$(MAKE) smoke
 	$(MAKE) scenario-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-gate
 
 # Regenerate every paper table/figure (full budgets; ~15 min).

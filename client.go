@@ -1,6 +1,7 @@
 package dbpsim
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -158,6 +159,83 @@ func (c *Client) backoff(attempt int, lastErr error) time.Duration {
 		d = ra.after
 	}
 	return d
+}
+
+// Sweep submits a batch sweep to a fleet coordinator's POST /v1/sweeps and
+// streams results as they land: each is one cell of the scheduler ×
+// partition × workload grid, delivered in completion order. The each
+// callback runs on the streaming goroutine; returning an error stops the
+// stream and is returned from Sweep. The final summary line is returned
+// once the stream ends cleanly.
+//
+// Unlike Run, Sweep does not retry: a sweep is not idempotent-cheap (cells
+// already computed are cached, so resubmitting after a failure is the
+// recovery path — and costs only the unfinished cells).
+func (c *Client) Sweep(ctx context.Context, req SweepRequest, each func(SweepResult) error) (*SweepSummary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dbpsim: encode sweep: %w", err)
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("dbpsim: build sweep request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("dbpsim: post sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var doc struct {
+			Error *APIError `json:"error"`
+		}
+		if jerr := json.Unmarshal(data, &doc); jerr == nil && doc.Error != nil {
+			return nil, fmt.Errorf("dbpsim: sweep rejected (%d): %w", resp.StatusCode, doc.Error)
+		}
+		return nil, fmt.Errorf("dbpsim: sweep rejected (%d): %.200s", resp.StatusCode, data)
+	}
+
+	// NDJSON: result lines as cells land, then one {"summary":true,...}
+	// line. Distinguish by the summary marker, not by position — a torn
+	// stream (worker crash wave, coordinator death) must not silently look
+	// complete.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("dbpsim: bad sweep stream line: %w", err)
+		}
+		if probe.Summary {
+			var sum SweepSummary
+			if err := json.Unmarshal(line, &sum); err != nil {
+				return nil, fmt.Errorf("dbpsim: bad sweep summary: %w", err)
+			}
+			return &sum, nil
+		}
+		var res SweepResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return nil, fmt.Errorf("dbpsim: bad sweep result line: %w", err)
+		}
+		if each != nil {
+			if err := each(res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dbpsim: sweep stream: %w", err)
+	}
+	return nil, fmt.Errorf("dbpsim: sweep stream ended without a summary line")
 }
 
 func parseRetryAfter(v string) time.Duration {

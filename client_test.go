@@ -132,3 +132,37 @@ func TestClientHonoursRetryAfter(t *testing.T) {
 		t.Errorf("retry came after %v, want >= 1s per Retry-After", gap)
 	}
 }
+
+// TestClientHonoursRetryAfterOn503 pins the drain path: a 503 with
+// Retry-After (what dbpserved answers while draining, and what a fleet
+// coordinator relays when a worker is mid-handoff) must stretch the backoff
+// exactly like a 429 does — the hint is honoured per header, not per status.
+func TestClientHonoursRetryAfterOn503(t *testing.T) {
+	var calls atomic.Int64
+	var gap time.Duration
+	var last time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if n := calls.Add(1); n == 1 {
+			last = now
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error": {"code": "draining", "message": "server draining", "retryable": true}}`)
+			return
+		}
+		gap = now.Sub(last)
+		fmt.Fprint(w, `{"schema_version": 1}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	if _, err := c.Run(context.Background(), RunRequest{Mix: "W8-M1"}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d calls, want 2", calls.Load())
+	}
+	if gap < time.Second {
+		t.Errorf("retry after drain came after %v, want >= 1s per Retry-After", gap)
+	}
+}

@@ -11,6 +11,14 @@
 //	curl -s -X POST 'localhost:8080/v1/runs?async=1' -d '{"mix": "W8-H1"}'   # 202 + poll URL
 //	curl -s localhost:8080/metrics
 //
+// Fleet mode (see internal/fleet and docs/FLEET.md) shards the service
+// across machines — one coordinator owning placement, N workers running
+// simulations:
+//
+//	dbpserved -coordinator -addr :9000
+//	dbpserved -join http://coord:9000 -advertise http://worker1:8080 -addr :8080
+//	curl -sN -X POST coord:9000/v1/sweeps -d '{"mixes":["W8-M1"],"partitions":["none","dbp"]}'
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued and
 // in-flight simulations finish, then the process exits 0. If the drain
 // grace period expires first, in-flight simulations are canceled at their
@@ -24,7 +32,8 @@
 // or an expired drain grace is requeued at its original id on the next
 // start and resumes from its latest checkpoint — bit-identical to an
 // uninterrupted run — falling back to a clean rerun when no usable
-// checkpoint exists.
+// checkpoint exists. -retain-checkpoints picks the blob retention policy
+// (latest: prune superseded blobs eagerly; all: keep everything).
 //
 // -chaos enables the fault-injection layer (internal/chaos) for resilience
 // drills — e.g. -chaos 'panic=2,delay=250ms'. It is refused unless
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"dbpsim/internal/chaos"
+	"dbpsim/internal/fleet"
 	"dbpsim/internal/serve"
 )
 
@@ -71,12 +81,22 @@ func run(args []string) error {
 		drainGrace = fs.Duration("drain-grace", 10*time.Minute, "how long shutdown waits before canceling in-flight simulations")
 		logJSON    = fs.Bool("log-json", false, "structured logs as JSON lines instead of key=value text")
 		journalDir = fs.String("journal-dir", "", "persist job state, checkpoints, and results under this directory (survives restarts)")
-		ckptEvery  = fs.Uint64("checkpoint-interval", 25_000_000, "simulated CPU cycles between run checkpoints (needs -journal-dir)")
+		ckptEvery  = fs.Uint64("checkpoint-interval", 25_000_000, "simulated CPU cycles between run checkpoints (needs -journal-dir or -join)")
+		retain     = fs.String("retain-checkpoints", serve.RetainLatest, "checkpoint blob retention: 'latest' keeps each job's newest blob and prunes the rest; 'all' never deletes")
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. 'panic=2,delay=250ms,journal=3' (requires -chaos-allow)")
 		chaosAllow = fs.Bool("chaos-allow", false, "explicitly permit -chaos (refused otherwise)")
+
+		coordinator = fs.Bool("coordinator", false, "run as a fleet coordinator: owns placement and the sweep API, runs no simulations itself")
+		joinURL     = fs.String("join", "", "run as a fleet worker: register with (and heartbeat to) this coordinator base URL")
+		advertise   = fs.String("advertise", "", "base URL peers reach this worker at (fleet worker mode; default http://<bound addr>)")
+		workerID    = fs.String("worker-id", "", "stable worker identity on the ring (fleet worker mode; default the advertise address)")
+		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "fleet worker heartbeat interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coordinator && *joinURL != "" {
+		return fmt.Errorf("-coordinator and -join are mutually exclusive: a node is either the coordinator or a worker")
 	}
 
 	var injector *chaos.Injector
@@ -103,10 +123,44 @@ func run(args []string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
 
+	// Coordinator mode: placement + sweep API only, no simulation pool.
+	if *coordinator {
+		coord := fleet.NewCoordinator(fleet.CoordinatorOptions{
+			MaxInstructions: *maxInstr,
+			CellTimeout:     *runTimeout * 3,
+			Logger:          log,
+		})
+		ln, bound, cleanup, err := listen(*addr, *addrFile)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		httpSrv := &http.Server{Handler: coord}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- httpSrv.Serve(ln) }()
+		log.Info("coordinator listening", "addr", bound)
+		select {
+		case sig := <-stop:
+			log.Info("coordinator shutting down", "signal", sig.String())
+		case err := <-serveErr:
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("http shutdown: %w", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Info("coordinator exiting")
+		return nil
+	}
+
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	srv, err := serve.New(serve.Options{
+	opt := serve.Options{
 		Workers:            *workers,
 		QueueDepth:         *queueDepth,
 		RunTimeout:         *runTimeout,
@@ -114,8 +168,46 @@ func run(args []string) error {
 		Logger:             log,
 		JournalDir:         *journalDir,
 		CheckpointInterval: *ckptEvery,
+		RetainCheckpoints:  *retain,
 		Chaos:              injector,
-	})
+	}
+
+	// Worker mode: bind the listener first (the advertise default needs the
+	// bound address), wire the fleet hooks into the server options, then
+	// join the coordinator once the HTTP surface is live.
+	var fleetWorker *fleet.Worker
+	ln, bound, cleanup, err := listen(*addr, *addrFile)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	if *joinURL != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + bound
+		}
+		id := *workerID
+		if id == "" {
+			id = adv
+		}
+		fleetWorker, err = fleet.NewWorker(fleet.WorkerOptions{
+			ID:                id,
+			Advertise:         adv,
+			Coordinator:       *joinURL,
+			HeartbeatInterval: *heartbeat,
+			MaxInstructions:   *maxInstr,
+			Logger:            log,
+		})
+		if err != nil {
+			return err
+		}
+		opt.Peers = fleetWorker.Consult()
+		opt.OnCheckpoint = fleetWorker.OnCheckpoint
+		opt.ExtraMetrics = fleetWorker.ExtraMetrics
+	}
+
+	srv, err := serve.New(opt)
 	if err != nil {
 		return err
 	}
@@ -123,23 +215,27 @@ func run(args []string) error {
 		log.Warn("CHAOS MODE: fault injection active", "spec", injector.String())
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
+	var rootHandler http.Handler = srv
+	if fleetWorker != nil {
+		fleetWorker.Attach(srv)
+		rootHandler = fleetWorker
 	}
-	bound := ln.Addr().String()
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
-			ln.Close()
-			return err
-		}
-		defer os.Remove(*addrFile)
-	}
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := &http.Server{Handler: rootHandler}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	log.Info("listening", "addr", bound, "workers", *workers, "queue", *queueDepth)
+
+	if fleetWorker != nil {
+		joinCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := fleetWorker.Start(joinCtx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		defer fleetWorker.Stop()
+		log.Info("joined fleet", "coordinator", *joinURL)
+	}
 
 	select {
 	case sig := <-stop:
@@ -163,4 +259,23 @@ func run(args []string) error {
 	}
 	log.Info("drained; exiting")
 	return nil
+}
+
+// listen binds the address and handles the -addr-file contract. cleanup
+// removes the addr file; call it via defer.
+func listen(addr, addrFile string) (net.Listener, string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	bound := ln.Addr().String()
+	cleanup := func() {}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return nil, "", nil, err
+		}
+		cleanup = func() { os.Remove(addrFile) }
+	}
+	return ln, bound, cleanup, nil
 }

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"dbpsim/internal/fleet"
 	"dbpsim/internal/obs"
 	"dbpsim/internal/scenario"
 	"dbpsim/internal/serve"
@@ -122,6 +123,32 @@ type (
 	// response body carries {"error": {code, message, retryable}}.
 	APIError = serve.APIError
 )
+
+// Fleet types (see internal/fleet): the sharded-cluster layer behind
+// dbpserved's -coordinator and -join modes.
+type (
+	// Coordinator owns fleet placement: the worker registry, the
+	// consistent-hash ring over run keys, and the checkpoint mirror that
+	// makes in-flight runs migratable.
+	Coordinator = fleet.Coordinator
+	// CoordinatorOptions configures a Coordinator.
+	CoordinatorOptions = fleet.CoordinatorOptions
+	// FleetWorker wraps a Server with the fleet surface: peer cache and
+	// baseline endpoints, checkpoint staging, and owner-forwarding.
+	FleetWorker = fleet.Worker
+	// FleetWorkerOptions configures a FleetWorker.
+	FleetWorkerOptions = fleet.WorkerOptions
+	// SweepRequest is the POST /v1/sweeps body: a workload × scheduler ×
+	// partition grid evaluated as one streamed batch.
+	SweepRequest = fleet.SweepRequest
+	// SweepResult is one NDJSON line of a sweep stream (one grid cell).
+	SweepResult = fleet.SweepResult
+	// SweepSummary is the final NDJSON line of a sweep stream.
+	SweepSummary = fleet.SweepSummary
+)
+
+// NewCoordinator builds a fleet coordinator with an empty worker registry.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator { return fleet.NewCoordinator(opt) }
 
 // NewServer builds a simulation server and starts its worker pool (and, if
 // ServerOptions.JournalDir is set, replays the on-disk job journal). It is

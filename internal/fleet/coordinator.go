@@ -1,0 +1,749 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dbpsim/internal/serve"
+)
+
+// CoordinatorOptions configures a Coordinator. The zero value is usable.
+type CoordinatorOptions struct {
+	// MaxInstructions mirrors the workers' per-run cap so sweep cells are
+	// validated before dispatch (0 = uncapped).
+	MaxInstructions uint64
+	// CellTimeout bounds one cell's dispatch, including failover attempts
+	// (default 15m — a cell is one full simulation, not one HTTP roundtrip).
+	CellTimeout time.Duration
+	// DispatchPerWorker bounds concurrent cells in flight per live worker
+	// (default 2). The cluster-wide dispatch window is this × live workers,
+	// recomputed as membership changes.
+	DispatchPerWorker int
+	// HeartbeatTimeout marks a worker down when it has not checked in for
+	// this long (default 10s). Down workers leave the ring; their keys move.
+	HeartbeatTimeout time.Duration
+	// MaxMirroredCheckpoints bounds the in-memory blob mirror (default 256,
+	// oldest-first eviction). One blob per interrupted run is live at a time.
+	MaxMirroredCheckpoints int
+	// Replicas is the ring's virtual-node count (default DefaultReplicas).
+	Replicas int
+	// MaxBodyBytes bounds request bodies (default 4 MiB — sweeps and
+	// checkpoint blobs are bigger than single-run bodies).
+	MaxBodyBytes int64
+	// Logger receives structured logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 15 * time.Minute
+	}
+	if o.DispatchPerWorker <= 0 {
+		o.DispatchPerWorker = 2
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 10 * time.Second
+	}
+	if o.MaxMirroredCheckpoints <= 0 {
+		o.MaxMirroredCheckpoints = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 4 << 20
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// workerState is everything the coordinator tracks per worker. Guarded by
+// Coordinator.mu.
+type workerState struct {
+	id       string
+	addr     string // base URL, e.g. http://127.0.0.1:43210
+	up       bool
+	lastSeen time.Time
+}
+
+// mirroredCkpt is the latest checkpoint blob a worker mirrored for one run
+// key, re-placeable onto any worker. Guarded by Coordinator.mu.
+type mirroredCkpt struct {
+	hash  string
+	blob  []byte
+	cycle uint64
+	seq   uint64 // insertion order, for bounded eviction
+}
+
+// Coordinator owns all fleet placement state: the worker registry, the
+// consistent-hash ring over run keys, and the mirrored-checkpoint store
+// that makes runs migratable. It serves the batch sweep API and proxies
+// single runs, routing every request to its ring owner (whose local
+// singleflight then holds fleet-wide), failing over — with a staged
+// checkpoint when one was mirrored — when a worker dies mid-run.
+type Coordinator struct {
+	opt    CoordinatorOptions
+	log    *slog.Logger
+	met    *coordMetrics
+	mux    *http.ServeMux
+	client *http.Client
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	ring    *Ring
+	ckpts   map[string]*mirroredCkpt // run key → latest blob
+	ckptSeq uint64
+}
+
+// NewCoordinator builds a coordinator with an empty worker registry.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	opt = opt.withDefaults()
+	c := &Coordinator{
+		opt:     opt,
+		log:     opt.Logger,
+		met:     newCoordMetrics(),
+		mux:     http.NewServeMux(),
+		client:  &http.Client{}, // per-request contexts carry the deadlines
+		workers: make(map[string]*workerState),
+		ring:    NewRing(opt.Replicas),
+		ckpts:   make(map[string]*mirroredCkpt),
+	}
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleSweep)
+	c.mux.HandleFunc("POST /v1/runs", c.handleRun)
+	c.mux.HandleFunc("POST /v1/fleet/join", c.handleJoin)
+	c.mux.HandleFunc("POST /v1/fleet/checkpoint", c.handleCheckpoint)
+	c.mux.HandleFunc("GET /v1/fleet/ring", c.handleRing)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return c
+}
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// --- membership ----------------------------------------------------------
+
+// joinRequest is the body workers POST to /v1/fleet/join, both to register
+// and as their periodic heartbeat.
+type joinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// joinResponse tells the worker the current membership, so workers can
+// keep their own ring snapshot for owner-forwarding and peer consults.
+type joinResponse struct {
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// WorkerInfo is one worker's public record in ring/join responses.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, c.opt.MaxBodyBytes)).Decode(&req); err != nil {
+		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: fmt.Sprintf("decode join: %v", err)})
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: "join needs id and addr"})
+		return
+	}
+	c.mu.Lock()
+	ws, known := c.workers[req.ID]
+	if !known {
+		ws = &workerState{id: req.ID}
+		c.workers[req.ID] = ws
+	}
+	wasUp, oldAddr := ws.up, ws.addr
+	ws.addr, ws.up, ws.lastSeen = req.Addr, true, time.Now()
+	if !wasUp || oldAddr != req.Addr {
+		c.rebuildRingLocked()
+	}
+	resp := c.membershipLocked()
+	c.mu.Unlock()
+	c.met.setWorker(req.ID, true)
+	if !known {
+		c.log.Info("worker joined", "id", req.ID, "addr", req.Addr)
+	} else if !wasUp {
+		c.log.Info("worker back up", "id", req.ID, "addr", req.Addr)
+	}
+	writeJSON(w, http.StatusOK, joinResponse{Workers: resp})
+}
+
+// membershipLocked snapshots the worker table, sorted by id. Callers hold mu.
+func (c *Coordinator) membershipLocked() []WorkerInfo {
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, ws := range c.workers {
+		out = append(out, WorkerInfo{ID: ws.id, Addr: ws.addr, Up: ws.up})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// rebuildRingLocked recomputes the ring from live workers. Callers hold mu.
+func (c *Coordinator) rebuildRingLocked() {
+	var up []string
+	for id, ws := range c.workers {
+		if ws.up {
+			up = append(up, id)
+		}
+	}
+	c.ring = NewRing(c.opt.Replicas, up...)
+}
+
+// markDown records a worker fault observed during dispatch and removes the
+// worker from the ring; a later heartbeat re-admits it.
+func (c *Coordinator) markDown(id string, cause error) {
+	c.mu.Lock()
+	ws := c.workers[id]
+	if ws == nil || !ws.up {
+		c.mu.Unlock()
+		return
+	}
+	ws.up = false
+	c.rebuildRingLocked()
+	c.mu.Unlock()
+	c.met.setWorker(id, false)
+	c.log.Warn("worker marked down", "id", id, "err", cause)
+}
+
+// reapStaleLocked marks workers down whose heartbeat is overdue. Callers
+// hold mu. Called on placement reads, so a dead-but-never-dispatched-to
+// worker still leaves the ring within one heartbeat timeout.
+func (c *Coordinator) reapStaleLocked(now time.Time) {
+	changed := false
+	for _, ws := range c.workers {
+		if ws.up && now.Sub(ws.lastSeen) > c.opt.HeartbeatTimeout {
+			ws.up = false
+			changed = true
+			c.met.setWorker(ws.id, false)
+			c.log.Warn("worker heartbeat overdue; marked down", "id", ws.id, "last_seen", ws.lastSeen)
+		}
+	}
+	if changed {
+		c.rebuildRingLocked()
+	}
+}
+
+// owner resolves a run key's current placement: (worker, true) or (zero,
+// false) when no worker is live.
+func (c *Coordinator) owner(key string) (WorkerInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapStaleLocked(time.Now())
+	id := c.ring.Owner(key)
+	if id == "" {
+		return WorkerInfo{}, false
+	}
+	ws := c.workers[id]
+	return WorkerInfo{ID: ws.id, Addr: ws.addr, Up: ws.up}, true
+}
+
+// --- checkpoint mirror ---------------------------------------------------
+
+// handleCheckpoint receives a worker's latest checkpoint blob for one run:
+// POST /v1/fleet/checkpoint?key=<runKey>&cycle=<n>&hash=<sha256>, binary
+// body. Latest-per-key wins; the store is bounded, evicting oldest-staged
+// entries (their runs just lose the fast-resume path).
+func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key, hash := q.Get("key"), q.Get("hash")
+	cycle, _ := strconv.ParseUint(q.Get("cycle"), 10, 64)
+	if key == "" || hash == "" {
+		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: "checkpoint mirror needs key= and hash="})
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, c.opt.MaxBodyBytes+1))
+	if err != nil || int64(len(blob)) > c.opt.MaxBodyBytes {
+		writeAPIError(w, http.StatusRequestEntityTooLarge, &serve.APIError{Code: serve.CodeTooLarge, Message: "checkpoint blob too large or unreadable"})
+		return
+	}
+	if got := blobHash(blob); got != hash {
+		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: fmt.Sprintf("checkpoint blob corrupt in transit: hashes to %s, not %s", got, hash)})
+		return
+	}
+	c.mu.Lock()
+	c.ckptSeq++
+	c.ckpts[key] = &mirroredCkpt{hash: hash, blob: blob, cycle: cycle, seq: c.ckptSeq}
+	evicted := 0
+	for len(c.ckpts) > c.opt.MaxMirroredCheckpoints {
+		var oldestKey string
+		var oldestSeq uint64
+		for k, m := range c.ckpts {
+			if oldestKey == "" || m.seq < oldestSeq {
+				oldestKey, oldestSeq = k, m.seq
+			}
+		}
+		delete(c.ckpts, oldestKey)
+		evicted++
+	}
+	c.mu.Unlock()
+	c.met.ckptsMirrored.Add(1)
+	if evicted > 0 {
+		c.met.ckptsDiscarded.Add(int64(evicted))
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// dropCheckpoint discards the mirrored blob for a finished run.
+func (c *Coordinator) dropCheckpoint(key string) {
+	c.mu.Lock()
+	_, had := c.ckpts[key]
+	delete(c.ckpts, key)
+	c.mu.Unlock()
+	if had {
+		c.met.ckptsDiscarded.Add(1)
+	}
+}
+
+// peekCheckpoint reads the mirrored blob for a run key without consuming
+// it: a failed staging or a second worker death must not lose the resume
+// point. The entry is only dropped when the run completes.
+func (c *Coordinator) peekCheckpoint(key string) *mirroredCkpt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ckpts[key]
+}
+
+// --- dispatch ------------------------------------------------------------
+
+// dispatchOutcome is one cell's terminal verdict from the dispatch loop.
+type dispatchOutcome struct {
+	status    int    // HTTP status from the worker
+	body      []byte // ledger bytes (2xx) or error document
+	worker    string
+	cache     string // the worker's X-Cache verdict
+	migrated  bool
+	apiErr    *serve.APIError // set when the fleet itself failed the cell
+	ledgerSHA string
+}
+
+// dispatch routes one run body to its ring owner and rides out worker
+// deaths: a transport error or a retryable 5xx marks the worker down,
+// re-resolves placement, stages the run's mirrored checkpoint (when one
+// exists) on the new owner, and re-POSTs with X-Resume-Checkpoint — the
+// live-migration path. It keeps failing over until a worker answers
+// terminally, no workers remain, or ctx expires.
+func (c *Coordinator) dispatch(ctx context.Context, key string, body []byte) dispatchOutcome {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return dispatchOutcome{apiErr: &serve.APIError{
+				Code: serve.CodeTimeout, Retryable: true,
+				Message: fmt.Sprintf("cell timed out after %d dispatch attempts (last worker error: %v)", attempt, lastErr),
+			}}
+		}
+		target, ok := c.owner(key)
+		if !ok {
+			return dispatchOutcome{apiErr: &serve.APIError{
+				Code: serve.CodeNoWorkers, Retryable: true,
+				Message: "no live workers in the fleet",
+			}}
+		}
+		if !target.Up {
+			// Owner is down and the ring has not moved the key yet (single
+			// worker fleet): wait for a heartbeat or the deadline.
+			select {
+			case <-ctx.Done():
+				continue
+			case <-time.After(250 * time.Millisecond):
+				continue
+			}
+		}
+
+		var resumeHash string
+		if attempt > 0 {
+			if m := c.peekCheckpoint(key); m != nil {
+				if err := c.stageCheckpoint(ctx, target, m); err != nil {
+					c.log.Warn("checkpoint staging failed; run restarts from cycle 0",
+						"key", key, "worker", target.ID, "err", err)
+				} else {
+					resumeHash = m.hash
+				}
+			}
+		}
+
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target.Addr+"/v1/runs", bytes.NewReader(body))
+		if err != nil {
+			return dispatchOutcome{apiErr: &serve.APIError{Code: serve.CodeInternal, Message: err.Error()}}
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Fleet-Forwarded", "coordinator")
+		if resumeHash != "" {
+			req.Header.Set("X-Resume-Checkpoint", resumeHash)
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			lastErr = err
+			c.met.failovers.Add(1)
+			c.markDown(target.ID, err)
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			c.met.failovers.Add(1)
+			c.markDown(target.ID, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Draining: the worker is leaving on purpose. Honor its
+			// Retry-After, mark it down, and re-place the key.
+			lastErr = fmt.Errorf("worker draining (503)")
+			c.met.failovers.Add(1)
+			c.markDown(target.ID, lastErr)
+			if d := retryAfter(resp); d > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(d):
+				}
+			}
+			continue
+		}
+		if resumeHash != "" {
+			c.met.migrations.Add(1)
+			c.log.Info("run migrated", "key", key, "worker", target.ID, "resume", resumeHash[:12])
+		}
+		out := dispatchOutcome{
+			status:   resp.StatusCode,
+			body:     respBody,
+			worker:   target.ID,
+			cache:    resp.Header.Get("X-Cache"),
+			migrated: resumeHash != "",
+		}
+		if resp.StatusCode == http.StatusOK {
+			out.ledgerSHA = blobHash(respBody)
+			c.dropCheckpoint(key)
+		}
+		return out
+	}
+}
+
+// stageCheckpoint pushes a mirrored blob onto the new owner ahead of the
+// migrated dispatch: PUT /v1/checkpoints/{hash}.
+func (c *Coordinator) stageCheckpoint(ctx context.Context, target WorkerInfo, m *mirroredCkpt) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		target.Addr+"/v1/checkpoints/"+m.hash, bytes.NewReader(m.blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("stage checkpoint: worker answered %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// retryAfter parses a Retry-After header (seconds form) from a response.
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// --- request handlers ----------------------------------------------------
+
+// handleRun proxies one single-run request through the placement layer:
+// same body as a worker's POST /v1/runs, same response, but routed to the
+// key's owner with checkpoint-migrating failover. Query parameters
+// (?timeout=, ?async=) are not forwarded — the coordinator's dispatch is
+// synchronous and owns its own deadline.
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, c.opt.MaxBodyBytes+1))
+	if err != nil || int64(len(body)) > c.opt.MaxBodyBytes {
+		writeAPIError(w, http.StatusRequestEntityTooLarge, &serve.APIError{Code: serve.CodeTooLarge, Message: "body too large or unreadable"})
+		return
+	}
+	key, _, apiErr := serve.ResolveRequest(body, c.opt.MaxInstructions)
+	if apiErr != nil {
+		writeAPIError(w, http.StatusBadRequest, apiErr)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.opt.CellTimeout)
+	defer cancel()
+	out := c.dispatch(ctx, key, body)
+	if out.apiErr != nil {
+		writeAPIError(w, fleetHTTPStatus(out.apiErr), out.apiErr)
+		return
+	}
+	if out.worker != "" {
+		w.Header().Set("X-Fleet-Worker", out.worker)
+	}
+	if out.cache != "" {
+		w.Header().Set("X-Cache", out.cache)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(out.status)
+	_, _ = w.Write(out.body)
+}
+
+// handleSweep expands the grid and streams one NDJSON line per cell as it
+// lands, then a summary line. Cells dispatch concurrently (bounded by
+// DispatchPerWorker × live workers); lines are written in completion
+// order, which is what "streaming" means here — a slow cell never blocks a
+// fast one's result.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, c.opt.MaxBodyBytes+1))
+	if err != nil || int64(len(body)) > c.opt.MaxBodyBytes {
+		writeAPIError(w, http.StatusRequestEntityTooLarge, &serve.APIError{Code: serve.CodeTooLarge, Message: "body too large or unreadable"})
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: fmt.Sprintf("decode sweep: %v", err)})
+		return
+	}
+	cells, apiErr := expandSweep(req, c.opt.MaxInstructions)
+	if apiErr != nil {
+		writeAPIError(w, http.StatusBadRequest, apiErr)
+		return
+	}
+	c.met.sweeps.Add(1)
+
+	c.mu.Lock()
+	live := 0
+	for _, ws := range c.workers {
+		if ws.up {
+			live++
+		}
+	}
+	c.mu.Unlock()
+	window := c.opt.DispatchPerWorker * live
+	if window < 1 {
+		window = 1
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	start := time.Now()
+	lines := make(chan []byte)
+	var done, failed int
+	var countMu sync.Mutex
+
+	go func() {
+		defer close(lines)
+		sem := make(chan struct{}, window)
+		var wg sync.WaitGroup
+		for i := range cells {
+			cell := cells[i]
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				line := c.runCell(r.Context(), cell)
+				countMu.Lock()
+				if line.Status == "done" {
+					done++
+				} else {
+					failed++
+				}
+				countMu.Unlock()
+				if data, err := encodeNDJSON(line); err == nil {
+					lines <- data
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+
+	for data := range lines {
+		if _, err := w.Write(data); err != nil {
+			// Client gone: drain the channel so workers finish, results land
+			// in caches, but stop writing.
+			for range lines {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	summary := SweepSummary{
+		Summary:   true,
+		Cells:     len(cells),
+		Done:      done,
+		Failed:    failed,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if data, err := encodeNDJSON(summary); err == nil {
+		_, _ = w.Write(data)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	c.log.Info("sweep finished", "cells", len(cells), "done", done, "failed", failed,
+		"elapsed_s", time.Since(start).Seconds())
+}
+
+// runCell dispatches one sweep cell and folds the outcome into its stream
+// line.
+func (c *Coordinator) runCell(ctx context.Context, cell sweepCell) SweepResult {
+	ctx, cancel := context.WithTimeout(ctx, c.opt.CellTimeout)
+	defer cancel()
+	start := time.Now()
+	out := c.dispatch(ctx, cell.key, cell.body)
+	elapsed := time.Since(start)
+	c.met.cellSeconds.Observe(elapsed.Seconds())
+	res := SweepResult{
+		Mix:       cell.mix,
+		Scenario:  cell.scenario,
+		Scheduler: cell.scheduler,
+		Partition: cell.partition,
+		Worker:    out.worker,
+		Cache:     out.cache,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	switch {
+	case out.apiErr != nil:
+		res.Status = "failed"
+		res.Error = out.apiErr
+		c.met.cellsFailed.Add(1)
+	case out.status == http.StatusOK:
+		res.Status = "done"
+		res.Ledger = json.RawMessage(out.body)
+		res.LedgerSHA256 = out.ledgerSHA
+		c.met.cellsDone.Add(1)
+	default:
+		res.Status = "failed"
+		res.Error = decodeErrorBody(out.body, out.status)
+		c.met.cellsFailed.Add(1)
+	}
+	return res
+}
+
+// decodeErrorBody recovers the structured error from a worker's non-2xx
+// response (both request-level {"error":{...}} and job-terminal documents).
+func decodeErrorBody(body []byte, status int) *serve.APIError {
+	var doc struct {
+		Error *serve.APIError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err == nil && doc.Error != nil {
+		return doc.Error
+	}
+	return &serve.APIError{Code: serve.CodeInternal, Message: fmt.Sprintf("worker answered %d: %s", status, bytes.TrimSpace(body))}
+}
+
+// --- introspection -------------------------------------------------------
+
+// ringResponse is GET /v1/fleet/ring: membership, placement (for ?key=),
+// and the mirrored-checkpoint table — enough for operators and the smoke
+// harness to see where any run lives and which worker holds resumable work.
+type ringResponse struct {
+	Workers     []WorkerInfo     `json:"workers"`
+	Owner       string           `json:"owner,omitempty"` // for ?key=
+	Checkpoints []CheckpointInfo `json:"checkpoints,omitempty"`
+}
+
+// CheckpointInfo describes one mirrored checkpoint blob.
+type CheckpointInfo struct {
+	Key   string `json:"key"`
+	Hash  string `json:"hash"`
+	Cycle uint64 `json:"cycle"`
+	Bytes int    `json:"bytes"`
+	Owner string `json:"owner"` // current ring owner of the key
+}
+
+func (c *Coordinator) handleRing(w http.ResponseWriter, r *http.Request) {
+	key, _ := url.QueryUnescape(r.URL.Query().Get("key"))
+	c.mu.Lock()
+	c.reapStaleLocked(time.Now())
+	resp := ringResponse{Workers: c.membershipLocked()}
+	if key != "" {
+		resp.Owner = c.ring.Owner(key)
+	}
+	for k, m := range c.ckpts {
+		resp.Checkpoints = append(resp.Checkpoints, CheckpointInfo{
+			Key: k, Hash: m.hash, Cycle: m.cycle, Bytes: len(m.blob), Owner: c.ring.Owner(k),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(resp.Checkpoints, func(a, b int) bool { return resp.Checkpoints[a].Key < resp.Checkpoints[b].Key })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.reapStaleLocked(time.Now())
+	live := 0
+	for _, ws := range c.workers {
+		if ws.up {
+			live++
+		}
+	}
+	total := len(c.workers)
+	ckpts := len(c.ckpts)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":               "ok",
+		"role":                 "coordinator",
+		"workers_live":         live,
+		"workers_known":        total,
+		"mirrored_checkpoints": ckpts,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.write(w)
+}
+
+// --- small helpers -------------------------------------------------------
+
+func blobHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeAPIError(w http.ResponseWriter, status int, e *serve.APIError) {
+	writeJSON(w, status, map[string]*serve.APIError{"error": e})
+}
+
+// fleetHTTPStatus maps a fleet-level APIError to its HTTP status.
+func fleetHTTPStatus(e *serve.APIError) int {
+	switch e.Code {
+	case serve.CodeNoWorkers:
+		return http.StatusServiceUnavailable
+	case serve.CodeTimeout:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,478 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"dbpsim/internal/serve"
+)
+
+// WorkerOptions configures a fleet worker wrapper around a serve.Server.
+type WorkerOptions struct {
+	// ID is the worker's stable identity on the ring (required).
+	ID string
+	// Advertise is the base URL peers and the coordinator reach this worker
+	// at, e.g. http://10.0.0.7:8080 (required).
+	Advertise string
+	// Coordinator is the coordinator's base URL (required).
+	Coordinator string
+	// HeartbeatInterval is how often the worker re-joins (default 2s). Keep
+	// it a few multiples under the coordinator's HeartbeatTimeout.
+	HeartbeatInterval time.Duration
+	// MaxInstructions mirrors the wrapped server's per-run cap, so forwarded
+	// keys resolve identically (0 = uncapped).
+	MaxInstructions uint64
+	// Replicas is the ring's virtual-node count; must match the
+	// coordinator's (default DefaultReplicas).
+	Replicas int
+	// Logger receives structured logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 2 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Worker is the fleet wrapper around a single-node serve.Server: it adds
+// the peer endpoints (cache, baselines, checkpoint staging), keeps a ring
+// snapshot current via join heartbeats, and implements serve.PeerConsult —
+// forwarding non-owned runs to their ring owner (fleet-wide singleflight)
+// and consulting peer caches before simulating.
+//
+// Wire-up is two-phase because the worker and server reference each other:
+// build the Worker first, pass its Consult/OnCheckpoint into serve.Options,
+// then Attach the built server.
+type Worker struct {
+	opt    WorkerOptions
+	log    *slog.Logger
+	met    *workerMetrics
+	client *http.Client
+
+	srv *serve.Server
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	ring    *Ring
+	members map[string]WorkerInfo // id → info, from the latest join response
+
+	// noFwd counts in-flight forwarded requests per run key: a run that
+	// arrived with X-Fleet-Forwarded must execute here even if a stale ring
+	// snapshot says someone else owns it, or two workers with crossed rings
+	// would bounce a run forever.
+	noFwd map[string]int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool // heartbeat loop launched (Start succeeded)
+}
+
+// NewWorker builds the fleet wrapper. Call Attach with the serve.Server
+// (built with this worker's Consult and OnCheckpoint hooks) before Start.
+func NewWorker(opt WorkerOptions) (*Worker, error) {
+	opt = opt.withDefaults()
+	if opt.ID == "" || opt.Advertise == "" || opt.Coordinator == "" {
+		return nil, fmt.Errorf("fleet: worker needs ID, Advertise, and Coordinator")
+	}
+	w := &Worker{
+		opt:     opt,
+		log:     opt.Logger,
+		met:     &workerMetrics{},
+		client:  &http.Client{Timeout: 30 * time.Second},
+		ring:    NewRing(opt.Replicas),
+		members: make(map[string]WorkerInfo),
+		noFwd:   make(map[string]int),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	return w, nil
+}
+
+// ExtraMetrics is the serve.Options.ExtraMetrics hook: folds the worker's
+// dbpfleet_* series into the wrapped server's /metrics page.
+func (w *Worker) ExtraMetrics(out io.Writer) {
+	w.met.write(out)
+}
+
+// OnCheckpoint is the serve.Options.OnCheckpoint hook: mirrors every
+// checkpoint blob to the coordinator so this worker's death does not strand
+// its runs. Best-effort — a failed mirror costs the fast-resume path, never
+// the run.
+func (w *Worker) OnCheckpoint(runKey string, blob []byte, cycle uint64) {
+	u := fmt.Sprintf("%s/v1/fleet/checkpoint?key=%s&cycle=%d&hash=%s",
+		w.opt.Coordinator, url.QueryEscape(runKey), cycle, blobHash(blob))
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(blob))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.log.Warn("checkpoint mirror failed", "key", runKey, "err", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Attach wires the built serve.Server in and finalizes the worker's mux.
+func (w *Worker) Attach(srv *serve.Server) {
+	w.srv = srv
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache", w.handleCache)
+	mux.HandleFunc("GET /v1/baselines", w.handleBaselines)
+	mux.HandleFunc("PUT /v1/checkpoints/{hash}", w.handleSeedCheckpoint)
+	mux.Handle("/", http.HandlerFunc(w.handleServer))
+	w.mux = mux
+}
+
+// ServeHTTP serves the fleet surface, delegating everything else to the
+// wrapped server.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.mux.ServeHTTP(rw, r)
+}
+
+// handleServer passes a request through to the wrapped server, first
+// latching forwarded runs into the noFwd table so the Consult path will not
+// forward them onward.
+func (w *Worker) handleServer(rw http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/runs" && r.Header.Get("X-Fleet-Forwarded") != "" {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20+1))
+		if err != nil {
+			writeAPIError(rw, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: fmt.Sprintf("read body: %v", err)})
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		if key, _, apiErr := serve.ResolveRequest(body, w.opt.MaxInstructions); apiErr == nil {
+			w.mu.Lock()
+			w.noFwd[key]++
+			w.mu.Unlock()
+			defer func() {
+				w.mu.Lock()
+				if w.noFwd[key]--; w.noFwd[key] <= 0 {
+					delete(w.noFwd, key)
+				}
+				w.mu.Unlock()
+			}()
+		}
+	}
+	w.srv.ServeHTTP(rw, r)
+}
+
+// --- peer endpoints ------------------------------------------------------
+
+// handleCache answers a peer's result-cache probe: 200 + canonical ledger
+// bytes (with X-Content-SHA256 for transit verification) or 404. Never
+// triggers a simulation.
+func (w *Worker) handleCache(rw http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeAPIError(rw, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: "cache probe needs key="})
+		return
+	}
+	data, ok := w.srv.CachedResult(key)
+	if !ok {
+		writeAPIError(rw, http.StatusNotFound, &serve.APIError{Code: serve.CodeNotFound, Message: "not cached here"})
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	rw.Header().Set("X-Content-SHA256", blobHash(data))
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(data)
+}
+
+// handleBaselines answers a peer's alone-baseline probe with the experiment
+// key's measured map (possibly empty).
+func (w *Worker) handleBaselines(rw http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeAPIError(rw, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: "baseline probe needs key="})
+		return
+	}
+	bl := w.srv.Baselines(key)
+	if bl == nil {
+		bl = map[string]float64{}
+	}
+	writeJSON(rw, http.StatusOK, bl)
+}
+
+// handleSeedCheckpoint stages a migration blob: PUT /v1/checkpoints/{hash},
+// binary body, hash-verified by the server before staging.
+func (w *Worker) handleSeedCheckpoint(rw http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	blob, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeAPIError(rw, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: fmt.Sprintf("read blob: %v", err)})
+		return
+	}
+	if err := w.srv.SeedCheckpoint(hash, blob); err != nil {
+		writeAPIError(rw, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	w.met.ckptsSeeded.Add(1)
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+// --- serve.PeerConsult ---------------------------------------------------
+
+// Consult returns the worker's PeerConsult implementation for
+// serve.Options.Peers.
+func (w *Worker) Consult() serve.PeerConsult { return (*workerConsult)(w) }
+
+// workerConsult adapts Worker to serve.PeerConsult without exporting the
+// methods on Worker itself.
+type workerConsult Worker
+
+// Lookup runs on the executing worker goroutine after the local cache
+// missed. Order: probe every live peer's cache (a hit anywhere answers the
+// run); then, if this worker does not own the key and the run was not
+// forwarded here, delegate the whole run to its owner — that owner's local
+// singleflight is what makes N identical requests cluster-wide cost one
+// simulation.
+func (wc *workerConsult) Lookup(ctx context.Context, runKey string, body []byte) ([]byte, bool) {
+	w := (*Worker)(wc)
+	peers, ownerID := w.placement(runKey)
+	for _, p := range peers {
+		if data, ok := w.probeCache(ctx, p, runKey); ok {
+			w.met.peerHits.Add(1)
+			return data, true
+		}
+	}
+	w.met.peerMisses.Add(1)
+	if ownerID != "" && ownerID != w.opt.ID && !w.forwarded(runKey) {
+		if data, ok := w.forwardToOwner(ctx, runKey, body); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// Baselines merges every live peer's alone-baseline map for an experiment
+// key.
+func (wc *workerConsult) Baselines(ctx context.Context, expKey string) map[string]float64 {
+	w := (*Worker)(wc)
+	peers, _ := w.placement(expKey)
+	merged := make(map[string]float64)
+	for _, p := range peers {
+		u := fmt.Sprintf("%s/v1/baselines?key=%s", p.Addr, url.QueryEscape(expKey))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			continue
+		}
+		var bl map[string]float64
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&bl)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for k, v := range bl {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+	}
+	if len(merged) > 0 {
+		w.met.baselineHits.Add(1)
+	}
+	return merged
+}
+
+// placement snapshots the live peers (everyone but this worker) and the
+// key's ring owner.
+func (w *Worker) placement(key string) ([]WorkerInfo, string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var peers []WorkerInfo
+	for id, info := range w.members {
+		if id != w.opt.ID && info.Up {
+			peers = append(peers, info)
+		}
+	}
+	return peers, w.ring.Owner(key)
+}
+
+// forwarded reports whether a run key arrived here via owner delegation.
+func (w *Worker) forwarded(key string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.noFwd[key] > 0
+}
+
+// probeCache asks one peer's result cache, verifying the transit hash.
+func (w *Worker) probeCache(ctx context.Context, p WorkerInfo, key string) ([]byte, bool) {
+	u := fmt.Sprintf("%s/v1/cache?key=%s", p.Addr, url.QueryEscape(key))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, false
+	}
+	if want := resp.Header.Get("X-Content-SHA256"); want != "" && blobHash(data) != want {
+		w.log.Warn("peer cache hit corrupt in transit; ignoring", "peer", p.ID, "key", key)
+		return nil, false
+	}
+	return data, true
+}
+
+// forwardToOwner delegates a run to its ring owner and returns the ledger
+// bytes on success. The X-Fleet-Forwarded header stops forwarding chains:
+// the owner executes (or serves from cache) no matter what its own ring
+// snapshot says. Any failure falls back to local execution — correctness
+// first, dedup second.
+func (w *Worker) forwardToOwner(ctx context.Context, runKey string, body []byte) ([]byte, bool) {
+	w.mu.Lock()
+	owner, ok := w.members[w.ring.Owner(runKey)]
+	w.mu.Unlock()
+	if !ok || !owner.Up {
+		return nil, false
+	}
+	w.met.forwards.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner.Addr+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		w.met.forwardErrors.Add(1)
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Fleet-Forwarded", w.opt.ID)
+	// The forward shares the run's execution budget (ctx), not the peer
+	// client's default timeout: a full simulation may take minutes.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		w.met.forwardErrors.Add(1)
+		w.log.Warn("owner forward failed; running locally", "key", runKey, "owner", owner.ID, "err", err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		w.met.forwardErrors.Add(1)
+		w.log.Warn("owner forward unsuccessful; running locally",
+			"key", runKey, "owner", owner.ID, "status", resp.StatusCode, "err", err)
+		return nil, false
+	}
+	return data, true
+}
+
+// --- membership loop -----------------------------------------------------
+
+// Start joins the fleet and begins heartbeating. Blocks until the first
+// join succeeds or ctx expires, then heartbeats in the background until
+// Stop.
+func (w *Worker) Start(ctx context.Context) error {
+	for {
+		if err := w.join(ctx); err == nil {
+			break
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("fleet: joining coordinator %s: %w", w.opt.Coordinator, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	w.mu.Lock()
+	w.started = true
+	w.mu.Unlock()
+	go w.heartbeatLoop()
+	return nil
+}
+
+// Stop ends the heartbeat loop. Idempotent; a no-op when Start never
+// succeeded.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.mu.Lock()
+	started := w.started
+	w.mu.Unlock()
+	if started {
+		<-w.done
+	}
+}
+
+func (w *Worker) heartbeatLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opt.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), w.opt.HeartbeatInterval)
+			if err := w.join(ctx); err != nil {
+				w.log.Warn("heartbeat failed", "err", err)
+			}
+			cancel()
+		}
+	}
+}
+
+// join registers (or re-registers) with the coordinator and refreshes the
+// local membership + ring snapshot from the response.
+func (w *Worker) join(ctx context.Context) error {
+	body, err := json.Marshal(joinRequest{ID: w.opt.ID, Addr: w.opt.Advertise})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Coordinator+"/v1/fleet/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("join: coordinator answered %d: %s", resp.StatusCode, b)
+	}
+	var jr joinResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr); err != nil {
+		return err
+	}
+	members := make(map[string]WorkerInfo, len(jr.Workers))
+	var up []string
+	for _, info := range jr.Workers {
+		members[info.ID] = info
+		if info.Up {
+			up = append(up, info.ID)
+		}
+	}
+	w.mu.Lock()
+	w.members = members
+	w.ring = NewRing(w.opt.Replicas, up...)
+	w.mu.Unlock()
+	return nil
+}

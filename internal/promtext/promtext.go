@@ -1,0 +1,94 @@
+// Package promtext renders metrics in the Prometheus text exposition
+// format. It exists because the repo is stdlib-only: both the single-node
+// service (internal/serve) and the fleet layer (internal/fleet) hand-roll
+// their instrumentation, and this package keeps the two exposition pages
+// consistent — the same counter/gauge line shapes, the same fixed-bucket
+// cumulative histogram — without a client_golang dependency.
+//
+// The surface is deliberately tiny: callers own their atomic counters and
+// call the Write* helpers at scrape time; only Histogram carries state here
+// (observations need a mutex anyway).
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// WriteGauge writes one HELP/TYPE/value block for a gauge.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatValue(v))
+}
+
+// WriteCounter writes one HELP/TYPE/value block for a counter.
+func WriteCounter(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, formatValue(v))
+}
+
+// WriteHeader writes the HELP/TYPE preamble only — for metrics that emit
+// several labelled series under one name (the caller writes the series
+// lines itself with WriteLabeled).
+func WriteHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteLabeled writes one labelled series line: name{label="value"} v.
+// Label values are quoted with %q, so arbitrary worker ids are safe.
+func WriteLabeled(w io.Writer, name, label, value string, v float64) {
+	fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, value, formatValue(v))
+}
+
+// formatValue renders integral values without an exponent or trailing
+// decimals (counters read naturally) and non-integral ones at full
+// precision.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations ≤ its upper bound, plus an implicit
+// +Inf). Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Write renders the histogram's exposition block.
+func (h *Histogram) Write(w io.Writer, name, help string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n)
+}

@@ -38,6 +38,7 @@ const (
 	CodeInterrupted = "interrupted" // job lost to a daemon restart (500)
 	CodeResultLost  = "result_lost" // journaled result unreadable (500)
 	CodeInternal    = "internal"    // any other simulation failure (500)
+	CodeNoWorkers   = "no_workers"  // fleet coordinator has no live workers (503)
 )
 
 // Job terminal states as reported by GET /v1/runs/{id}.
@@ -78,6 +79,11 @@ var (
 	errRunTimeout  = errors.New("run exceeded the execution cap")
 	errDrainCancel = errors.New("drain deadline expired")
 )
+
+// errUnstagedCheckpoint reports a migrated submission whose
+// X-Resume-Checkpoint hash named no staged blob (evicted, never staged, or
+// already consumed). The run proceeds from cycle 0.
+var errUnstagedCheckpoint = errors.New("no staged checkpoint blob for hash")
 
 // panicError carries a recovered worker panic as an error, stack included.
 type panicError struct {

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,9 +33,14 @@ import (
 // Result files reuse the cache's canonical MarshalLedger bytes verbatim, so
 // a restored result is byte-identical to the one served before the crash.
 // The journal is written with an fsync per record: one simulation costs
-// seconds to minutes, so a handful of fsyncs per job is noise. Checkpoint
-// blobs are never garbage-collected in this version; the store grows with
-// interrupted work and operators may clear <dir>/checkpoints between runs.
+// seconds to minutes, so a handful of fsyncs per job is noise.
+//
+// Garbage collection happens at startup (compactJournal squashes the record
+// stream to one generation of state, gcBlobs sweeps both content stores
+// down to what replay still references) and incrementally at runtime under
+// the RetainLatest policy (removeCheckpoint prunes a job's superseded blob
+// as soon as a newer one is journaled, and its final blob when the job
+// ends). RetainAll keeps every checkpoint blob for forensics.
 //
 // A nil *journal is a valid, always-off journal (the server runs without
 // -journal-dir); every method no-ops on a nil receiver, mirroring
@@ -110,6 +117,12 @@ func openJournal(dir string, inj *chaos.Injector) (*journal, map[string]*restore
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	// Compact before reopening for append: the replayed state is exactly one
+	// record per terminal job plus submit(+checkpoint) for interrupted ones,
+	// so rewriting the stream from it sheds every superseded checkpoint
+	// record and duplicate line accumulated across restarts. Failure is
+	// non-fatal — the uncompacted journal replays identically.
+	compactJournal(path, restored)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("serve: open journal: %w", err)
@@ -359,6 +372,136 @@ func readContentFile(path, what, hash string) ([]byte, error) {
 		return nil, fmt.Errorf("serve: %s %s corrupt (content hashes to %s)", what, hash, got)
 	}
 	return data, nil
+}
+
+// contentHash returns the content store address for a blob: sha256, hex —
+// the same name writeContentFile would store it under.
+func contentHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// compactJournal rewrites journal.jsonl from the replayed state: one end
+// record per terminal job, submit (+ latest checkpoint) per interrupted one,
+// in job-id order. Replaying the compacted stream reconstructs exactly the
+// same restored map, so compaction is invisible to everything downstream.
+// Best-effort: any failure leaves the original file in place.
+func compactJournal(path string, restored map[string]*restoredJob) {
+	if len(restored) == 0 {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return // nothing replayed, nothing on disk: do not invent a file
+		}
+	}
+	ids := make([]string, 0, len(restored))
+	for id := range restored {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var buf bytes.Buffer
+	for _, id := range ids {
+		r := restored[id]
+		recs := []journalRecord{{Op: "end", ID: r.id, Key: r.key, State: r.state, Error: r.apiErr, Result: r.result}}
+		if r.interrupted {
+			recs = []journalRecord{{Op: "submit", ID: r.id, Key: r.key, Request: r.request}}
+			if r.checkpoint != "" {
+				recs = append(recs, journalRecord{Op: "checkpoint", ID: r.id, Key: r.key, Checkpoint: r.checkpoint, Cycle: r.ckptCycle})
+			}
+		}
+		for _, rec := range recs {
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".journal-compact-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	_ = os.Rename(tmp.Name(), path)
+}
+
+// gcBlobs sweeps both content stores down to what the replayed journal
+// still references: results named by a done job survive, checkpoints named
+// by an interrupted job's resume point survive, everything else — orphans
+// from crashed appends, superseded snapshots, abandoned tmp files — is
+// deleted. Checkpoint deletion is skipped under RetainAll (the forensics
+// policy); orphaned results and tmp litter are collected under either.
+// Returns (checkpoints removed, orphan results removed).
+func (j *journal) gcBlobs(restored map[string]*restoredJob, retain string) (int, int, error) {
+	if j == nil {
+		return 0, 0, nil
+	}
+	keepCkpt := make(map[string]bool)
+	keepRes := make(map[string]bool)
+	for _, r := range restored {
+		if r.interrupted && r.checkpoint != "" {
+			keepCkpt[r.checkpoint] = true
+		}
+		if r.state == stateDone && r.result != "" {
+			keepRes[r.result] = true
+		}
+	}
+	var firstErr error
+	sweep := func(sub string, keep map[string]bool, tmpOnly bool) int {
+		entries, err := os.ReadDir(filepath.Join(j.dir, sub))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: %s GC: %w", sub, err)
+			}
+			return 0
+		}
+		removed := 0
+		for _, e := range entries {
+			name := e.Name()
+			if keep[name] || (tmpOnly && !strings.HasPrefix(name, ".")) {
+				continue
+			}
+			if err := os.Remove(filepath.Join(j.dir, sub, name)); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("serve: %s GC: %w", sub, err)
+				}
+				continue
+			}
+			removed++
+		}
+		return removed
+	}
+	// Under RetainAll only tmp litter (dot-prefixed) leaves the checkpoint
+	// store; named blobs are permanent.
+	ckpts := sweep("checkpoints", keepCkpt, retain == RetainAll)
+	results := sweep("results", keepRes, false)
+	return ckpts, results, firstErr
+}
+
+// removeCheckpoint deletes one checkpoint blob by content address — the
+// RetainLatest runtime prune. A blob already gone (deduped address shared
+// with another job's live checkpoint and pruned there first, or swept at
+// startup) is not an error.
+func (j *journal) removeCheckpoint(hash string) error {
+	if j == nil || hash == "" {
+		return nil
+	}
+	err := os.Remove(filepath.Join(j.dir, "checkpoints", hash))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("serve: checkpoint prune: %w", err)
+	}
+	return nil
 }
 
 // Close releases the journal file. Safe on nil.

@@ -7,13 +7,15 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"dbpsim/internal/promtext"
 )
 
 // metrics is dbpserved's instrumentation: a handful of counters/gauges and
-// one latency histogram, rendered in the Prometheus text exposition format
-// by write(). Hand-rolled because the repo is stdlib-only; the surface is
-// deliberately tiny (monotonic counters, one gauge fed by the caller, one
-// fixed-bucket histogram).
+// a few latency/size histograms, rendered in the Prometheus text exposition
+// format by write() via internal/promtext (the repo is stdlib-only). The
+// surface is deliberately tiny: monotonic counters, gauges fed by the
+// caller, fixed-bucket histograms.
 type metrics struct {
 	cacheHits     atomic.Int64 // served straight from the result cache
 	cacheMisses   atomic.Int64 // requests that enqueued a new simulation
@@ -28,15 +30,16 @@ type metrics struct {
 	restoredJobs  atomic.Int64 // terminal jobs replayed from the journal at startup
 
 	checkpointsWritten atomic.Int64 // checkpoint blobs persisted to the store
-	resumedRuns        atomic.Int64 // runs that resumed from a checkpoint after a restart
+	resumedRuns        atomic.Int64 // runs that resumed from a checkpoint (restart or migration)
 	checkpointErrors   atomic.Int64 // checkpoint snapshot/persist/restore failures (non-fatal)
+	checkpointsPruned  atomic.Int64 // superseded checkpoint blobs removed by retention
 
 	httpMu   sync.Mutex
 	httpCode map[int]int64 // completed HTTP requests by status code
 
-	runSeconds  *histogram
-	ckptBytes   *histogram
-	ckptSeconds *histogram
+	runSeconds  *promtext.Histogram
+	ckptBytes   *promtext.Histogram
+	ckptSeconds *promtext.Histogram
 }
 
 func newMetrics() *metrics {
@@ -44,12 +47,12 @@ func newMetrics() *metrics {
 		httpCode: make(map[int]int64),
 		// Simulations span ~10ms quick probes to minutes-long full-budget
 		// runs; buckets cover that range with roughly 2.5x spacing.
-		runSeconds: newHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
+		runSeconds: promtext.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
 		// Checkpoint blobs scale with system size: from a few KiB for tiny
 		// test systems to tens of MiB with large caches and deep queues.
-		ckptBytes: newHistogram(4096, 16384, 65536, 262144, 1<<20, 4<<20, 16<<20, 64<<20),
+		ckptBytes: promtext.NewHistogram(4096, 16384, 65536, 262144, 1<<20, 4<<20, 16<<20, 64<<20),
 		// Persisting a checkpoint is an fsync-bounded local write.
-		ckptSeconds: newHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10),
+		ckptSeconds: promtext.NewHistogram(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10),
 	}
 }
 
@@ -61,13 +64,12 @@ func (m *metrics) observeHTTP(code int) {
 
 // write renders the exposition page. queueDepth/queueCap describe the job
 // queue at scrape time (the channel belongs to the server, not to metrics).
-func (m *metrics) write(w io.Writer, queueDepth, queueCap int) {
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
+// extra, when non-nil, appends additional exposition blocks after the
+// server's own — how a fleet worker folds its dbpfleet_* series into the
+// same scrape.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap int, extra func(io.Writer)) {
+	gauge := func(name, help string, v int64) { promtext.WriteGauge(w, name, help, float64(v)) }
+	counter := func(name, help string, v int64) { promtext.WriteCounter(w, name, help, float64(v)) }
 	gauge("dbpserved_queue_depth", "Jobs waiting in the bounded queue.", int64(queueDepth))
 	gauge("dbpserved_queue_capacity", "Capacity of the bounded job queue.", int64(queueCap))
 	gauge("dbpserved_inflight_runs", "Simulations currently executing on workers.", m.inFlight.Load())
@@ -82,11 +84,11 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int) {
 	counter("dbpserved_journal_errors_total", "Journal or result-store I/O failures (the request path degrades to in-memory).", m.journalErrors.Load())
 	gauge("dbpserved_restored_jobs", "Terminal jobs replayed from the journal at startup.", m.restoredJobs.Load())
 	counter("dbpserved_checkpoints_written_total", "Checkpoint blobs persisted to the checkpoint store.", m.checkpointsWritten.Load())
-	counter("dbpserved_resumed_runs_total", "Runs resumed from a checkpoint after a daemon restart.", m.resumedRuns.Load())
+	counter("dbpserved_resumed_runs_total", "Runs resumed from a checkpoint after a restart or a fleet migration.", m.resumedRuns.Load())
 	counter("dbpserved_checkpoint_errors_total", "Checkpoint snapshot, persist, or restore failures (runs fall back to clean execution).", m.checkpointErrors.Load())
+	counter("dbpserved_checkpoints_pruned_total", "Superseded checkpoint blobs removed by the retention policy.", m.checkpointsPruned.Load())
 
-	fmt.Fprintf(w, "# HELP dbpserved_http_requests_total Completed HTTP requests by status code.\n")
-	fmt.Fprintf(w, "# TYPE dbpserved_http_requests_total counter\n")
+	promtext.WriteHeader(w, "dbpserved_http_requests_total", "counter", "Completed HTTP requests by status code.")
 	m.httpMu.Lock()
 	codes := make([]int, 0, len(m.httpCode))
 	for c := range m.httpCode {
@@ -94,49 +96,16 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int) {
 	}
 	sort.Ints(codes)
 	for _, c := range codes {
-		fmt.Fprintf(w, "dbpserved_http_requests_total{code=%q} %d\n", strconv.Itoa(c), m.httpCode[c])
+		promtext.WriteLabeled(w, "dbpserved_http_requests_total", "code", strconv.Itoa(c), float64(m.httpCode[c]))
 	}
 	m.httpMu.Unlock()
 
-	m.runSeconds.write(w, "dbpserved_run_seconds", "Wall-clock seconds per executed simulation.")
-	m.ckptBytes.write(w, "dbpserved_checkpoint_bytes", "Size of persisted checkpoint blobs in bytes.")
-	m.ckptSeconds.write(w, "dbpserved_checkpoint_seconds", "Wall-clock seconds to persist one checkpoint blob.")
-}
+	m.runSeconds.Write(w, "dbpserved_run_seconds", "Wall-clock seconds per executed simulation.")
+	m.ckptBytes.Write(w, "dbpserved_checkpoint_bytes", "Size of persisted checkpoint blobs in bytes.")
+	m.ckptSeconds.Write(w, "dbpserved_checkpoint_seconds", "Wall-clock seconds to persist one checkpoint blob.")
 
-// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
-// each bucket counts observations ≤ its upper bound, plus an implicit +Inf).
-type histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []uint64 // len(bounds)+1; last is +Inf
-	sum    float64
-	n      uint64
-}
-
-func newHistogram(bounds ...float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.n++
-}
-
-func (h *histogram) write(w io.Writer, name, help string) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	if extra != nil {
+		fmt.Fprintln(w)
+		extra(w)
 	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.n)
 }

@@ -171,6 +171,25 @@ func resolve(req RunRequest, maxInstructions uint64) (resolvedRun, error) {
 	return rr, nil
 }
 
+// ResolveRequest validates a raw POST /v1/runs body exactly as handleSubmit
+// would and returns the two cache identities it resolves to. It exists for
+// the fleet coordinator, which must compute a request's run key — the
+// consistent-hash placement key — without owning a worker pool. The
+// returned *APIError (nil on success) carries the same structured document
+// a worker would answer with, so the coordinator can reject bad sweep cells
+// before dispatching anything.
+func ResolveRequest(body []byte, maxInstructions uint64) (runKey, expKey string, apiErr *APIError) {
+	req, derr := decodeRunRequest(body)
+	if derr != nil {
+		return "", "", derr
+	}
+	rr, err := resolve(req, maxInstructions)
+	if err != nil {
+		return "", "", &APIError{Code: CodeBadRequest, Message: err.Error()}
+	}
+	return rr.key, rr.expKey, nil
+}
+
 // runKey is the content address of one run: the ledger's config sha256
 // extended with the mix membership and the instruction budgets (the parts
 // of the run identity the config JSON does not carry).

@@ -100,6 +100,52 @@ type Options struct {
 	// stack. Test-and-drill only; the daemon refuses to enable it without
 	// an explicit opt-in flag.
 	Chaos *chaos.Injector
+	// RetainCheckpoints selects the checkpoint-blob retention policy:
+	// RetainLatest (the default) keeps only each live job's newest blob —
+	// superseded blobs are pruned as new ones land, a finished job's last
+	// blob is pruned with its end record, and startup sweeps the store down
+	// to the interrupted jobs' resume points. RetainAll never deletes
+	// (forensics mode). The job journal itself is compacted at startup
+	// under either policy.
+	RetainCheckpoints string
+	// Peers, when non-nil, is consulted on the worker goroutine before a
+	// job simulates: a fleet worker uses it to pull the result from (or
+	// delegate execution to) the rest of the cluster, and to import
+	// alone-run baselines a peer has already measured. See internal/fleet.
+	Peers PeerConsult
+	// OnCheckpoint, when non-nil, observes every checkpoint blob a running
+	// job emits (after local persistence, when a journal is configured).
+	// A fleet worker uses it to mirror blobs to the coordinator so a
+	// SIGKILLed worker's runs can be migrated and resumed elsewhere.
+	// Setting it enables checkpointing even without JournalDir.
+	OnCheckpoint func(runKey string, blob []byte, cycle uint64)
+	// ExtraMetrics, when non-nil, appends additional Prometheus exposition
+	// blocks to GET /metrics after the server's own (e.g. a fleet worker's
+	// dbpfleet_* series).
+	ExtraMetrics func(io.Writer)
+}
+
+// Checkpoint retention policies for Options.RetainCheckpoints.
+const (
+	RetainLatest = "latest"
+	RetainAll    = "all"
+)
+
+// PeerConsult lets a server participate in a fleet: both methods run on the
+// worker goroutine after the local cache missed and before the simulation
+// starts, so implementations may do network I/O (bounded by ctx, which
+// carries the run's execution cap).
+type PeerConsult interface {
+	// Lookup may answer the run without simulating locally: it returns the
+	// canonical ledger bytes for the run key — a peer's cache hit, or the
+	// result of delegating execution to the key's owner — and true, or
+	// (nil, false) to let the local simulation proceed.
+	Lookup(ctx context.Context, runKey string, body []byte) ([]byte, bool)
+	// Baselines returns alone-run IPC baselines peers have measured for an
+	// experiment key (may be empty). Hits are imported into the local
+	// baseline cache so a migrated or re-placed run does not re-measure
+	// what the fleet already knows.
+	Baselines(ctx context.Context, expKey string) map[string]float64
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +166,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointInterval == 0 {
 		o.CheckpointInterval = 25_000_000
+	}
+	if o.RetainCheckpoints == "" {
+		o.RetainCheckpoints = RetainLatest
 	}
 	if o.Tool == "" {
 		o.Tool = "dbpserved"
@@ -154,10 +203,23 @@ type job struct {
 
 	// body is the original request bytes, journaled with the submit record
 	// so the job can be requeued after a crash. resumeFrom, when non-nil, is
-	// a checkpoint blob the run restores before its first cycle (set only
-	// for jobs requeued at startup).
+	// a checkpoint blob the run restores before its first cycle (set for
+	// jobs requeued at startup and for migrated jobs seeded over the fleet
+	// API via X-Resume-Checkpoint).
 	body       []byte
 	resumeFrom []byte
+
+	// lastCkpt is the content address of the job's newest journaled
+	// checkpoint blob; under RetainLatest it names the blob to prune when a
+	// newer one lands or the job ends. Written and read only on the job's
+	// worker goroutine.
+	lastCkpt string
+
+	// peerServed marks a job answered by the fleet (peer cache hit or owner
+	// delegation) rather than a local simulation; it keeps
+	// runs_executed_total an honest count of simulations this node ran.
+	// Written and read only on the job's worker goroutine.
+	peerServed bool
 }
 
 // state reports the job's lifecycle phase: queued/running while live,
@@ -204,12 +266,29 @@ type Server struct {
 	restored  map[string]*restoredJob    // job id → journal-restored terminal job
 	exps      map[string]*sim.Experiment // experiment key → shared baseline pool
 	nextID    uint64
+
+	// seeded holds checkpoint blobs staged over PUT by the fleet layer
+	// (hash-verified on arrival), waiting for the migrated run that will
+	// consume them via X-Resume-Checkpoint. Guarded by mu; bounded by
+	// maxSeededCheckpoints; entries are deleted on use.
+	seeded map[string][]byte
 }
+
+// maxSeededCheckpoints bounds the staged-migration blob store: a
+// coordinator stages one blob right before dispatching its run, so even a
+// large fleet rebalancing keeps this small. Beyond the cap, staging is
+// refused (the migrated run then reruns from cycle 0 — correct, just
+// slower).
+const maxSeededCheckpoints = 64
 
 // New builds a server, replays the journal if one is configured, and starts
 // the worker pool.
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
+	if opt.RetainCheckpoints != RetainLatest && opt.RetainCheckpoints != RetainAll {
+		return nil, fmt.Errorf("serve: unknown checkpoint retention policy %q (want %q or %q)",
+			opt.RetainCheckpoints, RetainLatest, RetainAll)
+	}
 	s := &Server{
 		opt:       opt,
 		log:       opt.Logger,
@@ -223,6 +302,7 @@ func New(opt Options) (*Server, error) {
 		jobs:      make(map[string]*job),
 		restored:  make(map[string]*restoredJob),
 		exps:      make(map[string]*sim.Experiment),
+		seeded:    make(map[string][]byte),
 	}
 	if opt.JournalDir != "" {
 		jnl, restored, maxSeq, err := openJournal(opt.JournalDir, opt.Chaos)
@@ -250,6 +330,20 @@ func New(opt Options) (*Server, error) {
 			s.log.Info("journal replayed",
 				"dir", opt.JournalDir, "jobs", len(restored),
 				"interrupted", interrupted, "cached_results", len(s.diskCache))
+		}
+		// Startup garbage collection: blobs no replayed record references are
+		// unreachable (their jobs ended, or their checkpoints were superseded)
+		// and — under RetainLatest — are deleted before the store grows
+		// another generation. GC failures are logged, never fatal.
+		ckpts, results, err := jnl.gcBlobs(restored, opt.RetainCheckpoints)
+		if err != nil {
+			s.journalTrouble("blob store GC failed", "startup", err)
+		}
+		s.met.checkpointsPruned.Add(int64(ckpts))
+		if ckpts > 0 || results > 0 {
+			s.log.Info("blob stores collected",
+				"checkpoints_removed", ckpts, "orphan_results_removed", results,
+				"retention", opt.RetainCheckpoints)
 		}
 		s.requeueInterrupted(resume)
 	}
@@ -313,6 +407,7 @@ func (s *Server) requeueInterrupted(resume []*restoredJob) {
 				s.checkpointTrouble("checkpoint unreadable; rerunning from cycle 0", r.id, err)
 			} else {
 				j.resumeFrom = blob
+				j.lastCkpt = r.checkpoint
 			}
 		}
 		select {
@@ -444,6 +539,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		if s.closed {
 			s.mu.Unlock()
+			// Retry-After tells clients (and the fleet coordinator's failover
+			// path) this is a transient fail-over-and-retry condition, same as
+			// queue backpressure — not a dead end.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable,
 				&APIError{Code: CodeDraining, Message: "server is draining", Retryable: true})
 			return
@@ -459,6 +558,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			done:    make(chan struct{}),
 			started: make(chan struct{}),
 			body:    body,
+		}
+		// A migrated run resumes from a blob the fleet layer staged moments
+		// ago (PUT /v1/checkpoints/{hash} → SeedCheckpoint). An unknown hash
+		// degrades to a clean cycle-0 run — correct, just slower — and is
+		// counted so operators can see failed migrations.
+		if hash := r.Header.Get("X-Resume-Checkpoint"); hash != "" {
+			if blob, ok := s.takeSeededLocked(hash); ok {
+				j.resumeFrom = blob
+			} else {
+				s.checkpointTrouble("resume checkpoint not staged; running from cycle 0", hash, errUnstagedCheckpoint)
+			}
 		}
 		select {
 		case s.queue <- j:
@@ -664,7 +774,60 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, len(s.queue), cap(s.queue))
+	s.met.write(w, len(s.queue), cap(s.queue), s.opt.ExtraMetrics)
+}
+
+// --- fleet surface -------------------------------------------------------
+//
+// These exported methods are the worker half of the fleet protocol
+// (internal/fleet wraps a Server and serves them over HTTP): peers read
+// each other's result cache and alone-run baselines, and the coordinator
+// stages checkpoint blobs here right before dispatching a migrated run.
+
+// CachedResult returns the canonical ledger bytes cached for a run key
+// (memory first, then the journal-restored disk cache), without ever
+// triggering a simulation.
+func (s *Server) CachedResult(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheLookupLocked(key)
+}
+
+// Baselines exports the alone-run IPC baselines measured so far for an
+// experiment key (nil when the experiment is unknown here). The map is a
+// copy; mutating it is safe.
+func (s *Server) Baselines(expKey string) map[string]float64 {
+	s.mu.Lock()
+	e := s.exps[expKey]
+	s.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	return e.ExportBaselines()
+}
+
+// SeedCheckpoint stages a checkpoint blob for a migrated run about to be
+// submitted with X-Resume-Checkpoint: hash. The blob must hash to its
+// claimed address (the same verification the journal's content stores do);
+// staging is bounded and entries are consumed by the resuming run.
+func (s *Server) SeedCheckpoint(hash string, blob []byte) error {
+	if got := contentHash(blob); got != hash {
+		return fmt.Errorf("serve: staged checkpoint corrupt: content hashes to %s, not %s", got, hash)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.seeded[hash]; !ok && len(s.seeded) >= maxSeededCheckpoints {
+		return fmt.Errorf("serve: %d checkpoints already staged; refusing more", len(s.seeded))
+	}
+	s.seeded[hash] = append([]byte(nil), blob...)
+	return nil
+}
+
+// takeSeededLocked consumes a staged checkpoint blob. Callers hold s.mu.
+func (s *Server) takeSeededLocked(hash string) ([]byte, bool) {
+	blob, ok := s.seeded[hash]
+	delete(s.seeded, hash)
+	return blob, ok
 }
 
 // journalTrouble logs and counts a durability-layer failure. The serving
@@ -704,7 +867,7 @@ func (s *Server) worker() {
 		data, err := s.runJob(j)
 		dur := time.Since(start)
 		s.met.inFlight.Add(-1)
-		s.met.runSeconds.observe(dur.Seconds())
+		s.met.runSeconds.Observe(dur.Seconds())
 		s.finishJob(j, data, classifyRunError(err), dur)
 	}
 }
@@ -763,9 +926,27 @@ func (s *Server) finishJob(j *job, data []byte, apiErr *APIError, dur time.Durat
 		if err := s.journal.appendEnd(j.id, j.key, state, apiErr, resultHash); err != nil {
 			s.journalTrouble("journal end record failed", j.id, err)
 		}
+		// A terminal job will never resume; under RetainLatest its last
+		// checkpoint blob is garbage the moment the end record lands. A
+		// drain-checkpointed job keeps its blob — that IS the resume point.
+		if s.opt.RetainCheckpoints == RetainLatest && j.lastCkpt != "" {
+			if err := s.journal.removeCheckpoint(j.lastCkpt); err != nil {
+				s.journalTrouble("final checkpoint prune failed", j.id, err)
+			} else {
+				s.met.checkpointsPruned.Add(1)
+			}
+			j.lastCkpt = ""
+		}
 	}
 
 	switch {
+	case apiErr == nil && j.peerServed:
+		// Answered by the fleet, not simulated here: the worker's
+		// dbpfleet_* counters carry the detail; runs_executed_total stays an
+		// honest per-node simulation count (and summing it across the fleet
+		// counts unique simulations — the singleflight invariant, measurable).
+		s.log.Info("run served by fleet peer",
+			"id", j.id, "mix", j.run.mix.Name, "dur_s", dur.Seconds())
 	case apiErr == nil:
 		s.met.runsExecuted.Add(1)
 		s.log.Info("run executed",
@@ -799,6 +980,22 @@ func (s *Server) finishJob(j *job, data []byte, apiErr *APIError, dur time.Durat
 func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	rr := j.run
 	exp := s.experiment(rr)
+	// Fleet consult, worker-goroutine side: a peer may already hold this
+	// exact result (or be the key's owner and run it for us) — the
+	// fleet-wide singleflight invariant. Failing that, import any alone-run
+	// baselines the cluster has measured so a migrated run does not redo
+	// them. Both are best-effort: network trouble just means we simulate.
+	if s.opt.Peers != nil {
+		if data, ok := s.opt.Peers.Lookup(ctx, j.key, j.body); ok {
+			j.peerServed = true
+			return data, nil
+		}
+		if exp.BaselineCount() == 0 {
+			if bl := s.opt.Peers.Baselines(ctx, rr.expKey); len(bl) > 0 {
+				exp.ImportBaselines(bl)
+			}
+		}
+	}
 	recOpts := obs.Options{
 		NumThreads: rr.mix.Cores(),
 		NumBanks:   rr.base.Geometry.NumColors(),
@@ -840,11 +1037,13 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	return obs.MarshalLedger(led)
 }
 
-// checkpointer wires a job's run into the durability layer: nil without a
-// journal (nowhere durable to put blobs). Sink faults are non-fatal — the
-// run continues, the operator sees checkpoint_errors_total move.
+// checkpointer wires a job's run into the durability layer: active with a
+// journal (durable local blobs), with an OnCheckpoint mirror (a journal-less
+// fleet worker still streams blobs to its coordinator), or when the job
+// carries a seeded resume blob. Sink faults are non-fatal — the run
+// continues, the operator sees checkpoint_errors_total move.
 func (s *Server) checkpointer(j *job) *sim.Checkpointer {
-	if s.journal == nil {
+	if s.journal == nil && s.opt.OnCheckpoint == nil && j.resumeFrom == nil {
 		return nil
 	}
 	return &sim.Checkpointer{
@@ -853,18 +1052,34 @@ func (s *Server) checkpointer(j *job) *sim.Checkpointer {
 		Restore:  j.resumeFrom,
 		Sink: func(blob []byte, cycle uint64) {
 			start := time.Now()
-			hash, err := s.journal.writeCheckpoint(blob)
-			if err != nil {
-				s.checkpointTrouble("checkpoint write failed", j.id, err)
-				return
-			}
-			if err := s.journal.appendCheckpoint(j.id, j.key, hash, cycle); err != nil {
-				s.checkpointTrouble("checkpoint journal record failed", j.id, err)
-				return
+			if s.journal != nil {
+				hash, err := s.journal.writeCheckpoint(blob)
+				if err != nil {
+					s.checkpointTrouble("checkpoint write failed", j.id, err)
+					return
+				}
+				if err := s.journal.appendCheckpoint(j.id, j.key, hash, cycle); err != nil {
+					s.checkpointTrouble("checkpoint journal record failed", j.id, err)
+					return
+				}
+				// The journal now names the new blob as this job's resume
+				// point; under RetainLatest the one it supersedes is dead
+				// weight and goes immediately.
+				if s.opt.RetainCheckpoints == RetainLatest && j.lastCkpt != "" && j.lastCkpt != hash {
+					if err := s.journal.removeCheckpoint(j.lastCkpt); err != nil {
+						s.journalTrouble("superseded checkpoint prune failed", j.id, err)
+					} else {
+						s.met.checkpointsPruned.Add(1)
+					}
+				}
+				j.lastCkpt = hash
 			}
 			s.met.checkpointsWritten.Add(1)
-			s.met.ckptBytes.observe(float64(len(blob)))
-			s.met.ckptSeconds.observe(time.Since(start).Seconds())
+			s.met.ckptBytes.Observe(float64(len(blob)))
+			s.met.ckptSeconds.Observe(time.Since(start).Seconds())
+			if s.opt.OnCheckpoint != nil {
+				s.opt.OnCheckpoint(j.key, blob, cycle)
+			}
 		},
 		OnError: func(err error) {
 			s.checkpointTrouble("checkpoint snapshot failed", j.id, err)

@@ -128,6 +128,42 @@ func (e *Experiment) AloneIPCContext(ctx context.Context, name string, seed int6
 	return ipc, nil
 }
 
+// ExportBaselines snapshots the alone-run IPC cache: key → IPC, where keys
+// are the internal "<bench>/<seed>" and "scn:<hash>/<thread>" forms. The
+// returned map is a copy. It exists for the fleet layer: workers exchange
+// baselines so a migrated or re-placed run never re-measures what a peer
+// already knows.
+func (e *Experiment) ExportBaselines() map[string]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]float64, len(e.aloneIPC))
+	for k, v := range e.aloneIPC {
+		out[k] = v
+	}
+	return out
+}
+
+// ImportBaselines merges peer-measured alone-run IPCs into the cache.
+// Entries already measured locally win — both sides are deterministic, so
+// they agree anyway, but local-wins keeps imports idempotent.
+func (e *Experiment) ImportBaselines(baselines map[string]float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, v := range baselines {
+		if _, ok := e.aloneIPC[k]; !ok {
+			e.aloneIPC[k] = v
+		}
+	}
+}
+
+// BaselineCount reports how many alone-run baselines the cache holds — a
+// cheap "is this experiment cold?" probe for the fleet consult path.
+func (e *Experiment) BaselineCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.aloneIPC)
+}
+
 // MixRun is the outcome of one policy on one mix (or, for scenario runs,
 // on one phase-shifting timeline — Scenario/ScenarioHash are then set and
 // Mix is the synthetic scenario identity from ScenarioMix).

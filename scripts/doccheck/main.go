@@ -1,7 +1,14 @@
-// Command doccheck keeps docs/SCENARIOS.md honest: it collects every JSON
-// object key used by the committed scenarios/*.json files and fails if any
-// of them is not mentioned (as `key`) in the schema documentation. Run by
-// `make lint`, so a new scenario field cannot land without its docs.
+// Command doccheck keeps the reference docs honest. Two checks, both run
+// by `make lint`:
+//
+//   - Scenario schema: every JSON object key used by the committed
+//     scenarios/*.json files must be mentioned (as `key`) in
+//     docs/SCENARIOS.md, so a new scenario field cannot land without docs.
+//   - Service surface: every dbpserved command-line flag (parsed out of
+//     cmd/dbpserved/main.go) and every metric name literal in
+//     internal/serve + internal/fleet (test files excluded) must appear
+//     somewhere in docs/SERVICE.md, docs/FLEET.md, or README.md, so a new
+//     flag or metric cannot land undocumented.
 //
 // Usage: go run ./scripts/doccheck
 package main
@@ -11,11 +18,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
 
-const schemaDoc = "docs/SCENARIOS.md"
+const (
+	schemaDoc  = "docs/SCENARIOS.md"
+	daemonMain = "cmd/dbpserved/main.go"
+)
+
+// serviceDocs is the combined documentation surface for the daemon: a flag
+// or metric counts as documented if any of these mentions it.
+var serviceDocs = []string{"docs/SERVICE.md", "docs/FLEET.md", "README.md"}
 
 func main() {
 	if err := run(); err != nil {
@@ -25,6 +40,13 @@ func main() {
 }
 
 func run() error {
+	if err := checkScenarioSchema(); err != nil {
+		return err
+	}
+	return checkServiceSurface()
+}
+
+func checkScenarioSchema() error {
 	files, err := filepath.Glob("scenarios/*.json")
 	if err != nil {
 		return err
@@ -68,6 +90,82 @@ func run() error {
 		return fmt.Errorf("%d scenario field(s) missing from %s", len(missing), schemaDoc)
 	}
 	fmt.Printf("doccheck: ok (%d scenario files, every field documented in %s)\n", len(files), schemaDoc)
+	return nil
+}
+
+var (
+	flagDeclRe   = regexp.MustCompile(`fs\.(?:String|Bool|Int|Uint64|Duration)\("([a-z][a-z0-9-]*)"`)
+	metricNameRe = regexp.MustCompile(`"(dbp(?:served|fleet)_[a-z_]+)"`)
+)
+
+func checkServiceSurface() error {
+	var docs strings.Builder
+	for _, f := range serviceDocs {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		docs.Write(data)
+		docs.WriteByte('\n')
+	}
+	text := docs.String()
+	where := strings.Join(serviceDocs, " / ")
+
+	src, err := os.ReadFile(daemonMain)
+	if err != nil {
+		return err
+	}
+	var missing []string
+	flags := map[string]bool{}
+	for _, m := range flagDeclRe.FindAllStringSubmatch(string(src), -1) {
+		flags[m[1]] = true
+	}
+	if len(flags) == 0 {
+		return fmt.Errorf("no flag declarations found in %s (pattern drift?)", daemonMain)
+	}
+	for name := range flags {
+		if !strings.Contains(text, "-"+name) {
+			missing = append(missing, "flag -"+name)
+		}
+	}
+
+	metrics := map[string]bool{}
+	for _, dir := range []string{"internal/serve", "internal/fleet"} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricNameRe.FindAllStringSubmatch(string(data), -1) {
+				metrics[m[1]] = true
+			}
+		}
+	}
+	if len(metrics) == 0 {
+		return fmt.Errorf("no metric name literals found under internal/serve + internal/fleet (pattern drift?)")
+	}
+	for name := range metrics {
+		if !strings.Contains(text, name) {
+			missing = append(missing, "metric "+name)
+		}
+	}
+
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "doccheck: %s is not documented in %s\n", m, where)
+		}
+		return fmt.Errorf("%d service flag(s)/metric(s) missing from %s", len(missing), where)
+	}
+	fmt.Printf("doccheck: ok (%d flags, %d metrics, all documented in %s)\n",
+		len(flags), len(metrics), where)
 	return nil
 }
 

@@ -1,0 +1,643 @@
+// Command fleetsmoke is the CI drill for dbpserved's fleet mode: it boots a
+// real coordinator plus three real worker daemons and asserts the fleet
+// contracts hold end to end:
+//
+//   - a batch sweep POSTed to the coordinator streams one NDJSON line per
+//     cell plus a summary, every cell lands "done", and each cell's
+//     ledger_sha256 is byte-identical to a single-node reference daemon's
+//     ledger for the same request;
+//   - the sweep costs exactly one simulation per unique cell fleet-wide
+//     (sum of dbpserved_runs_executed_total across workers), and re-running
+//     it is all cache hits with zero new simulations;
+//   - the same run POSTed directly to every worker is answered by the fleet
+//     (owner cache, peer cache, or delegation) without any worker
+//     re-simulating — fleet-wide singleflight;
+//   - a long run whose owner is SIGKILLed mid-flight is migrated: the
+//     coordinator re-places it on a survivor with the latest mirrored
+//     checkpoint, the run completes with a ledger byte-identical to an
+//     uninterrupted single-node run, and dbpfleet_migrations_total and
+//     dbpfleet_worker_up record the event;
+//   - after the kill, the surviving fleet still completes a fresh sweep
+//     with reference-identical ledgers (re-placement of the dead worker's
+//     key range).
+//
+// Usage: go run ./scripts/fleetsmoke /path/to/dbpserved
+//
+// With FLEETSMOKE_ARTIFACTS=<dir> set (CI does this), every scratch
+// directory and per-daemon log file is created under <dir> and left in
+// place, so a failing drill can be uploaded as a workflow artifact.
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"dbpsim/internal/serve"
+)
+
+// The sweep grid: one mix, three partition policies — three cells. Budgets
+// match the repo's smoke convention (milliseconds per cell).
+const (
+	sweepMix  = "W4-M1"
+	sweepBody = `{"mixes": ["W4-M1"], "partitions": ["none", "equal", "dbp"], "warmup": 1000, "measure": 5000}`
+	cellBodyT = `{"mix": "W4-M1", "partition": "%s", "warmup": 1000, "measure": 5000}`
+	// migrateBody is big enough to be mid-flight when its owner is killed
+	// (checkpoint-interval 1 mirrors a blob within the first scheduler
+	// quantum) yet finishes in seconds once resumed.
+	migrateBody = `{"benchmarks": ["mcf-like", "gcc-like"], "seed": 7001, "partition": "dbp", "warmup": 0, "measure": 2000000}`
+)
+
+var sweepPartitions = []string{"none", "equal", "dbp"}
+
+var artifactsDir = os.Getenv("FLEETSMOKE_ARTIFACTS")
+
+func scratchDir(pattern string) (string, error) {
+	if artifactsDir == "" {
+		return os.MkdirTemp("", pattern)
+	}
+	if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+		return "", err
+	}
+	return os.MkdirTemp(artifactsDir, pattern)
+}
+
+func scrub(path string) {
+	if artifactsDir == "" {
+		os.RemoveAll(path)
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleet-smoke: OK")
+}
+
+func run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: fleetsmoke /path/to/dbpserved")
+	}
+	bin := args[0]
+
+	refs, err := scenarioReference(bin)
+	if err != nil {
+		return fmt.Errorf("single-node reference: %w", err)
+	}
+
+	f, err := startFleet(bin, 3)
+	if err != nil {
+		return fmt.Errorf("fleet boot: %w", err)
+	}
+	defer f.kill()
+
+	if err := scenarioSweep(f, refs); err != nil {
+		return fmt.Errorf("batch sweep: %w", err)
+	}
+	if err := scenarioSingleflight(f); err != nil {
+		return fmt.Errorf("fleet singleflight: %w", err)
+	}
+	if err := scenarioMigration(f, refs["migrate"]); err != nil {
+		return fmt.Errorf("checkpoint migration: %w", err)
+	}
+	if err := scenarioSurvivorSweep(f, refs); err != nil {
+		return fmt.Errorf("post-kill sweep: %w", err)
+	}
+	return nil
+}
+
+// --- scenarios -----------------------------------------------------------
+
+// scenarioReference captures, on one untouched single-node daemon, the
+// canonical ledger for every sweep cell and for the migration run — the
+// byte-identity yardstick for everything the fleet answers.
+func scenarioReference(bin string) (map[string][]byte, error) {
+	d, err := startDaemon(bin, "ref")
+	if err != nil {
+		return nil, err
+	}
+	defer d.kill()
+	refs := make(map[string][]byte)
+	for _, part := range sweepPartitions {
+		status, ledger, _, err := d.post("/v1/runs", fmt.Sprintf(cellBodyT, part))
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("cell %s: status %d: %s", part, status, ledger)
+		}
+		refs[part] = ledger
+	}
+	status, ledger, _, err := d.post("/v1/runs?timeout=120s", migrateBody)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("migration reference: status %d: %s", status, ledger)
+	}
+	refs["migrate"] = ledger
+	if err := d.drain(); err != nil {
+		return nil, err
+	}
+	fmt.Println("fleet-smoke: reference: single-node ledgers captured")
+	return refs, nil
+}
+
+// scenarioSweep drives the batch sweep and checks completeness, byte
+// identity against the reference, and the one-simulation-per-cell economy.
+func scenarioSweep(f *fleetHarness, refs map[string][]byte) error {
+	results, summary, err := f.sweep(sweepBody)
+	if err != nil {
+		return err
+	}
+	if summary.Cells != 3 || summary.Done != 3 || summary.Failed != 0 {
+		return fmt.Errorf("summary = %+v, want 3/3 done", summary)
+	}
+	if err := checkCells(results, refs); err != nil {
+		return err
+	}
+
+	executed, err := f.totalExecuted()
+	if err != nil {
+		return err
+	}
+	if executed != 3 {
+		return fmt.Errorf("3 cells cost %v simulations fleet-wide, want exactly 3", executed)
+	}
+
+	// Same sweep again: all cache hits, zero new simulations.
+	results, summary, err = f.sweep(sweepBody)
+	if err != nil {
+		return err
+	}
+	if summary.Done != 3 {
+		return fmt.Errorf("re-sweep summary = %+v", summary)
+	}
+	for _, res := range results {
+		if res.Cache != "hit" {
+			return fmt.Errorf("re-swept cell %s/%s answered cache=%q, want hit", res.Mix, res.Partition, res.Cache)
+		}
+	}
+	if again, err := f.totalExecuted(); err != nil {
+		return err
+	} else if again != executed {
+		return fmt.Errorf("re-sweep re-simulated: %v -> %v", executed, again)
+	}
+	fmt.Println("fleet-smoke: sweep: 3 cells done, ledgers reference-identical, 3 simulations total")
+	return nil
+}
+
+// scenarioSingleflight POSTs one already-swept cell directly to every
+// worker: each answer must come from the fleet's caches, never from a new
+// simulation.
+func scenarioSingleflight(f *fleetHarness) error {
+	before, err := f.totalExecuted()
+	if err != nil {
+		return err
+	}
+	body := fmt.Sprintf(cellBodyT, "dbp")
+	for id, d := range f.workers {
+		status, ledger, _, err := d.post("/v1/runs", body)
+		if err != nil {
+			return fmt.Errorf("direct post to %s: %w", id, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("direct post to %s: status %d: %s", id, status, ledger)
+		}
+	}
+	after, err := f.totalExecuted()
+	if err != nil {
+		return err
+	}
+	if after != before {
+		return fmt.Errorf("direct posts re-simulated: %v -> %v", before, after)
+	}
+	fmt.Println("fleet-smoke: singleflight: identical requests to every worker, zero new simulations")
+	return nil
+}
+
+// scenarioMigration SIGKILLs the owner of a long run mid-flight and
+// requires the coordinator to finish it elsewhere from the mirrored
+// checkpoint, byte-identical to the uninterrupted reference.
+func scenarioMigration(f *fleetHarness, reference []byte) error {
+	key, _, apiErr := serve.ResolveRequest([]byte(migrateBody), 0)
+	if apiErr != nil {
+		return fmt.Errorf("resolve migration body: %s", apiErr.Message)
+	}
+
+	type reply struct {
+		status int
+		data   []byte
+		err    error
+	}
+	replyCh := make(chan reply, 1)
+	go func() {
+		status, data, _, err := f.coord.post("/v1/runs", migrateBody)
+		replyCh <- reply{status, data, err}
+	}()
+
+	// Wait for the coordinator to hold a mirrored checkpoint for the run,
+	// then kill the worker that owns the key.
+	victim, err := f.waitMirroredCheckpoint(key, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	vd, ok := f.workers[victim]
+	if !ok {
+		return fmt.Errorf("ring names unknown owner %q", victim)
+	}
+	if err := vd.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-vd.exited
+	delete(f.workers, victim)
+	fmt.Printf("fleet-smoke: migration: SIGKILLed owner %s mid-run\n", victim)
+
+	r := <-replyCh
+	if r.err != nil {
+		return fmt.Errorf("migrated run failed in transit: %w", r.err)
+	}
+	if r.status != http.StatusOK {
+		return fmt.Errorf("migrated run: status %d: %s", r.status, r.data)
+	}
+	if string(r.data) != string(reference) {
+		return fmt.Errorf("migrated ledger differs from the uninterrupted single-node reference (%d vs %d bytes)",
+			len(r.data), len(reference))
+	}
+
+	m, err := f.coord.metrics()
+	if err != nil {
+		return err
+	}
+	if m["dbpfleet_migrations_total"] < 1 {
+		return fmt.Errorf("dbpfleet_migrations_total = %v, want >= 1", m["dbpfleet_migrations_total"])
+	}
+	if up := m[fmt.Sprintf("dbpfleet_worker_up{worker=%q}", victim)]; up != 0 {
+		return fmt.Errorf("dbpfleet_worker_up for the killed worker = %v, want 0", up)
+	}
+	fmt.Println("fleet-smoke: migration: run resumed on a survivor, ledger byte-identical, migration counted")
+	return nil
+}
+
+// scenarioSurvivorSweep re-runs the sweep on the two-worker fleet: the dead
+// worker's key range must have been re-placed, every cell completes, and
+// the ledgers still match the reference.
+func scenarioSurvivorSweep(f *fleetHarness, refs map[string][]byte) error {
+	results, summary, err := f.sweep(sweepBody)
+	if err != nil {
+		return err
+	}
+	if summary.Done != 3 || summary.Failed != 0 {
+		return fmt.Errorf("survivor sweep summary = %+v, want 3 done", summary)
+	}
+	if err := checkCells(results, refs); err != nil {
+		return err
+	}
+	fmt.Println("fleet-smoke: post-kill sweep: survivors re-placed the dead worker's cells, ledgers still reference-identical")
+	return nil
+}
+
+// checkCells verifies a sweep's results cover every partition exactly once
+// with ledgers hash-identical to the single-node reference.
+func checkCells(results []sweepResult, refs map[string][]byte) error {
+	seen := make(map[string]bool)
+	for _, res := range results {
+		if res.Status != "done" {
+			return fmt.Errorf("cell %s/%s failed: %s", res.Mix, res.Partition, res.Error)
+		}
+		ref, ok := refs[res.Partition]
+		if !ok || seen[res.Partition] {
+			return fmt.Errorf("unexpected or duplicate cell partition %q", res.Partition)
+		}
+		seen[res.Partition] = true
+		want := sha256.Sum256(ref)
+		if res.LedgerSHA256 != hex.EncodeToString(want[:]) {
+			return fmt.Errorf("cell %s/%s ledger_sha256 differs from the single-node reference", res.Mix, res.Partition)
+		}
+		if res.Worker == "" {
+			return fmt.Errorf("cell %s/%s carries no worker attribution", res.Mix, res.Partition)
+		}
+	}
+	if len(seen) != len(refs)-1 { // refs additionally holds "migrate"
+		return fmt.Errorf("sweep covered %d cells, want %d", len(seen), len(refs)-1)
+	}
+	return nil
+}
+
+// --- fleet harness -------------------------------------------------------
+
+type fleetHarness struct {
+	coord   *daemon
+	workers map[string]*daemon // worker id → daemon
+}
+
+// startFleet boots one coordinator and n workers (checkpointing every
+// scheduler quantum, heartbeating fast) and waits until the coordinator
+// reports the whole fleet live and every worker has a converged membership
+// view.
+func startFleet(bin string, n int) (*fleetHarness, error) {
+	coord, err := startDaemon(bin, "coord", "-coordinator")
+	if err != nil {
+		return nil, err
+	}
+	f := &fleetHarness{coord: coord, workers: make(map[string]*daemon)}
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("w%d", i)
+		d, err := startDaemon(bin, id,
+			"-join", coord.base,
+			"-worker-id", id,
+			"-heartbeat", "250ms",
+			"-checkpoint-interval", "1",
+			"-workers", "2",
+		)
+		if err != nil {
+			f.kill()
+			return nil, err
+		}
+		f.workers[id] = d
+	}
+
+	// Converged: coordinator sees n live workers, and every worker's metrics
+	// page is serving (its join completed — dbpserved starts heartbeats only
+	// after a successful first join).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var h struct {
+			Live int `json:"workers_live"`
+		}
+		status, data, err := coord.get("/healthz")
+		if err == nil && status == http.StatusOK && json.Unmarshal(data, &h) == nil && h.Live == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			f.kill()
+			return nil, fmt.Errorf("fleet never converged to %d live workers (last: %s)", n, data)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Give every worker one heartbeat round so its own membership snapshot
+	// includes the whole fleet (join responses carry the member list).
+	time.Sleep(600 * time.Millisecond)
+	fmt.Printf("fleet-smoke: fleet up: coordinator + %d workers\n", n)
+	return f, nil
+}
+
+func (f *fleetHarness) kill() {
+	for _, d := range f.workers {
+		d.kill()
+	}
+	f.coord.kill()
+}
+
+// totalExecuted sums dbpserved_runs_executed_total across the live fleet —
+// the number of genuine simulations the fleet has paid for.
+func (f *fleetHarness) totalExecuted() (float64, error) {
+	var total float64
+	for id, d := range f.workers {
+		m, err := d.metrics()
+		if err != nil {
+			return 0, fmt.Errorf("worker %s metrics: %w", id, err)
+		}
+		total += m["dbpserved_runs_executed_total"]
+	}
+	return total, nil
+}
+
+// sweepResult mirrors the NDJSON line schema of internal/fleet.SweepResult.
+type sweepResult struct {
+	Mix          string          `json:"mix"`
+	Partition    string          `json:"partition"`
+	Status       string          `json:"status"`
+	Worker       string          `json:"worker"`
+	Cache        string          `json:"cache"`
+	LedgerSHA256 string          `json:"ledger_sha256"`
+	Error        json.RawMessage `json:"error"`
+}
+
+type sweepSummary struct {
+	Summary bool `json:"summary"`
+	Cells   int  `json:"cells"`
+	Done    int  `json:"done"`
+	Failed  int  `json:"failed"`
+}
+
+// sweep POSTs the sweep body to the coordinator and parses the NDJSON
+// stream, requiring a clean summary line.
+func (f *fleetHarness) sweep(body string) ([]sweepResult, *sweepSummary, error) {
+	resp, err := http.Post(f.coord.base+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, nil, fmt.Errorf("sweep: status %d: %s", resp.StatusCode, data)
+	}
+	var results []sweepResult
+	var summary *sweepSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, nil, fmt.Errorf("bad stream line %.120q: %w", sc.Text(), err)
+		}
+		if probe.Summary {
+			summary = new(sweepSummary)
+			if err := json.Unmarshal(sc.Bytes(), summary); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		var res sweepResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if summary == nil {
+		return nil, nil, fmt.Errorf("sweep stream ended without a summary line")
+	}
+	return results, summary, nil
+}
+
+// waitMirroredCheckpoint polls GET /v1/fleet/ring until the coordinator
+// holds a checkpoint blob for key, returning the key's current ring owner.
+func (f *fleetHarness) waitMirroredCheckpoint(key string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		status, data, err := f.coord.get("/v1/fleet/ring")
+		if err != nil || status != http.StatusOK {
+			return "", fmt.Errorf("ring probe: status %d: %v", status, err)
+		}
+		var ring struct {
+			Checkpoints []struct {
+				Key   string `json:"key"`
+				Owner string `json:"owner"`
+			} `json:"checkpoints"`
+		}
+		if err := json.Unmarshal(data, &ring); err != nil {
+			return "", err
+		}
+		for _, ck := range ring.Checkpoints {
+			if ck.Key == key && ck.Owner != "" {
+				return ck.Owner, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("no checkpoint mirrored for the migration run within %v", timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// --- daemon harness (chaossmoke's, with named log files) -----------------
+
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	tmp    string
+	exited chan error
+}
+
+// startDaemon launches the binary on a free port and waits for it to
+// report its bound address. name labels the scratch dir and log file.
+func startDaemon(bin, name string, extra ...string) (*daemon, error) {
+	tmp, err := scratchDir("dbpserved-fleet-" + name)
+	if err != nil {
+		return nil, err
+	}
+	addrFile := filepath.Join(tmp, "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-log-json"}, extra...)
+	cmd := exec.Command(bin, args...)
+	var logFile *os.File
+	var sink io.Writer = os.Stderr
+	if artifactsDir != "" {
+		logFile, err = os.Create(filepath.Join(tmp, "daemon.log"))
+		if err != nil {
+			scrub(tmp)
+			return nil, err
+		}
+		sink = io.MultiWriter(os.Stderr, logFile)
+	}
+	cmd.Stderr = sink
+	cmd.Stdout = sink
+	if err := cmd.Start(); err != nil {
+		if logFile != nil {
+			logFile.Close()
+		}
+		scrub(tmp)
+		return nil, err
+	}
+	d := &daemon{cmd: cmd, tmp: tmp, exited: make(chan error, 1)}
+	go func() {
+		err := cmd.Wait()
+		if logFile != nil {
+			logFile.Close()
+		}
+		d.exited <- err
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			d.base = "http://" + string(data)
+			return d, nil
+		}
+		select {
+		case err := <-d.exited:
+			scrub(tmp)
+			return nil, fmt.Errorf("daemon %s exited before binding: %v", name, err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			scrub(tmp)
+			return nil, fmt.Errorf("daemon %s never wrote %s", name, addrFile)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	scrub(d.tmp)
+}
+
+// drain SIGTERMs the daemon and requires a clean exit.
+func (d *daemon) drain() error {
+	if err := d.cmd.Process.Signal(os.Interrupt); err != nil {
+		return err
+	}
+	select {
+	case err := <-d.exited:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGINT: %v", err)
+		}
+		return nil
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("daemon did not exit within 60s of SIGINT")
+	}
+}
+
+func (d *daemon) post(path, body string) (status int, data []byte, cache string, err error) {
+	resp, err := http.Post(d.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, data, resp.Header.Get("X-Cache"), err
+}
+
+func (d *daemon) get(path string) (status int, data []byte, err error) {
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// metrics scrapes /metrics into name{labels} → value.
+func (d *daemon) metrics() (map[string]float64, error) {
+	status, data, err := d.get("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", status)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out, nil
+}
