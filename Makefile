@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke scenario-smoke fleet-smoke
+.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke scenario-smoke fleet-smoke tenant-smoke
 
 build:
 	$(GO) build ./...
@@ -99,13 +99,23 @@ scenario-smoke:
 # runs, and SIGKILL-plus-restart over a journal — including a kill mid-run
 # that must resume from its checkpoint (and a corrupt-checkpoint variant
 # that must fall back to a clean rerun), always with ledgers byte-identical
-# to uninterrupted runs. Set CHAOSSMOKE_ARTIFACTS=<dir> to keep journals,
-# checkpoints, and daemon logs there for post-mortem (CI uploads them on
-# failure).
+# to uninterrupted runs — plus the multi-tenant drill (see tenant-smoke).
+# Set CHAOSSMOKE_ARTIFACTS=<dir> to keep journals, checkpoints, and daemon
+# logs there for post-mortem (CI uploads them on failure).
 chaos-smoke:
 	$(GO) build -o /tmp/dbpserved-chaos ./cmd/dbpserved
 	$(GO) run ./scripts/chaossmoke /tmp/dbpserved-chaos
 	rm -f /tmp/dbpserved-chaos
+
+# Multi-tenant drill only (a filtered chaos-smoke; CI's chaos-smoke step
+# already includes it): a greedy batch tenant flooding a 1-worker daemon
+# must not starve an interactive tenant, its over-budget submission is
+# refused with the billed estimate plus a Retry-After refill hint, and
+# SIGKILL + restart preserves per-tenant attribution and spent quota.
+tenant-smoke:
+	$(GO) build -o /tmp/dbpserved-tenant ./cmd/dbpserved
+	$(GO) run ./scripts/chaossmoke -run tenants /tmp/dbpserved-tenant
+	rm -f /tmp/dbpserved-tenant
 
 # Fleet drill: boot a real coordinator + 3 real workers, run a batch sweep
 # (NDJSON stream, one simulation per unique cell fleet-wide), SIGKILL the

@@ -12,6 +12,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"dbpsim/internal/serve"
 )
 
 // Client is a minimal dbpserved client: it POSTs run requests and retries
@@ -28,6 +30,10 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
+	// APIKey, when non-empty, authenticates every request as a tenant:
+	// sent as "Authorization: Bearer <key>". Leave empty for servers
+	// without tenant config (or ones with an anonymous tenant).
+	APIKey string
 	// HTTPClient overrides the transport (default http.DefaultClient).
 	HTTPClient *http.Client
 	// MaxAttempts caps total tries including the first (default 5).
@@ -97,6 +103,39 @@ type retryAfterError struct {
 func (e *retryAfterError) Error() string { return e.err.Error() }
 func (e *retryAfterError) Unwrap() error { return e.err }
 
+// QuotaError is the structured quota_exceeded refusal: the tenant's
+// admission budget cannot cover this run right now. It is distinct from
+// queue backpressure (queue_full) — the server is not overloaded, this
+// tenant is over budget. Recover it with errors.As to read what the run
+// would have cost and when the budget refills:
+//
+//	var qerr *dbpsim.QuotaError
+//	if errors.As(err, &qerr) {
+//		log.Printf("over quota: %d simcycles, retry in %s", qerr.Estimate().SimCycles, qerr.RetryAfter)
+//	}
+type QuotaError struct {
+	// APIError is the server's structured refusal (code "quota_exceeded",
+	// cost estimate attached).
+	APIError *APIError
+	// RetryAfter is the server's refill hint: the charge would fit after
+	// this long.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("quota exceeded (retry after %s): %s", e.RetryAfter, e.APIError.Message)
+}
+func (e *QuotaError) Unwrap() error { return e.APIError }
+
+// Estimate is the server's predicted cost for the refused run (never nil;
+// zero-valued if the server omitted it).
+func (e *QuotaError) Estimate() CostEstimate {
+	if e.APIError.Estimate == nil {
+		return CostEstimate{}
+	}
+	return *e.APIError.Estimate
+}
+
 // once is a single POST attempt. retryable reports whether the failure is
 // worth another try: transport errors, 429/503 backpressure, and any
 // structured error the server marks Retryable.
@@ -106,6 +145,9 @@ func (c *Client) once(ctx context.Context, httpc *http.Client, body []byte) (res
 		return nil, false, fmt.Errorf("dbpsim: build request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
 	resp, err := httpc.Do(hreq)
 	if err != nil {
 		return nil, true, fmt.Errorf("dbpsim: post run: %w", err)
@@ -123,6 +165,21 @@ func (c *Client) once(ctx context.Context, httpc *http.Client, body []byte) (res
 		Error *APIError `json:"error"`
 	}
 	if jerr := json.Unmarshal(data, &doc); jerr == nil && doc.Error != nil {
+		if doc.Error.Code == serve.CodeQuotaExceeded {
+			// Over budget, not overloaded. Retrying helps only if the refill
+			// lands inside the caller's deadline; otherwise fail now with the
+			// typed error so the caller sees the cost and the refill time.
+			qerr := &QuotaError{APIError: doc.Error, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+			err = fmt.Errorf("dbpsim: run rejected (%d): %w", resp.StatusCode, qerr)
+			retryable = true
+			if dl, ok := ctx.Deadline(); ok && time.Now().Add(qerr.RetryAfter).After(dl) {
+				retryable = false
+			}
+			if qerr.RetryAfter > 0 {
+				err = &retryAfterError{err: err, after: qerr.RetryAfter}
+			}
+			return nil, retryable, err
+		}
 		err = fmt.Errorf("dbpsim: run rejected (%d): %w", resp.StatusCode, doc.Error)
 		retryable = doc.Error.Retryable
 	} else {
@@ -185,6 +242,9 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, each func(SweepRes
 		return nil, fmt.Errorf("dbpsim: build sweep request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
 	resp, err := httpc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("dbpsim: post sweep: %w", err)

@@ -166,3 +166,95 @@ func TestClientHonoursRetryAfterOn503(t *testing.T) {
 		t.Errorf("retry after drain came after %v, want >= 1s per Retry-After", gap)
 	}
 }
+
+// TestClientQuotaExceededPastDeadline: a quota_exceeded refusal whose
+// refill lands after the caller's deadline fails immediately — no retry
+// loop burning the deadline — and surfaces the typed QuotaError with the
+// server's cost estimate. Contrast with queue_full backpressure
+// (TestClientRetriesBackpressure), which retries.
+func TestClientQuotaExceededPastDeadline(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error": {"code": "quota_exceeded", "message": "tenant over budget", "retryable": true,
+			"estimate": {"simcycles": 12000, "seconds": 0.0084, "basis": "default"}}}`)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Millisecond}
+	_, err := c.Run(ctx, RunRequest{Mix: "W8-M1"})
+	if err == nil {
+		t.Fatal("quota refusal returned success?")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (refill is past the deadline; retrying is pointless)", calls.Load())
+	}
+	var qerr *QuotaError
+	if !errors.As(err, &qerr) {
+		t.Fatalf("error %v is not a *QuotaError", err)
+	}
+	if qerr.RetryAfter != time.Hour {
+		t.Errorf("RetryAfter = %s, want 1h", qerr.RetryAfter)
+	}
+	if est := qerr.Estimate(); est.SimCycles != 12000 || est.Basis != "default" {
+		t.Errorf("estimate = %+v", est)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "quota_exceeded" {
+		t.Errorf("APIError not recoverable from %v", err)
+	}
+}
+
+// TestClientQuotaExceededRetriesWithinDeadline: when the refill fits the
+// deadline, quota_exceeded retries like any Retry-After-bearing refusal.
+func TestClientQuotaExceededRetriesWithinDeadline(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": {"code": "quota_exceeded", "message": "tenant over budget", "retryable": true}}`)
+			return
+		}
+		w.Header().Set("X-Cache", "miss")
+		fmt.Fprint(w, `{"schema_version": 1}`)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := &Client{BaseURL: ts.URL, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	res, err := c.Run(ctx, RunRequest{Mix: "W8-M1"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d calls, want 2", calls.Load())
+	}
+	if res.Cache != "miss" {
+		t.Errorf("cache = %q", res.Cache)
+	}
+}
+
+// TestClientSendsAPIKey: the APIKey field reaches the server as a Bearer
+// credential on both Run and Sweep.
+func TestClientSendsAPIKey(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Authorization"))
+		fmt.Fprint(w, `{"schema_version": 1}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, APIKey: "sk-test-1"}
+	if _, err := c.Run(context.Background(), RunRequest{Mix: "W8-M1"}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Load() != "Bearer sk-test-1" {
+		t.Errorf("Authorization = %q", got.Load())
+	}
+}

@@ -58,6 +58,7 @@ import (
 	"dbpsim/internal/chaos"
 	"dbpsim/internal/fleet"
 	"dbpsim/internal/serve"
+	"dbpsim/internal/tenant"
 )
 
 func main() {
@@ -86,6 +87,9 @@ func run(args []string) error {
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. 'panic=2,delay=250ms,journal=3' (requires -chaos-allow)")
 		chaosAllow = fs.Bool("chaos-allow", false, "explicitly permit -chaos (refused otherwise)")
 
+		tenantsFile = fs.String("tenants", "", "tenant config file (API keys, weights, lanes, quotas); reloaded when it changes on disk")
+		benchLedger = fs.String("bench-ledger", "", "bench ledger (dbpsim-bench/v1 JSON) calibrating the admission cost model; default built-in constants")
+
 		coordinator = fs.Bool("coordinator", false, "run as a fleet coordinator: owns placement and the sweep API, runs no simulations itself")
 		joinURL     = fs.String("join", "", "run as a fleet worker: register with (and heartbeat to) this coordinator base URL")
 		advertise   = fs.String("advertise", "", "base URL peers reach this worker at (fleet worker mode; default http://<bound addr>)")
@@ -97,6 +101,23 @@ func run(args []string) error {
 	}
 	if *coordinator && *joinURL != "" {
 		return fmt.Errorf("-coordinator and -join are mutually exclusive: a node is either the coordinator or a worker")
+	}
+
+	var reg *tenant.Registry
+	if *tenantsFile != "" {
+		r, err := tenant.NewRegistry(*tenantsFile)
+		if err != nil {
+			return err
+		}
+		reg = r
+	}
+	var costModel *tenant.CostModel
+	if *benchLedger != "" {
+		m, err := tenant.LoadCostModel(*benchLedger)
+		if err != nil {
+			return err
+		}
+		costModel = m
 	}
 
 	var injector *chaos.Injector
@@ -128,6 +149,8 @@ func run(args []string) error {
 		coord := fleet.NewCoordinator(fleet.CoordinatorOptions{
 			MaxInstructions: *maxInstr,
 			CellTimeout:     *runTimeout * 3,
+			Tenants:         reg,
+			CostModel:       costModel,
 			Logger:          log,
 		})
 		ln, bound, cleanup, err := listen(*addr, *addrFile)
@@ -170,6 +193,8 @@ func run(args []string) error {
 		CheckpointInterval: *ckptEvery,
 		RetainCheckpoints:  *retain,
 		Chaos:              injector,
+		Tenants:            reg,
+		CostModel:          costModel,
 	}
 
 	// Worker mode: bind the listener first (the advertise default needs the

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dbpsim/internal/serve"
+	"dbpsim/internal/tenant"
 )
 
 // CoordinatorOptions configures a Coordinator. The zero value is usable.
@@ -42,6 +43,17 @@ type CoordinatorOptions struct {
 	// MaxBodyBytes bounds request bodies (default 4 MiB — sweeps and
 	// checkpoint blobs are bigger than single-run bodies).
 	MaxBodyBytes int64
+	// Tenants, when non-nil, makes the coordinator the fleet's tenancy entry
+	// point: it authenticates API keys, charges entry-node quotas, shares
+	// the sweep dispatch window weight-proportionally across active tenants,
+	// and asserts each run's tenant to workers (X-Fleet-Tenant), which then
+	// skip their own debit. Nil preserves the pre-tenancy behavior: every
+	// request is the default tenant, nothing is charged.
+	Tenants *tenant.Registry
+	// CostModel calibrates entry-node admission estimates (nil = the
+	// built-in cost constants). Point it at the same bench ledger as the
+	// workers so a run costs the same wherever it enters the fleet.
+	CostModel *tenant.CostModel
 	// Logger receives structured logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -104,6 +116,9 @@ type Coordinator struct {
 	ring    *Ring
 	ckpts   map[string]*mirroredCkpt // run key → latest blob
 	ckptSeq uint64
+
+	activeMu     sync.Mutex
+	activeSweeps map[string]int // tenant name → sweeps in flight (window sharing)
 }
 
 // NewCoordinator builds a coordinator with an empty worker registry.
@@ -118,6 +133,8 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 		workers: make(map[string]*workerState),
 		ring:    NewRing(opt.Replicas),
 		ckpts:   make(map[string]*mirroredCkpt),
+
+		activeSweeps: make(map[string]int),
 	}
 	c.mux.HandleFunc("POST /v1/sweeps", c.handleSweep)
 	c.mux.HandleFunc("POST /v1/runs", c.handleRun)
@@ -341,7 +358,7 @@ type dispatchOutcome struct {
 // exists) on the new owner, and re-POSTs with X-Resume-Checkpoint — the
 // live-migration path. It keeps failing over until a worker answers
 // terminally, no workers remain, or ctx expires.
-func (c *Coordinator) dispatch(ctx context.Context, key string, body []byte) dispatchOutcome {
+func (c *Coordinator) dispatch(ctx context.Context, key string, body []byte, ft serve.ForwardedTenancy) dispatchOutcome {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -386,6 +403,15 @@ func (c *Coordinator) dispatch(ctx context.Context, key string, body []byte) dis
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Fleet-Forwarded", "coordinator")
+		// Assert the entry-authenticated tenancy so the worker's fair queue
+		// files this run under the right tenant and lane (it skips its own
+		// quota debit — the entry node already charged).
+		if ft.Tenant != "" {
+			req.Header.Set(serve.HeaderFleetTenant, ft.Tenant)
+		}
+		if ft.Lane != "" {
+			req.Header.Set(serve.HeaderFleetLane, ft.Lane)
+		}
 		if resumeHash != "" {
 			req.Header.Set("X-Resume-Checkpoint", resumeHash)
 		}
@@ -481,15 +507,33 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusRequestEntityTooLarge, &serve.APIError{Code: serve.CodeTooLarge, Message: "body too large or unreadable"})
 		return
 	}
-	key, _, apiErr := serve.ResolveRequest(body, c.opt.MaxInstructions)
+	ten, authErr := c.authenticate(r)
+	if authErr != nil {
+		writeAPIError(w, http.StatusUnauthorized, authErr)
+		return
+	}
+	lane, laneErr := ten.MaxLane(r.URL.Query().Get("lane"))
+	if laneErr != nil {
+		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: laneErr.Error()})
+		return
+	}
+	key, _, est, apiErr := serve.ResolveCost(body, c.opt.MaxInstructions, c.opt.CostModel)
 	if apiErr != nil {
 		writeAPIError(w, http.StatusBadRequest, apiErr)
 		return
 	}
+	if retry, qerr := c.admitCell(ten, est); qerr != nil {
+		w.Header().Set("Retry-After", retry)
+		writeAPIError(w, http.StatusTooManyRequests, qerr)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), c.opt.CellTimeout)
 	defer cancel()
-	out := c.dispatch(ctx, key, body)
+	out := c.dispatch(ctx, key, body, serve.ForwardedTenancy{Tenant: ten.Name(), Lane: lane})
 	if out.apiErr != nil {
+		// The fleet never got the run onto a worker; the entry charge is
+		// reversed — placement failures must not eat quota.
+		ten.Refund(time.Now(), float64(est.SimCycles))
 		writeAPIError(w, fleetHTTPStatus(out.apiErr), out.apiErr)
 		return
 	}
@@ -515,6 +559,11 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusRequestEntityTooLarge, &serve.APIError{Code: serve.CodeTooLarge, Message: "body too large or unreadable"})
 		return
 	}
+	ten, authErr := c.authenticate(r)
+	if authErr != nil {
+		writeAPIError(w, http.StatusUnauthorized, authErr)
+		return
+	}
 	var req SweepRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
@@ -522,7 +571,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: fmt.Sprintf("decode sweep: %v", err)})
 		return
 	}
-	cells, apiErr := expandSweep(req, c.opt.MaxInstructions)
+	cells, apiErr := expandSweep(req, c.opt.MaxInstructions, c.opt.CostModel)
 	if apiErr != nil {
 		writeAPIError(w, http.StatusBadRequest, apiErr)
 		return
@@ -537,10 +586,12 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	c.mu.Unlock()
-	window := c.opt.DispatchPerWorker * live
-	if window < 1 {
-		window = 1
-	}
+	// The tenant's dispatch window is its weight-proportional share of the
+	// cluster-wide window — a heavy batch sweep cannot monopolize worker
+	// slots an interactive tenant's concurrent sweep is entitled to.
+	c.sweepEnter(ten.Name())
+	defer c.sweepExit(ten.Name())
+	window := c.sweepWindow(ten, c.opt.DispatchPerWorker*live)
 
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -562,7 +613,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				line := c.runCell(r.Context(), cell)
+				line := c.runCell(r.Context(), cell, ten)
 				countMu.Lock()
 				if line.Status == "done" {
 					done++
@@ -607,13 +658,22 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		"elapsed_s", time.Since(start).Seconds())
 }
 
-// runCell dispatches one sweep cell and folds the outcome into its stream
-// line.
-func (c *Coordinator) runCell(ctx context.Context, cell sweepCell) SweepResult {
+// runCell admits one sweep cell against its tenant's quota, dispatches it,
+// and folds the outcome into its stream line. A quota refusal is a failed
+// cell (sweeps are batch work — the stream reports it and moves on rather
+// than stalling the whole sweep on a refill).
+func (c *Coordinator) runCell(ctx context.Context, cell sweepCell, ten *tenant.Tenant) SweepResult {
 	ctx, cancel := context.WithTimeout(ctx, c.opt.CellTimeout)
 	defer cancel()
 	start := time.Now()
-	out := c.dispatch(ctx, cell.key, cell.body)
+	if _, qerr := c.admitCell(ten, cell.est); qerr != nil {
+		return SweepResult{
+			Mix: cell.mix, Scenario: cell.scenario,
+			Scheduler: cell.scheduler, Partition: cell.partition,
+			Status: "failed", Error: qerr,
+		}
+	}
+	out := c.dispatch(ctx, cell.key, cell.body, serve.ForwardedTenancy{Tenant: ten.Name(), Lane: tenant.LaneBatch})
 	elapsed := time.Since(start)
 	c.met.cellSeconds.Observe(elapsed.Seconds())
 	res := SweepResult{
@@ -627,6 +687,8 @@ func (c *Coordinator) runCell(ctx context.Context, cell sweepCell) SweepResult {
 	}
 	switch {
 	case out.apiErr != nil:
+		// The fleet never got the cell onto a worker; reverse the charge.
+		ten.Refund(time.Now(), float64(cell.est.SimCycles))
 		res.Status = "failed"
 		res.Error = out.apiErr
 		c.met.cellsFailed.Add(1)

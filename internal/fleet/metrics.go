@@ -20,6 +20,8 @@ type coordMetrics struct {
 	failovers      atomic.Int64 // dispatches re-routed after a worker fault (with or without a checkpoint)
 	ckptsMirrored  atomic.Int64 // checkpoint blobs received from workers
 	ckptsDiscarded atomic.Int64 // mirrored blobs dropped (run finished, or LRU bound)
+	unauthorized   atomic.Int64 // 401s: API key matched no tenant
+	quotaRejected  atomic.Int64 // cells refused with quota_exceeded at the entry point
 
 	cellSeconds *promtext.Histogram
 
@@ -51,6 +53,8 @@ func (m *coordMetrics) write(w io.Writer) {
 	counter(w, "dbpfleet_failovers_total", "Dispatches re-routed after a worker fault, with or without a checkpoint to stage.", float64(m.failovers.Load()))
 	counter(w, "dbpfleet_checkpoints_mirrored_total", "Checkpoint blobs mirrored to the coordinator by running workers.", float64(m.ckptsMirrored.Load()))
 	counter(w, "dbpfleet_checkpoints_discarded_total", "Mirrored checkpoint blobs dropped: their run finished, or the mirror bound evicted them.", float64(m.ckptsDiscarded.Load()))
+	counter(w, "dbpfleet_unauthorized_total", "Requests rejected with 401: API key matched no configured tenant.", float64(m.unauthorized.Load()))
+	counter(w, "dbpfleet_quota_rejections_total", "Cells refused with quota_exceeded by entry-node admission control.", float64(m.quotaRejected.Load()))
 
 	promtext.WriteHeader(w, "dbpfleet_worker_up", "gauge", "Worker liveness by id: 1 registered and responsive, 0 marked down.")
 	m.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dbpsim/internal/serve"
+	"dbpsim/internal/tenant"
 )
 
 // SweepRequest is the POST /v1/sweeps body: the cross product of workloads
@@ -64,7 +65,9 @@ type SweepSummary struct {
 }
 
 // sweepCell is one expanded grid point: its labels, its single-run body,
-// and the placement key the body resolves to.
+// the placement key the body resolves to, and its predicted admission cost
+// (charged per cell at dispatch time, so a long sweep spends quota as it
+// progresses rather than all up front).
 type sweepCell struct {
 	mix       string
 	scenario  string
@@ -72,12 +75,14 @@ type sweepCell struct {
 	partition string
 	body      []byte
 	key       string
+	est       tenant.Estimate
 }
 
 // expandSweep validates a sweep and expands the grid. Every cell is
 // resolved up front — the placement key doubles as validation, so a sweep
 // with any invalid cell is rejected whole before anything dispatches.
-func expandSweep(req SweepRequest, maxInstructions uint64) ([]sweepCell, *serve.APIError) {
+// model calibrates each cell's cost estimate (nil = built-in constants).
+func expandSweep(req SweepRequest, maxInstructions uint64, model *tenant.CostModel) ([]sweepCell, *serve.APIError) {
 	if len(req.Mixes) == 0 && len(req.Scenarios) == 0 {
 		return nil, &serve.APIError{Code: serve.CodeBadRequest, Message: "sweep needs mixes and/or scenarios"}
 	}
@@ -130,7 +135,7 @@ func expandSweep(req SweepRequest, maxInstructions uint64) ([]sweepCell, *serve.
 				if err != nil {
 					return nil, &serve.APIError{Code: serve.CodeBadRequest, Message: err.Error()}
 				}
-				key, _, apiErr := serve.ResolveRequest(body, maxInstructions)
+				key, _, est, apiErr := serve.ResolveCost(body, maxInstructions, model)
 				if apiErr != nil {
 					apiErr.Message = fmt.Sprintf("cell %s/%s/%s: %s",
 						cellLabel(wl.mix, wl.scenName), sched, part, apiErr.Message)
@@ -143,6 +148,7 @@ func expandSweep(req SweepRequest, maxInstructions uint64) ([]sweepCell, *serve.
 					partition: part,
 					body:      body,
 					key:       key,
+					est:       est,
 				})
 			}
 		}

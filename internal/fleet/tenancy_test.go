@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dbpsim/internal/tenant"
+)
+
+const testTenantsDoc = `{
+  "schema_version": 1,
+  "tenants": [
+    {"name": "vip", "key": "k-vip", "weight": 8, "lane": "interactive"},
+    {"name": "bulk", "key": "k-bulk", "weight": 1}
+  ]
+}`
+
+func testRegistry(t *testing.T) *tenant.Registry {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(testTenantsDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := tenant.NewRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestSweepWindowSharing pins the weight-proportional split of the
+// cluster dispatch window across concurrently sweeping tenants.
+func TestSweepWindowSharing(t *testing.T) {
+	reg := testRegistry(t)
+	coord := NewCoordinator(CoordinatorOptions{
+		Tenants: reg,
+		Logger:  quietLogger(),
+	})
+	vip := reg.Lookup("vip")
+	bulk := reg.Lookup("bulk")
+
+	// No active sweeps (and the sweepWindow caller always holds its own
+	// sweepEnter) — a lone tenant is work-conserving: the whole window.
+	coord.sweepEnter("vip")
+	if w := coord.sweepWindow(vip, 18); w != 18 {
+		t.Errorf("lone tenant window = %d, want the full 18", w)
+	}
+	// A weight-1 tenant joins: 8:1 split of 18 → 16 and 2.
+	coord.sweepEnter("bulk")
+	if w := coord.sweepWindow(vip, 18); w != 16 {
+		t.Errorf("vip window = %d, want 16 (8/9 of 18)", w)
+	}
+	if w := coord.sweepWindow(bulk, 18); w != 2 {
+		t.Errorf("bulk window = %d, want 2 (1/9 of 18)", w)
+	}
+	// The floor: even a sliver of the window dispatches one cell at a time.
+	if w := coord.sweepWindow(bulk, 1); w != 1 {
+		t.Errorf("bulk window of a 1-wide global = %d, want the floor 1", w)
+	}
+	// Exits restore the full window to the survivor.
+	coord.sweepExit("bulk")
+	if w := coord.sweepWindow(vip, 18); w != 18 {
+		t.Errorf("post-exit vip window = %d, want 18", w)
+	}
+	coord.sweepExit("vip")
+
+	// No registry → tenancy off → the global window, untouched.
+	open := NewCoordinator(CoordinatorOptions{Logger: quietLogger()})
+	open.sweepEnter(tenant.DefaultTenantName)
+	if w := open.sweepWindow(open.opt.Tenants.Lookup(""), 7); w != 7 {
+		t.Errorf("registry-less window = %d, want 7", w)
+	}
+}
+
+// TestCoordinatorAuth pins the fleet entry point's refusals: sweeps and
+// runs need a known API key when a registry without an anonymous tenant is
+// configured, and refusals are counted.
+func TestCoordinatorAuth(t *testing.T) {
+	coord := NewCoordinator(CoordinatorOptions{
+		Tenants:          testRegistry(t),
+		HeartbeatTimeout: 2 * time.Second,
+		Logger:           quietLogger(),
+	})
+	hs := httptest.NewServer(coord)
+	t.Cleanup(hs.Close)
+
+	for _, path := range []string{"/v1/sweeps", "/v1/runs"} {
+		resp, err := http.Post(hs.URL+path, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("anonymous POST %s status %d, want 401", path, resp.StatusCode)
+		}
+	}
+	if n := scrapeCounter(t, hs.URL, "dbpfleet_unauthorized_total"); n != 2 {
+		t.Errorf("dbpfleet_unauthorized_total = %v, want 2", n)
+	}
+}

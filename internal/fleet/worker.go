@@ -363,6 +363,17 @@ func (w *Worker) forwardToOwner(ctx context.Context, runKey string, body []byte)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Fleet-Forwarded", w.opt.ID)
+	// Assert the run's tenancy (stamped by the server before the consult) so
+	// the owner's fair queue files it under the original tenant and lane;
+	// the owner skips its own quota debit — this node already charged.
+	if ft, ok := serve.ForwardedTenancyFrom(ctx); ok {
+		if ft.Tenant != "" {
+			req.Header.Set(serve.HeaderFleetTenant, ft.Tenant)
+		}
+		if ft.Lane != "" {
+			req.Header.Set(serve.HeaderFleetLane, ft.Lane)
+		}
+	}
 	// The forward shares the run's execution budget (ctx), not the peer
 	// client's default timeout: a full simulation may take minutes.
 	resp, err := (&http.Client{}).Do(req)

@@ -41,6 +41,13 @@ func WriteLabeled(w io.Writer, name, label, value string, v float64) {
 	fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, value, formatValue(v))
 }
 
+// WriteLabeled2 writes one series line carrying two label pairs:
+// name{l1="v1",l2="v2"} v — for families like queue depth keyed by both
+// lane and tenant.
+func WriteLabeled2(w io.Writer, name, l1, v1, l2, v2 string, v float64) {
+	fmt.Fprintf(w, "%s{%s=%q,%s=%q} %s\n", name, l1, v1, l2, v2, formatValue(v))
+}
+
 // formatValue renders integral values without an exponent or trailing
 // decimals (counters read naturally) and non-integral ones at full
 // precision.
@@ -91,4 +98,22 @@ func (h *Histogram) Write(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, h.n)
+}
+
+// WriteSeries renders the histogram's sample lines carrying one extra label
+// pair and no HELP/TYPE preamble — callers exposing several labelled series
+// of one histogram family (e.g. queue wait per lane) write the header once
+// with WriteHeader and then one WriteSeries per label value.
+func (h *Histogram) WriteSeries(w io.Writer, name, label, value string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, h.sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.n)
 }

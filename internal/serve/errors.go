@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+
+	"dbpsim/internal/tenant"
 )
 
 // APIError is the service's structured error schema. Every non-2xx response
@@ -13,12 +15,20 @@ import (
 // describes a failed or canceled job's terminal state when it is polled.
 // Retryable tells clients whether resubmitting the identical request can
 // succeed (queue pressure, timeouts, interrupted restarts) or is pointless
-// (validation errors, deterministic panics).
+// (validation errors, deterministic panics). Estimate is attached to
+// quota_exceeded errors only: the admission controller's predicted cost of
+// the refused run (additive schema change; absent elsewhere).
 type APIError struct {
-	Code      string `json:"code"`
-	Message   string `json:"message"`
-	Retryable bool   `json:"retryable"`
+	Code      string           `json:"code"`
+	Message   string           `json:"message"`
+	Retryable bool             `json:"retryable"`
+	Estimate  *tenant.Estimate `json:"estimate,omitempty"`
 }
+
+// CostEstimate is the predicted-cost document carried by quota_exceeded
+// errors: simcycles (what quota buckets are charged), predicted wall
+// seconds, and the bench-ledger entry the prediction came from.
+type CostEstimate = tenant.Estimate
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("%s: %s", e.Code, e.Message)
@@ -39,6 +49,15 @@ const (
 	CodeResultLost  = "result_lost" // journaled result unreadable (500)
 	CodeInternal    = "internal"    // any other simulation failure (500)
 	CodeNoWorkers   = "no_workers"  // fleet coordinator has no live workers (503)
+
+	// CodeUnauthorized rejects a request whose API key matches no configured
+	// tenant (401). Distinct from quota pressure: retrying cannot help.
+	CodeUnauthorized = "unauthorized"
+	// CodeQuotaExceeded rejects an over-budget request at admission (429).
+	// The error carries a cost Estimate and the response a refill-based
+	// Retry-After, so a client can tell quota pressure from queue_full
+	// backpressure and knows exactly when the charge would fit.
+	CodeQuotaExceeded = "quota_exceeded"
 )
 
 // Job terminal states as reported by GET /v1/runs/{id}.

@@ -73,6 +73,16 @@ type journalRecord struct {
 	// the simulation cycle it was taken at (Op checkpoint).
 	Checkpoint string `json:"checkpoint,omitempty"`
 	Cycle      uint64 `json:"cycle,omitempty"`
+	// Tenancy attribution (absent on legacy records, which replay as the
+	// default tenant): the admitting tenant and lane, the simcycle cost the
+	// admission controller debited, and the admission time in Unix
+	// nanoseconds. Submit and end records both carry them so quota state
+	// survives journal compaction (compacted terminal jobs keep only their
+	// end record) and requeued jobs keep their lane.
+	Tenant        string  `json:"tenant,omitempty"`
+	Lane          string  `json:"lane,omitempty"`
+	CostSimcycles float64 `json:"cost_simcycles,omitempty"`
+	TS            int64   `json:"ts,omitempty"`
 }
 
 // restoredJob is a terminal job reconstructed from the journal at startup:
@@ -94,6 +104,15 @@ type restoredJob struct {
 	request     json.RawMessage
 	checkpoint  string // content address of the latest snapshot blob
 	ckptCycle   uint64
+
+	// Tenancy attribution replayed from the record stream. Empty tenant =
+	// legacy (pre-tenancy) record → the default tenant. cost/ts feed the
+	// startup quota re-debit, so a drained bucket stays drained across a
+	// SIGKILL.
+	tenantName string
+	lane       string
+	cost       float64
+	ts         int64
 }
 
 // openJournal opens (creating if needed) the journal under dir, replays the
@@ -170,6 +189,7 @@ func replayJournal(path string) (map[string]*restoredJob, uint64, error) {
 			if r := restored[rec.ID]; !ended[rec.ID] && len(rec.Request) > 0 {
 				r.request = append(json.RawMessage(nil), rec.Request...)
 			}
+			restored[rec.ID].adoptTenancy(rec)
 		case "checkpoint":
 			r := restored[rec.ID]
 			if r == nil {
@@ -196,6 +216,7 @@ func replayJournal(path string) (map[string]*restoredJob, uint64, error) {
 			r.request = nil
 			r.checkpoint = ""
 			r.ckptCycle = 0
+			r.adoptTenancy(rec)
 			ended[rec.ID] = true
 		}
 	}
@@ -223,6 +244,25 @@ func provisionalInterrupted(id, key string) *restoredJob {
 	}
 }
 
+// adoptTenancy folds a record's tenancy attribution into the restored job.
+// Submit and end records carry the same values; whichever survives (a torn
+// journal may lose either) wins, and legacy records carry none — the job
+// then replays as the default tenant.
+func (r *restoredJob) adoptTenancy(rec journalRecord) {
+	if rec.Tenant != "" {
+		r.tenantName = rec.Tenant
+	}
+	if rec.Lane != "" {
+		r.lane = rec.Lane
+	}
+	if rec.CostSimcycles > 0 {
+		r.cost = rec.CostSimcycles
+	}
+	if rec.TS != 0 {
+		r.ts = rec.TS
+	}
+}
+
 // jobSeq extracts the numeric sequence from a "run-%08d" job id.
 func jobSeq(id string) (uint64, bool) {
 	s, ok := strings.CutPrefix(id, "run-")
@@ -233,11 +273,25 @@ func jobSeq(id string) (uint64, bool) {
 	return n, err == nil
 }
 
+// tenancyStamp is the attribution written onto submit and end records: who
+// admitted the job, on which lane, what it was billed, and when.
+type tenancyStamp struct {
+	tenant string
+	lane   string
+	cost   float64
+	ts     int64
+}
+
+func (st tenancyStamp) apply(rec journalRecord) journalRecord {
+	rec.Tenant, rec.Lane, rec.CostSimcycles, rec.TS = st.tenant, st.lane, st.cost, st.ts
+	return rec
+}
+
 // appendSubmit journals a job's existence, carrying the original request
 // body so the job can be requeued after a crash. Called as soon as the job
 // is admitted, so a crash between admission and completion is detectable.
-func (j *journal) appendSubmit(id, key string, request json.RawMessage) error {
-	return j.append(journalRecord{Op: "submit", ID: id, Key: key, Request: request})
+func (j *journal) appendSubmit(id, key string, request json.RawMessage, st tenancyStamp) error {
+	return j.append(st.apply(journalRecord{Op: "submit", ID: id, Key: key, Request: request}))
 }
 
 // appendCheckpoint journals a job's latest persisted snapshot. Replay keeps
@@ -249,8 +303,8 @@ func (j *journal) appendCheckpoint(id, key, hash string, cycle uint64) error {
 // appendEnd journals a job's terminal state. apiErr is nil for done jobs;
 // resultHash is the content address appendEnd's caller got from
 // writeResult (empty when there is no ledger to keep).
-func (j *journal) appendEnd(id, key, state string, apiErr *APIError, resultHash string) error {
-	return j.append(journalRecord{Op: "end", ID: id, Key: key, State: state, Error: apiErr, Result: resultHash})
+func (j *journal) appendEnd(id, key, state string, apiErr *APIError, resultHash string, st tenancyStamp) error {
+	return j.append(st.apply(journalRecord{Op: "end", ID: id, Key: key, State: state, Error: apiErr, Result: resultHash}))
 }
 
 func (j *journal) append(rec journalRecord) error {
@@ -400,9 +454,10 @@ func compactJournal(path string, restored map[string]*restoredJob) {
 	var buf bytes.Buffer
 	for _, id := range ids {
 		r := restored[id]
-		recs := []journalRecord{{Op: "end", ID: r.id, Key: r.key, State: r.state, Error: r.apiErr, Result: r.result}}
+		st := tenancyStamp{tenant: r.tenantName, lane: r.lane, cost: r.cost, ts: r.ts}
+		recs := []journalRecord{st.apply(journalRecord{Op: "end", ID: r.id, Key: r.key, State: r.state, Error: r.apiErr, Result: r.result})}
 		if r.interrupted {
-			recs = []journalRecord{{Op: "submit", ID: r.id, Key: r.key, Request: r.request}}
+			recs = []journalRecord{st.apply(journalRecord{Op: "submit", ID: r.id, Key: r.key, Request: r.request})}
 			if r.checkpoint != "" {
 				recs = append(recs, journalRecord{Op: "checkpoint", ID: r.id, Key: r.key, Checkpoint: r.checkpoint, Cycle: r.ckptCycle})
 			}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"dbpsim/internal/promtext"
+	"dbpsim/internal/tenant"
 )
 
 // metrics is dbpserved's instrumentation: a handful of counters/gauges and
@@ -34,17 +35,34 @@ type metrics struct {
 	checkpointErrors   atomic.Int64 // checkpoint snapshot/persist/restore failures (non-fatal)
 	checkpointsPruned  atomic.Int64 // superseded checkpoint blobs removed by retention
 
+	unauthorized atomic.Int64 // 401s: API key matched no tenant
+
 	httpMu   sync.Mutex
 	httpCode map[int]int64 // completed HTTP requests by status code
+
+	quotaMu       sync.Mutex
+	quotaRejected map[string]int64 // quota_exceeded rejections by tenant
 
 	runSeconds  *promtext.Histogram
 	ckptBytes   *promtext.Histogram
 	ckptSeconds *promtext.Histogram
+
+	// Queue-wait histograms, one series per priority lane (the lane set is
+	// closed, so two fixed histograms beat a labeled map).
+	waitBatch       *promtext.Histogram
+	waitInteractive *promtext.Histogram
 }
+
+// queueWaitBuckets covers sub-millisecond immediate dispatch through
+// minutes of queueing behind a saturated worker pool.
+var queueWaitBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 300}
 
 func newMetrics() *metrics {
 	return &metrics{
-		httpCode: make(map[int]int64),
+		httpCode:        make(map[int]int64),
+		quotaRejected:   make(map[string]int64),
+		waitBatch:       promtext.NewHistogram(queueWaitBuckets...),
+		waitInteractive: promtext.NewHistogram(queueWaitBuckets...),
 		// Simulations span ~10ms quick probes to minutes-long full-budget
 		// runs; buckets cover that range with roughly 2.5x spacing.
 		runSeconds: promtext.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120),
@@ -62,16 +80,47 @@ func (m *metrics) observeHTTP(code int) {
 	m.httpMu.Unlock()
 }
 
-// write renders the exposition page. queueDepth/queueCap describe the job
-// queue at scrape time (the channel belongs to the server, not to metrics).
-// extra, when non-nil, appends additional exposition blocks after the
-// server's own — how a fleet worker folds its dbpfleet_* series into the
-// same scrape.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap int, extra func(io.Writer)) {
+func (m *metrics) observeQuotaRejection(tenantName string) {
+	m.quotaMu.Lock()
+	m.quotaRejected[tenantName]++
+	m.quotaMu.Unlock()
+}
+
+func (m *metrics) observeQueueWait(lane string, seconds float64) {
+	if lane == tenant.LaneInteractive {
+		m.waitInteractive.Observe(seconds)
+		return
+	}
+	m.waitBatch.Observe(seconds)
+}
+
+// metricsSnapshot carries the scrape-time state that lives on the server
+// rather than in the metrics struct: queue geometry, per-flow depths, the
+// slowdown gauge, and tenant-config reload counters.
+type metricsSnapshot struct {
+	queueCap     int
+	depths       []tenant.LaneDepth
+	slowdowns    []tenantSlowdown
+	reloads      uint64
+	reloadErrors uint64
+}
+
+// write renders the exposition page. snap carries the scrape-time queue and
+// tenancy state (that belongs to the server, not to metrics). extra, when
+// non-nil, appends additional exposition blocks after the server's own —
+// how a fleet worker folds its dbpfleet_* series into the same scrape.
+func (m *metrics) write(w io.Writer, snap metricsSnapshot, extra func(io.Writer)) {
 	gauge := func(name, help string, v int64) { promtext.WriteGauge(w, name, help, float64(v)) }
 	counter := func(name, help string, v int64) { promtext.WriteCounter(w, name, help, float64(v)) }
-	gauge("dbpserved_queue_depth", "Jobs waiting in the bounded queue.", int64(queueDepth))
-	gauge("dbpserved_queue_capacity", "Capacity of the bounded job queue.", int64(queueCap))
+	promtext.WriteHeader(w, "dbpserved_queue_depth", "gauge",
+		"Jobs waiting in the weighted-fair queue, by priority lane and tenant.")
+	total := 0
+	for _, d := range snap.depths {
+		promtext.WriteLabeled2(w, "dbpserved_queue_depth", "lane", d.Lane, "tenant", d.Tenant, float64(d.Depth))
+		total += d.Depth
+	}
+	promtext.WriteLabeled2(w, "dbpserved_queue_depth", "lane", "all", "tenant", "all", float64(total))
+	gauge("dbpserved_queue_capacity", "Capacity of the bounded job queue.", int64(snap.queueCap))
 	gauge("dbpserved_inflight_runs", "Simulations currently executing on workers.", m.inFlight.Load())
 	counter("dbpserved_cache_hits_total", "Requests served from the content-addressed result cache.", m.cacheHits.Load())
 	counter("dbpserved_cache_misses_total", "Requests that enqueued a new simulation.", m.cacheMisses.Load())
@@ -87,6 +136,32 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, extra func(io.Wri
 	counter("dbpserved_resumed_runs_total", "Runs resumed from a checkpoint after a restart or a fleet migration.", m.resumedRuns.Load())
 	counter("dbpserved_checkpoint_errors_total", "Checkpoint snapshot, persist, or restore failures (runs fall back to clean execution).", m.checkpointErrors.Load())
 	counter("dbpserved_checkpoints_pruned_total", "Superseded checkpoint blobs removed by the retention policy.", m.checkpointsPruned.Load())
+
+	// --- tenancy ---------------------------------------------------------
+	counter("dbpserved_unauthorized_total", "Requests rejected with 401: API key matched no configured tenant.", m.unauthorized.Load())
+	promtext.WriteHeader(w, "dbpserved_quota_rejections_total", "counter",
+		"Admissions refused with quota_exceeded, by tenant.")
+	m.quotaMu.Lock()
+	qnames := make([]string, 0, len(m.quotaRejected))
+	for n := range m.quotaRejected {
+		qnames = append(qnames, n)
+	}
+	sort.Strings(qnames)
+	for _, n := range qnames {
+		promtext.WriteLabeled(w, "dbpserved_quota_rejections_total", "tenant", n, float64(m.quotaRejected[n]))
+	}
+	m.quotaMu.Unlock()
+	promtext.WriteHeader(w, "dbpserved_tenant_slowdown", "gauge",
+		"Max slowdown (queue wait + service vs. alone service) over each tenant's recent runs — the paper's fairness metric applied to tenants.")
+	for _, s := range snap.slowdowns {
+		promtext.WriteLabeled(w, "dbpserved_tenant_slowdown", "tenant", s.Tenant, s.MaxSlowdown)
+	}
+	counter("dbpserved_tenant_reloads_total", "Successful tenant-config loads (the initial load included).", int64(snap.reloads))
+	counter("dbpserved_tenant_reload_errors_total", "Tenant-config reloads that failed (the last good config stays in effect).", int64(snap.reloadErrors))
+	promtext.WriteHeader(w, "dbpserved_queue_wait_seconds", "histogram",
+		"Seconds jobs spent queued before a worker picked them up, by priority lane.")
+	m.waitBatch.WriteSeries(w, "dbpserved_queue_wait_seconds", "lane", tenant.LaneBatch)
+	m.waitInteractive.WriteSeries(w, "dbpserved_queue_wait_seconds", "lane", tenant.LaneInteractive)
 
 	promtext.WriteHeader(w, "dbpserved_http_requests_total", "counter", "Completed HTTP requests by status code.")
 	m.httpMu.Lock()

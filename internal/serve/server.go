@@ -57,6 +57,7 @@ import (
 	"dbpsim/internal/chaos"
 	"dbpsim/internal/obs"
 	"dbpsim/internal/sim"
+	"dbpsim/internal/tenant"
 )
 
 // Options configures a Server. The zero value is usable: every field has a
@@ -123,6 +124,19 @@ type Options struct {
 	// blocks to GET /metrics after the server's own (e.g. a fleet worker's
 	// dbpfleet_* series).
 	ExtraMetrics func(io.Writer)
+	// Tenants, when non-nil, enables the tenancy layer: API-key
+	// authentication, per-tenant token-bucket quotas at admission, and
+	// weighted-fair queueing across tenants (see internal/tenant and the
+	// Tenancy section of docs/SERVICE.md). Nil keeps the pre-tenancy
+	// behavior: every caller is the unlimited default tenant (the queue is
+	// still the weighted-fair implementation, which degrades to exact FIFO
+	// for a single flow).
+	Tenants *tenant.Registry
+	// CostModel predicts a run's simcycle cost for quota debits, queue
+	// scheduling, and the estimate attached to quota_exceeded errors. Nil
+	// uses built-in constants; load a committed bench ledger (BENCH_6.json)
+	// for calibrated predictions.
+	CostModel *tenant.CostModel
 }
 
 // Checkpoint retention policies for Options.RetainCheckpoints.
@@ -220,6 +234,16 @@ type job struct {
 	// runs_executed_total an honest count of simulations this node ran.
 	// Written and read only on the job's worker goroutine.
 	peerServed bool
+
+	// Tenancy: the admitting tenant and priority lane (immutable after
+	// admission), the predicted cost the admission controller debited, and
+	// when. queueWait is stamped by the worker at dequeue and read by
+	// finishJob on the same goroutine.
+	tenantName string
+	lane       string
+	est        tenant.Estimate
+	admitted   time.Time
+	queueWait  time.Duration
 }
 
 // state reports the job's lifecycle phase: queued/running while live,
@@ -246,9 +270,12 @@ type Server struct {
 	met     *metrics
 	mux     *http.ServeMux
 	chaos   *chaos.Injector
-	journal *journal // nil without JournalDir
+	journal *journal          // nil without JournalDir
+	reg     *tenant.Registry  // nil without Options.Tenants (all methods nil-safe)
+	cost    *tenant.CostModel // nil uses built-in constants
+	slow    *slowdownTracker
 
-	queue chan *job
+	queue *tenant.FairQueue[*job]
 	wg    sync.WaitGroup
 
 	// testHookBeforeRun, when non-nil, runs on the worker goroutine after a
@@ -295,7 +322,10 @@ func New(opt Options) (*Server, error) {
 		met:       newMetrics(),
 		mux:       http.NewServeMux(),
 		chaos:     opt.Chaos,
-		queue:     make(chan *job, opt.QueueDepth),
+		reg:       opt.Tenants,
+		cost:      opt.CostModel,
+		slow:      newSlowdownTracker(),
+		queue:     tenant.NewFairQueue[*job](opt.QueueDepth),
 		cache:     make(map[string][]byte),
 		diskCache: make(map[string]string),
 		inflight:  make(map[string]*job),
@@ -326,6 +356,7 @@ func New(opt Options) (*Server, error) {
 			}
 		}
 		s.met.restoredJobs.Store(int64(len(restored)))
+		s.replayQuotaDebits(restored)
 		if len(restored) > 0 {
 			s.log.Info("journal replayed",
 				"dir", opt.JournalDir, "jobs", len(restored),
@@ -356,6 +387,32 @@ func New(opt Options) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replayQuotaDebits re-applies the admission charges recorded in the
+// journal, in admission order, so tenant buckets come back from a crash or
+// SIGKILL with their spend intact (refill between record timestamps — and
+// across the downtime — is credited, which is exactly token-bucket
+// semantics). Legacy records without cost attribution charge nothing.
+// Compaction bounds the lookback to one generation of journal state, so
+// this is deliberately best-effort accounting, not a billing ledger.
+func (s *Server) replayQuotaDebits(restored map[string]*restoredJob) {
+	if s.reg == nil {
+		return
+	}
+	var charged []*restoredJob
+	for _, r := range restored {
+		if r.cost > 0 && r.ts > 0 {
+			charged = append(charged, r)
+		}
+	}
+	sort.Slice(charged, func(a, b int) bool { return charged[a].ts < charged[b].ts })
+	for _, r := range charged {
+		s.reg.Lookup(r.tenantName).Debit(time.Unix(0, r.ts), 1, r.cost)
+	}
+	if len(charged) > 0 {
+		s.log.Info("tenant quota state replayed", "charged_jobs", len(charged))
+	}
 }
 
 // requeueInterrupted re-admits jobs that were queued or executing when the
@@ -389,17 +446,30 @@ func (s *Server) requeueInterrupted(resume []*restoredJob) {
 				"id", r.id, "key", rr.key)
 			continue
 		}
+		// The job keeps its pre-crash tenant and lane: the registry resolves
+		// the recorded name (legacy records and removed tenants fall back to
+		// the default tenant), and the quota charge was already replayed from
+		// the journal — requeueing is not a second admission.
+		ten := s.reg.Lookup(r.tenantName)
+		lane := r.lane
+		if lane == "" {
+			lane = ten.Lane()
+		}
 		ctx, cancel := context.WithCancelCause(context.Background())
 		j := &job{
-			id:      r.id,
-			key:     rr.key,
-			run:     rr,
-			ctx:     ctx,
-			cancel:  cancel,
-			done:    make(chan struct{}),
-			started: make(chan struct{}),
-			async:   true,
-			body:    append([]byte(nil), r.request...),
+			id:         r.id,
+			key:        rr.key,
+			run:        rr,
+			ctx:        ctx,
+			cancel:     cancel,
+			done:       make(chan struct{}),
+			started:    make(chan struct{}),
+			async:      true,
+			body:       append([]byte(nil), r.request...),
+			tenantName: ten.Name(),
+			lane:       lane,
+			est:        s.estimateCost(rr),
+			admitted:   time.Now(),
 		}
 		if r.checkpoint != "" {
 			blob, err := s.journal.readCheckpoint(r.checkpoint)
@@ -410,20 +480,19 @@ func (s *Server) requeueInterrupted(resume []*restoredJob) {
 				j.lastCkpt = r.checkpoint
 			}
 		}
-		select {
-		case s.queue <- j:
-			s.inflight[rr.key] = j
-			s.registerJobLocked(j)
-			delete(s.restored, r.id)
-			s.mu.Unlock()
-			s.log.Info("interrupted job requeued",
-				"id", r.id, "mix", rr.mix.Name,
-				"resuming", j.resumeFrom != nil, "resume_cycle", r.ckptCycle)
-		default:
+		if err := s.queue.Push(j, j.tenantName, j.lane, ten.Weight(), j.est.Seconds); err != nil {
 			cancel(nil)
 			s.mu.Unlock()
 			s.log.Warn("queue full; interrupted job not requeued", "id", r.id)
+			continue
 		}
+		s.inflight[rr.key] = j
+		s.registerJobLocked(j)
+		delete(s.restored, r.id)
+		s.mu.Unlock()
+		s.log.Info("interrupted job requeued",
+			"id", r.id, "mix", rr.mix.Name, "tenant", j.tenantName, "lane", j.lane,
+			"resuming", j.resumeFrom != nil, "resume_cycle", r.ckptCycle)
 	}
 }
 
@@ -455,7 +524,7 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.queue)
+	s.queue.Close()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -508,6 +577,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			&APIError{Code: CodeBadRequest, Message: err.Error()})
 		return
 	}
+	// Fleet-internal hops carry the X-Fleet-Forwarded latch: the entry node
+	// already authenticated and charged the tenant, so this node only adopts
+	// the asserted tenancy (for queue weighting and accounting) instead of
+	// re-authenticating — an unknown asserted name degrades to the default
+	// tenant.
+	forwarded := r.Header.Get("X-Fleet-Forwarded") != ""
+	var ten *tenant.Tenant
+	laneReq := r.URL.Query().Get("lane")
+	if forwarded {
+		ten = s.reg.Lookup(r.Header.Get(HeaderFleetTenant))
+		if laneReq == "" {
+			laneReq = r.Header.Get(HeaderFleetLane)
+		}
+	} else {
+		var authErr *APIError
+		ten, authErr = s.authenticate(r)
+		if authErr != nil {
+			s.met.unauthorized.Add(1)
+			writeError(w, http.StatusUnauthorized, authErr)
+			return
+		}
+	}
+	lane, laneErr := ten.MaxLane(laneReq)
+	if laneErr != nil {
+		writeError(w, http.StatusBadRequest,
+			&APIError{Code: CodeBadRequest, Message: laneErr.Error()})
+		return
+	}
 	timeout := s.opt.RunTimeout
 	if t := r.URL.Query().Get("timeout"); t != "" {
 		d, err := time.ParseDuration(t)
@@ -547,17 +644,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				&APIError{Code: CodeDraining, Message: "server is draining", Retryable: true})
 			return
 		}
+		// Admission control: charge the predicted cost against the tenant's
+		// buckets before a queue slot is taken. Cache hits and coalesced
+		// requests above are free — they consume no simulation capacity.
+		// Fleet-forwarded requests were already charged at the entry node
+		// (the coordinator stamps X-Fleet-Forwarded), so the worker skips the
+		// debit rather than double-charging one run.
+		est := s.estimateCost(rr)
+		now := time.Now()
+		charged := !forwarded
+		if charged {
+			if retryAfter, qerr := s.admitQuota(ten, est, now); qerr != nil {
+				s.mu.Unlock()
+				s.met.observeQuotaRejection(ten.Name())
+				w.Header().Set("Retry-After", retryAfter)
+				writeError(w, http.StatusTooManyRequests, qerr)
+				return
+			}
+		}
 		s.nextID++
 		ctx, cancel := context.WithCancelCause(context.Background())
 		j = &job{
-			id:      fmt.Sprintf("run-%08d", s.nextID),
-			key:     rr.key,
-			run:     rr,
-			ctx:     ctx,
-			cancel:  cancel,
-			done:    make(chan struct{}),
-			started: make(chan struct{}),
-			body:    body,
+			id:         fmt.Sprintf("run-%08d", s.nextID),
+			key:        rr.key,
+			run:        rr,
+			ctx:        ctx,
+			cancel:     cancel,
+			done:       make(chan struct{}),
+			started:    make(chan struct{}),
+			body:       body,
+			tenantName: ten.Name(),
+			lane:       lane,
+			est:        est,
+			admitted:   now,
 		}
 		// A migrated run resumes from a blob the fleet layer staged moments
 		// ago (PUT /v1/checkpoints/{hash} → SeedCheckpoint). An unknown hash
@@ -570,26 +689,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				s.checkpointTrouble("resume checkpoint not staged; running from cycle 0", hash, errUnstagedCheckpoint)
 			}
 		}
-		select {
-		case s.queue <- j:
-			s.met.cacheMisses.Add(1)
-			s.inflight[rr.key] = j
-			s.registerJobLocked(j)
-			s.registerInterestLocked(j, async)
-			s.mu.Unlock()
-			w.Header().Set("X-Cache", "miss")
-			if err := s.journal.appendSubmit(j.id, j.key, j.body); err != nil {
-				s.journalTrouble("journal submit record failed", j.id, err)
-			}
-		default:
+		if err := s.queue.Push(j, j.tenantName, j.lane, ten.Weight(), est.Seconds); err != nil {
 			s.mu.Unlock()
 			cancel(nil)
-			s.met.rejected.Add(1)
+			if charged {
+				// The run never queued, so the admission charge is reversed —
+				// backpressure must not eat quota.
+				ten.Refund(now, float64(est.SimCycles))
+			}
 			w.Header().Set("Retry-After", "1")
+			if errors.Is(err, tenant.ErrQueueClosed) {
+				// Close() won the race between our s.closed check and the push.
+				writeError(w, http.StatusServiceUnavailable,
+					&APIError{Code: CodeDraining, Message: "server is draining", Retryable: true})
+				return
+			}
+			s.met.rejected.Add(1)
 			writeError(w, http.StatusTooManyRequests,
 				&APIError{Code: CodeQueueFull, Retryable: true,
 					Message: fmt.Sprintf("job queue full (%d deep); retry shortly", s.opt.QueueDepth)})
 			return
+		}
+		s.met.cacheMisses.Add(1)
+		s.inflight[rr.key] = j
+		s.registerJobLocked(j)
+		s.registerInterestLocked(j, async)
+		s.mu.Unlock()
+		w.Header().Set("X-Cache", "miss")
+		st := tenancyStamp{tenant: j.tenantName, lane: j.lane, cost: float64(est.SimCycles), ts: now.UnixNano()}
+		if err := s.journal.appendSubmit(j.id, j.key, j.body, st); err != nil {
+			s.journalTrouble("journal submit record failed", j.id, err)
 		}
 	}
 
@@ -598,6 +727,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"id":     j.id,
 			"status": j.state(),
 			"href":   "/v1/runs/" + j.id,
+			"tenant": j.tenantName,
+			"lane":   j.lane,
 		})
 		return
 	}
@@ -719,7 +850,9 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		case <-j.done:
 			s.respondJob(w, j)
 		default:
-			writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": j.state()})
+			writeJSON(w, http.StatusAccepted, map[string]string{
+				"id": j.id, "status": j.state(), "tenant": j.tenantName, "lane": j.lane,
+			})
 		}
 	case restored != nil:
 		s.respondRestored(w, restored)
@@ -764,17 +897,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
-		"queue_depth":   len(s.queue),
+		"queue_depth":   s.queue.Len(),
 		"workers":       s.opt.Workers,
 		"chaos":         s.chaos.String(),
 		"journal":       s.journal != nil,
 		"restored_jobs": restored,
+		"tenants":       s.reg != nil,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, len(s.queue), cap(s.queue), s.opt.ExtraMetrics)
+	reloads, reloadErrs := s.reg.ReloadStats()
+	s.met.write(w, metricsSnapshot{
+		queueCap:     s.queue.Cap(),
+		depths:       s.queue.Depths(),
+		slowdowns:    s.slow.maxSlowdowns(),
+		reloads:      reloads,
+		reloadErrors: reloadErrs,
+	}, s.opt.ExtraMetrics)
 }
 
 // --- fleet surface -------------------------------------------------------
@@ -850,7 +991,13 @@ func (s *Server) checkpointTrouble(msg, id string, err error) {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		j.queueWait = time.Since(j.admitted)
+		s.met.observeQueueWait(j.lane, j.queueWait.Seconds())
 		close(j.started)
 		if s.testHookBeforeRun != nil {
 			s.testHookBeforeRun()
@@ -922,8 +1069,16 @@ func (s *Server) finishJob(j *job, data []byte, apiErr *APIError, dur time.Durat
 	j.data, j.apiErr = data, apiErr
 	j.cancel(nil) // release the context's timer/goroutine resources
 	close(j.done)
+	if dur > 0 {
+		// Feed the tenant's slowdown gauge: shared time is queue wait plus
+		// service, alone time is service — the fairness metric of the paper,
+		// one level up. Discarded jobs (dur == 0) never ran and carry no
+		// signal.
+		s.slow.observe(j.tenantName, j.queueWait, dur)
+	}
 	if !drainCheckpointed {
-		if err := s.journal.appendEnd(j.id, j.key, state, apiErr, resultHash); err != nil {
+		st := tenancyStamp{tenant: j.tenantName, lane: j.lane, cost: float64(j.est.SimCycles), ts: j.admitted.UnixNano()}
+		if err := s.journal.appendEnd(j.id, j.key, state, apiErr, resultHash, st); err != nil {
 			s.journalTrouble("journal end record failed", j.id, err)
 		}
 		// A terminal job will never resume; under RetainLatest its last
@@ -986,6 +1141,9 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	// baselines the cluster has measured so a migrated run does not redo
 	// them. Both are best-effort: network trouble just means we simulate.
 	if s.opt.Peers != nil {
+		// Stamp the run's tenancy so an owner delegation (forwardToOwner)
+		// asserts the original tenant on the next hop instead of defaulting.
+		ctx := WithForwardedTenancy(ctx, ForwardedTenancy{Tenant: j.tenantName, Lane: j.lane})
 		if data, ok := s.opt.Peers.Lookup(ctx, j.key, j.body); ok {
 			j.peerServed = true
 			return data, nil

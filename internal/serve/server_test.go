@@ -372,8 +372,9 @@ func TestQueueFullReturns429(t *testing.T) {
 	if m["dbpserved_rejected_total"] < 1 {
 		t.Errorf("rejected counter = %v", m["dbpserved_rejected_total"])
 	}
-	if m["dbpserved_queue_depth"] != 1 || m["dbpserved_queue_capacity"] != 1 {
-		t.Errorf("queue gauges = %v/%v", m["dbpserved_queue_depth"], m["dbpserved_queue_capacity"])
+	depthAll := m[`dbpserved_queue_depth{lane="all",tenant="all"}`]
+	if depthAll != 1 || m["dbpserved_queue_capacity"] != 1 {
+		t.Errorf("queue gauges = %v/%v", depthAll, m["dbpserved_queue_capacity"])
 	}
 
 	// Release the worker: both jobs finish, job 3 now succeeds, and the

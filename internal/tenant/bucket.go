@@ -1,0 +1,131 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: tokens refill continuously at rate per second
+// up to burst, and TakeAt spends them. It is the same regulation mechanism
+// Sullivan et al. apply per DRAM bank (PAPERS.md), lifted to the service's
+// admission controller. All methods take explicit timestamps so journal
+// replay can re-apply historical debits deterministically; a nil *Bucket is
+// a valid unlimited bucket (every method no-ops or admits).
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 never refills
+	burst  float64 // token cap
+	tokens float64
+	last   time.Time // last refill accrual
+}
+
+// retryForever is the Retry-After reported when a charge can never succeed
+// under the current limits (demand above burst on a non-refilling bucket).
+// Finite, so clients always get a parseable header; documented as "try
+// again much later, or ask for a bigger quota".
+const retryForever = time.Hour
+
+// NewBucket returns a full bucket.
+func NewBucket(rate, burst float64) *Bucket {
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// SetLimits updates rate and burst in place (config reload), clamping the
+// current fill to the new burst but never resetting spend.
+func (b *Bucket) SetLimits(rate, burst float64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rate, b.burst = rate, burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+func (b *Bucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	if b.rate <= 0 {
+		return
+	}
+	b.tokens = math.Min(b.burst, b.tokens+b.rate*dt)
+}
+
+// TakeAt spends n tokens as of now. When the bucket cannot cover n it
+// spends nothing and returns the refill-based wait until it could.
+func (b *Bucket) TakeAt(now time.Time, n float64) (ok bool, retryAfter time.Duration) {
+	if b == nil || n <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	missing := n - b.tokens
+	if b.rate <= 0 {
+		return false, retryForever
+	}
+	wait := time.Duration(missing / b.rate * float64(time.Second))
+	if wait > retryForever {
+		wait = retryForever
+	}
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// RefundAt returns n tokens (a refused or un-run admission), capped at
+// burst.
+func (b *Bucket) RefundAt(now time.Time, n float64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	b.tokens = math.Min(b.burst, b.tokens+n)
+}
+
+// DebitAt spends n tokens unconditionally as of at, allowing the balance to
+// go negative — journal replay re-applies charges the pre-crash process
+// already admitted, and an overdrawn bucket simply refuses new work until
+// refill catches up.
+func (b *Bucket) DebitAt(at time.Time, n float64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(at)
+	b.tokens -= n
+	// Bound the overdraft so one absurd replayed record cannot freeze a
+	// tenant for geological time.
+	if b.burst > 0 && b.tokens < -b.burst {
+		b.tokens = -b.burst
+	}
+}
+
+// Tokens reports the current fill (tests and debugging).
+func (b *Bucket) Tokens(now time.Time) float64 {
+	if b == nil {
+		return math.Inf(1)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}

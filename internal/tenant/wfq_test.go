@@ -1,0 +1,252 @@
+package tenant
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFairQueueWorkConservation: every pushed item is popped exactly once,
+// and Pop never blocks while the queue is non-empty — across randomized
+// tenants, lanes, weights, and costs.
+func TestFairQueueWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		q := NewFairQueue[int](n)
+		for i := 0; i < n; i++ {
+			tenantName := fmt.Sprintf("t%d", rng.Intn(4))
+			lane := LaneBatch
+			if rng.Intn(3) == 0 {
+				lane = LaneInteractive
+			}
+			if err := q.Push(i, tenantName, lane, 1+rng.Float64()*9, rng.Float64()*10); err != nil {
+				t.Fatalf("trial %d: push %d: %v", trial, i, err)
+			}
+		}
+		if q.Len() != n {
+			t.Fatalf("trial %d: Len=%d want %d", trial, q.Len(), n)
+		}
+		seen := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			// Pop with a non-empty queue must return promptly; a deadlock here
+			// fails the test by timeout.
+			v, ok := q.Pop()
+			if !ok {
+				t.Fatalf("trial %d: Pop returned false with %d items left", trial, n-i)
+			}
+			if seen[v] {
+				t.Fatalf("trial %d: item %d popped twice", trial, v)
+			}
+			seen[v] = true
+		}
+		if q.Len() != 0 {
+			t.Fatalf("trial %d: queue not drained: %d left", trial, q.Len())
+		}
+	}
+}
+
+// TestFairQueueStarvationFreedom: an adversarial heavy tenant (10× weight,
+// 50× backlog) cannot starve a light tenant. With weights w_h=10, w_l=1 and
+// unit costs, light item i has vft=i and heavy item j has vft=j/10, so all
+// 10 light items must surface within the first 10 + 10×10 = 110 dequeues —
+// far before the heavy tenant's 500-item backlog drains.
+func TestFairQueueStarvationFreedom(t *testing.T) {
+	q := NewFairQueue[string](1000)
+	for j := 0; j < 500; j++ {
+		if err := q.Push("heavy", "heavy", LaneBatch, 10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := q.Push("light", "light", LaneBatch, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lightSeen := 0
+	for pops := 1; pops <= 510; pops++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		if v == "light" {
+			lightSeen++
+		}
+		if pops == 110 && lightSeen < 10 {
+			t.Fatalf("starvation: only %d/10 light items served within 110 dequeues", lightSeen)
+		}
+	}
+	if lightSeen != 10 {
+		t.Fatalf("light items lost: served %d/10", lightSeen)
+	}
+}
+
+// TestFairQueueInteractiveOvertakesBatch: the interactive lane's weight
+// boost moves a late-arriving interactive item ahead of an equal-weight
+// tenant's queued batch backlog.
+func TestFairQueueInteractiveOvertakesBatch(t *testing.T) {
+	q := NewFairQueue[string](100)
+	for j := 0; j < 20; j++ {
+		if err := q.Push("batch", "greedy", LaneBatch, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push("urgent", "ui", LaneInteractive, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// vft(urgent) = 1/InteractiveBoost = 0.25, vft(batch j) = j+1: the
+	// urgent item must be among the very first dequeues.
+	for pops := 1; ; pops++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained without serving the interactive item")
+		}
+		if v == "urgent" {
+			if pops > 2 {
+				t.Fatalf("interactive item served at dequeue %d; want within 2", pops)
+			}
+			return
+		}
+	}
+}
+
+// TestFairQueueDeterministicEqualWeights: equal-weight, equal-cost tenants
+// dequeue in exactly the same order every time — ties break on global
+// submission order, never map iteration order.
+func TestFairQueueDeterministicEqualWeights(t *testing.T) {
+	build := func() []string {
+		q := NewFairQueue[string](100)
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("t%d/%d", i%3, i)
+			if err := q.Push(name, fmt.Sprintf("t%d", i%3), LaneBatch, 1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var order []string
+		for {
+			q.Close()
+			v, ok := q.Pop()
+			if !ok {
+				return order
+			}
+			order = append(order, v)
+		}
+	}
+	ref := build()
+	if len(ref) != 30 {
+		t.Fatalf("drained %d items, want 30", len(ref))
+	}
+	// Equal weights and costs: the WFQ must degrade to exact global FIFO.
+	for i, v := range ref {
+		if want := fmt.Sprintf("t%d/%d", i%3, i); v != want {
+			t.Fatalf("position %d: got %s want %s (not FIFO under equal weights)", i, v, want)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		got := build()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: order diverged at %d: %s vs %s", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFairQueueProportionalShare: with a continuously backlogged queue,
+// dequeues split close to the weight ratio.
+func TestFairQueueProportionalShare(t *testing.T) {
+	q := NewFairQueue[string](400)
+	for i := 0; i < 200; i++ {
+		if err := q.Push("a", "a", LaneBatch, 3, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Push("b", "b", LaneBatch, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 100; i++ {
+		v, _ := q.Pop()
+		counts[v]++
+	}
+	// Weight ratio 3:1 → expect ~75/25 over the first 100 dequeues.
+	if counts["a"] < 70 || counts["a"] > 80 {
+		t.Fatalf("weight-3 tenant got %d/100 dequeues; want ~75", counts["a"])
+	}
+}
+
+// TestFairQueueCloseSemantics: Close rejects producers, drains consumers,
+// and unblocks waiting Pops — channel-close parity for the worker pool.
+func TestFairQueueCloseSemantics(t *testing.T) {
+	q := NewFairQueue[int](10)
+	if err := q.Push(1, "t", LaneBatch, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Push(2, "t", LaneBatch, 1, 1); err != ErrQueueClosed {
+		t.Fatalf("push after close: err=%v want ErrQueueClosed", err)
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop after close = (%d, %v); want the queued item", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on a drained closed queue returned true")
+	}
+
+	// A Pop blocked on an empty queue must wake on Close.
+	q2 := NewFairQueue[int](1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	unblocked := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		if _, ok := q2.Pop(); ok {
+			t.Error("blocked Pop returned an item from an empty queue")
+		}
+		close(unblocked)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q2.Close()
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock a waiting Pop")
+	}
+	wg.Wait()
+}
+
+// TestFairQueueFull: Push at capacity returns ErrQueueFull without
+// enqueueing.
+func TestFairQueueFull(t *testing.T) {
+	q := NewFairQueue[int](2)
+	for i := 0; i < 2; i++ {
+		if err := q.Push(i, "t", LaneBatch, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(9, "t", LaneBatch, 1, 1); err != ErrQueueFull {
+		t.Fatalf("push into full queue: err=%v want ErrQueueFull", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len=%d after rejected push, want 2", q.Len())
+	}
+}
+
+// TestFairQueueDepths: the per-(tenant, lane) snapshot matches what was
+// pushed.
+func TestFairQueueDepths(t *testing.T) {
+	q := NewFairQueue[int](10)
+	for i := 0; i < 3; i++ {
+		_ = q.Push(i, "a", LaneBatch, 1, 1)
+	}
+	_ = q.Push(9, "b", LaneInteractive, 1, 1)
+	got := map[string]int{}
+	for _, d := range q.Depths() {
+		got[d.Tenant+"/"+d.Lane] = d.Depth
+	}
+	if got["a/batch"] != 3 || got["b/interactive"] != 1 {
+		t.Fatalf("Depths = %v; want a/batch=3 b/interactive=1", got)
+	}
+}

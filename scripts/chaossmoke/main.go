@@ -20,9 +20,15 @@
 //     an uninterrupted reference run (resumed_runs_total = 1);
 //   - when every checkpoint blob is corrupted before the restart, the
 //     requeued job falls back to a clean cycle-0 rerun (checkpoint errors
-//     counted, nothing resumed) and still produces the reference ledger.
+//     counted, nothing resumed) and still produces the reference ledger;
+//   - under a -tenants config, a greedy batch tenant flooding the queue
+//     cannot starve an interactive tenant (weighted-fair queueing), its
+//     over-budget submission is refused with the billed estimate plus a
+//     Retry-After refill hint, and a SIGKILL + restart preserves both the
+//     per-tenant attribution of interrupted jobs and the spent quota.
 //
-// Usage: go run ./scripts/chaossmoke /path/to/dbpserved
+// Usage: go run ./scripts/chaossmoke [-run REGEX] /path/to/dbpserved
+// (-run filters scenarios by name, e.g. -run tenants)
 //
 // With CHAOSSMOKE_ARTIFACTS=<dir> set (CI does this), every scratch
 // directory — journals, checkpoint blobs, per-daemon log files — is
@@ -31,13 +37,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 	"syscall"
@@ -84,36 +93,98 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: chaossmoke /path/to/dbpserved")
+	fs := flag.NewFlagSet("chaossmoke", flag.ContinueOnError)
+	runPat := fs.String("run", "", "only run scenarios whose name matches this regexp")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	bin := args[0]
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: chaossmoke [-run REGEX] /path/to/dbpserved")
+	}
+	bin := fs.Arg(0)
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			return fmt.Errorf("bad -run pattern: %w", err)
+		}
+		filter = re
+	}
 
-	if err := scenarioChaosGate(bin); err != nil {
-		return fmt.Errorf("chaos gate: %w", err)
+	// Shared prerequisites (an uninjected baseline ledger, an uninterrupted
+	// resume reference) are computed lazily so a -run filter skips the ones
+	// its scenarios never need.
+	var baseline, reference []byte
+	getBaseline := func() ([]byte, error) {
+		if baseline == nil {
+			b, err := scenarioBaseline(bin)
+			if err != nil {
+				return nil, fmt.Errorf("baseline: %w", err)
+			}
+			baseline = b
+		}
+		return baseline, nil
 	}
-	baseline, err := scenarioBaseline(bin)
-	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
+	getReference := func() ([]byte, error) {
+		if reference == nil {
+			r, err := scenarioResumeReference(bin)
+			if err != nil {
+				return nil, fmt.Errorf("resume reference: %w", err)
+			}
+			reference = r
+		}
+		return reference, nil
 	}
-	if err := scenarioPanic(bin, baseline); err != nil {
-		return fmt.Errorf("panic isolation: %w", err)
+
+	scenarios := []struct {
+		name string
+		fn   func() error
+	}{
+		{"chaos-gate", func() error { return scenarioChaosGate(bin) }},
+		{"panic-isolation", func() error {
+			b, err := getBaseline()
+			if err != nil {
+				return err
+			}
+			return scenarioPanic(bin, b)
+		}},
+		{"timeout-cancellation", func() error { return scenarioTimeout(bin) }},
+		{"restart-durability", func() error {
+			b, err := getBaseline()
+			if err != nil {
+				return err
+			}
+			return scenarioRestart(bin, b)
+		}},
+		{"checkpoint-resume", func() error {
+			r, err := getReference()
+			if err != nil {
+				return err
+			}
+			return scenarioResume(bin, r)
+		}},
+		{"corrupt-checkpoint", func() error {
+			r, err := getReference()
+			if err != nil {
+				return err
+			}
+			return scenarioCorruptCheckpoint(bin, r)
+		}},
+		{"tenants", func() error { return scenarioTenants(bin) }},
 	}
-	if err := scenarioTimeout(bin); err != nil {
-		return fmt.Errorf("timeout cancellation: %w", err)
+	ran := 0
+	for _, sc := range scenarios {
+		if filter != nil && !filter.MatchString(sc.name) {
+			continue
+		}
+		ran++
+		fmt.Println("chaos-smoke: scenario", sc.name)
+		if err := sc.fn(); err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
 	}
-	if err := scenarioRestart(bin, baseline); err != nil {
-		return fmt.Errorf("restart durability: %w", err)
-	}
-	reference, err := scenarioResumeReference(bin)
-	if err != nil {
-		return fmt.Errorf("resume reference: %w", err)
-	}
-	if err := scenarioResume(bin, reference); err != nil {
-		return fmt.Errorf("checkpoint resume: %w", err)
-	}
-	if err := scenarioCorruptCheckpoint(bin, reference); err != nil {
-		return fmt.Errorf("corrupt checkpoint: %w", err)
+	if ran == 0 {
+		return fmt.Errorf("-run %q matched no scenarios", *runPat)
 	}
 	return nil
 }
@@ -571,6 +642,215 @@ func seeded(seed int) string {
 	return fmt.Sprintf(`{"benchmarks": ["mcf-like", "gcc-like"], "seed": %d, "warmup": 1000, "measure": 5000}`, seed)
 }
 
+// --- multi-tenant scenario -----------------------------------------------
+
+// tenantBody is the workload both tenants submit in the tenancy drill:
+// 301000 instructions → 602000 predicted simcycles at the built-in 2
+// cycles/instruction, big enough (hundreds of ms) that a backlog of them
+// takes visible wall-clock to drain.
+func tenantBody(seed int) string {
+	return fmt.Sprintf(`{"benchmarks": ["mcf-like", "gcc-like"], "seed": %d, "warmup": 1000, "measure": 300000}`, seed)
+}
+
+const tenantBodyCost = 602000 // predicted simcycles per tenantBody run
+
+// greedyJobs is how many runs the greedy tenant gets in before its budget
+// runs dry: its burst covers greedyJobs runs but not greedyJobs+1.
+const greedyJobs = 4
+
+// scenarioTenants is the multi-tenant drill: a greedy batch tenant
+// saturating a 1-worker daemon must not starve an interactive tenant
+// (weighted-fair queueing), its over-budget submission is refused with the
+// billed estimate and a refill hint (cost-aware admission), and a SIGKILL
+// + restart preserves both the per-tenant attribution of interrupted jobs
+// and the spent quota (journal replay).
+func scenarioTenants(bin string) error {
+	state, err := scratchDir("dbpserved-tenants")
+	if err != nil {
+		return err
+	}
+	defer scrub(state)
+	tenantsPath := filepath.Join(state, "tenants.json")
+	tenantsDoc := fmt.Sprintf(`{
+  "schema_version": 1,
+  "tenants": [
+    {"name": "vip", "key": "k-vip", "weight": 8, "lane": "interactive"},
+    {"name": "greedy", "key": "k-greedy", "simcycles_per_sec": 1, "simcycles_burst": %d}
+  ]
+}`, greedyJobs*tenantBodyCost+tenantBodyCost/2)
+	if err := os.WriteFile(tenantsPath, []byte(tenantsDoc), 0o644); err != nil {
+		return err
+	}
+	jdir := filepath.Join(state, "journal")
+	daemonFlags := []string{"-tenants", tenantsPath, "-journal-dir", jdir, "-workers", "1", "-queue", "32"}
+	d, err := startDaemon(bin, daemonFlags...)
+	if err != nil {
+		return err
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			d.kill()
+		}
+	}()
+
+	// The greedy tenant floods the single worker with batch jobs.
+	var greedyIDs []string
+	for i := 0; i < greedyJobs; i++ {
+		status, body, _, err := d.postKey("/v1/runs?async=1", "k-greedy", tenantBody(100+i))
+		if err != nil {
+			return err
+		}
+		if status != http.StatusAccepted {
+			return fmt.Errorf("greedy submit %d: status %d: %s", i, status, body)
+		}
+		var acc struct {
+			ID     string `json:"id"`
+			Tenant string `json:"tenant"`
+		}
+		if err := json.Unmarshal(body, &acc); err != nil {
+			return err
+		}
+		if acc.Tenant != "greedy" {
+			return fmt.Errorf("greedy submit %d attributed to %q", i, acc.Tenant)
+		}
+		greedyIDs = append(greedyIDs, acc.ID)
+	}
+	// The interactive tenant submits one same-sized job into the backlog.
+	status, body, _, err := d.postKey("/v1/runs?lane=interactive&async=1", "k-vip", tenantBody(555))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusAccepted {
+		return fmt.Errorf("interactive submit: status %d: %s", status, body)
+	}
+	var iacc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &iacc); err != nil {
+		return err
+	}
+
+	// Cost-aware admission: greedy's next job is over budget and the
+	// refusal carries the bill — a structured quota_exceeded with the
+	// predicted cost and a refill-derived Retry-After, never a bare 429.
+	checkQuotaRefusal := func(d *daemon) error {
+		status, body, retryAfter, err := d.postKey("/v1/runs", "k-greedy", tenantBody(999))
+		if err != nil {
+			return err
+		}
+		if status != http.StatusTooManyRequests {
+			return fmt.Errorf("over-budget submit: status %d: %s", status, body)
+		}
+		var doc struct {
+			Error struct {
+				Code     string `json:"code"`
+				Estimate struct {
+					Simcycles float64 `json:"simcycles"`
+				} `json:"estimate"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return fmt.Errorf("quota refusal not structured: %s", body)
+		}
+		if doc.Error.Code != "quota_exceeded" {
+			return fmt.Errorf("refusal code %q, want quota_exceeded: %s", doc.Error.Code, body)
+		}
+		if doc.Error.Estimate.Simcycles != tenantBodyCost {
+			return fmt.Errorf("refusal estimate %v simcycles, want %d", doc.Error.Estimate.Simcycles, tenantBodyCost)
+		}
+		if secs, err := strconv.Atoi(retryAfter); err != nil || secs < 1 {
+			return fmt.Errorf("Retry-After %q, want a positive refill hint", retryAfter)
+		}
+		return nil
+	}
+	if err := checkQuotaRefusal(d); err != nil {
+		return err
+	}
+
+	// Starvation-freedom: the interactive job finishes while most of the
+	// greedy backlog is still pending — weighted-fair queueing let it jump
+	// the line instead of draining FIFO behind the flood.
+	if _, err := d.pollDone(iacc.ID, 120*time.Second); err != nil {
+		return fmt.Errorf("interactive job under greedy flood: %w", err)
+	}
+	unfinished := 0
+	for _, id := range greedyIDs {
+		st, _, err := d.get("/v1/runs/" + id)
+		if err != nil {
+			return err
+		}
+		if st == http.StatusAccepted {
+			unfinished++
+		}
+	}
+	if unfinished < 2 {
+		return fmt.Errorf("only %d of %d greedy jobs still pending when the interactive job finished — it drained FIFO", unfinished, greedyJobs)
+	}
+	// The paper's fairness metric, per tenant: the interactive job waited
+	// at most one residual batch job, so its (wait+service)/service
+	// slowdown stays small; FIFO behind the whole flood would be ~5×.
+	m, err := d.metrics()
+	if err != nil {
+		return err
+	}
+	slow, ok := m[`dbpserved_tenant_slowdown{tenant="vip"}`]
+	if !ok {
+		return fmt.Errorf("no dbpserved_tenant_slowdown series for vip")
+	}
+	if slow >= 4 {
+		return fmt.Errorf("interactive max slowdown %.2f, want < 4 (starved behind batch work?)", slow)
+	}
+
+	// Record one finished greedy ledger, then SIGKILL mid-backlog.
+	firstLedger, err := d.pollDone(greedyIDs[0], 120*time.Second)
+	if err != nil {
+		return err
+	}
+	d.kill()
+	killed = true
+
+	// Restart over the same journal and tenant config.
+	d2, err := startDaemon(bin, daemonFlags...)
+	if err != nil {
+		return err
+	}
+	defer d2.kill()
+
+	// Spent quota survives the kill: the journal's tenancy stamps re-debit
+	// at startup, so greedy is still over budget on the fresh registry.
+	if err := checkQuotaRefusal(d2); err != nil {
+		return fmt.Errorf("after restart: %w", err)
+	}
+	// The finished job's ledger is byte-identical across the kill.
+	got, err := d2.pollDone(greedyIDs[0], 60*time.Second)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, firstLedger) {
+		return fmt.Errorf("greedy ledger changed across SIGKILL+restart")
+	}
+	// Interrupted jobs keep their tenant attribution and finish.
+	for _, id := range greedyIDs[1:] {
+		st, body, err := d2.get("/v1/runs/" + id)
+		if err != nil {
+			return err
+		}
+		if st == http.StatusAccepted {
+			var acc struct {
+				Tenant string `json:"tenant"`
+			}
+			if err := json.Unmarshal(body, &acc); err == nil && acc.Tenant != "greedy" {
+				return fmt.Errorf("requeued job %s attributed to %q, want greedy", id, acc.Tenant)
+			}
+		}
+		if _, err := d2.pollDone(id, 180*time.Second); err != nil {
+			return fmt.Errorf("requeued greedy job: %w", err)
+		}
+	}
+	return d2.drain()
+}
+
 // --- daemon harness ------------------------------------------------------
 
 type daemon struct {
@@ -670,6 +950,23 @@ func (d *daemon) post(path, body string) (status int, data []byte, cache string,
 	defer resp.Body.Close()
 	data, err = io.ReadAll(resp.Body)
 	return resp.StatusCode, data, resp.Header.Get("X-Cache"), err
+}
+
+// postKey POSTs with a tenant API key and surfaces the Retry-After header.
+func (d *daemon) postKey(path, key, body string) (status int, data []byte, retryAfter string, err error) {
+	req, err := http.NewRequest(http.MethodPost, d.base+path, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-API-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, data, resp.Header.Get("Retry-After"), err
 }
 
 func (d *daemon) get(path string) (status int, data []byte, err error) {

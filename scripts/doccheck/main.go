@@ -6,9 +6,13 @@
 //     docs/SCENARIOS.md, so a new scenario field cannot land without docs.
 //   - Service surface: every dbpserved command-line flag (parsed out of
 //     cmd/dbpserved/main.go) and every metric name literal in
-//     internal/serve + internal/fleet (test files excluded) must appear
-//     somewhere in docs/SERVICE.md, docs/FLEET.md, or README.md, so a new
-//     flag or metric cannot land undocumented.
+//     internal/serve + internal/fleet + internal/tenant (test files
+//     excluded) must appear somewhere in docs/SERVICE.md, docs/FLEET.md,
+//     or README.md, so a new flag or metric cannot land undocumented.
+//   - Tenant config schema: every JSON object key used by the committed
+//     examples/tenants.json must be mentioned (as `key`) in
+//     docs/SERVICE.md, so a new tenant-file field cannot land without
+//     docs.
 //
 // Usage: go run ./scripts/doccheck
 package main
@@ -43,7 +47,10 @@ func run() error {
 	if err := checkScenarioSchema(); err != nil {
 		return err
 	}
-	return checkServiceSurface()
+	if err := checkServiceSurface(); err != nil {
+		return err
+	}
+	return checkTenantConfig()
 }
 
 func checkScenarioSchema() error {
@@ -130,7 +137,7 @@ func checkServiceSurface() error {
 	}
 
 	metrics := map[string]bool{}
-	for _, dir := range []string{"internal/serve", "internal/fleet"} {
+	for _, dir := range []string{"internal/serve", "internal/fleet", "internal/tenant"} {
 		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
 		if err != nil {
 			return err
@@ -166,6 +173,42 @@ func checkServiceSurface() error {
 	}
 	fmt.Printf("doccheck: ok (%d flags, %d metrics, all documented in %s)\n",
 		len(flags), len(metrics), where)
+	return nil
+}
+
+// checkTenantConfig keeps the tenants-file docs honest: every key the
+// committed example config uses must be documented in docs/SERVICE.md.
+func checkTenantConfig() error {
+	const example = "examples/tenants.json"
+	const doc = "docs/SERVICE.md"
+	data, err := os.ReadFile(example)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return fmt.Errorf("%s: %w", example, err)
+	}
+	docData, err := os.ReadFile(doc)
+	if err != nil {
+		return err
+	}
+	text := string(docData)
+	var missing []string
+	keys := collectKeys(v, nil)
+	for _, key := range keys {
+		if !strings.Contains(text, "`"+key+"`") {
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, k := range missing {
+			fmt.Fprintf(os.Stderr, "doccheck: tenant config field %q (used by %s) is not documented in %s\n", k, example, doc)
+		}
+		return fmt.Errorf("%d tenant config field(s) missing from %s", len(missing), doc)
+	}
+	fmt.Printf("doccheck: ok (%s: every field documented in %s)\n", example, doc)
 	return nil
 }
 
