@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke scenario-smoke fleet-smoke tenant-smoke
+.PHONY: build test test-short bench bench-quick bench-json bench-gate sweep sweep-quick vet fmt lint ci serve smoke chaos-smoke scenario-smoke fleet-smoke fleet-chaos-smoke tenant-smoke
 
 build:
 	$(GO) build ./...
@@ -128,11 +128,23 @@ fleet-smoke:
 	$(GO) run ./scripts/fleetsmoke /tmp/dbpserved-fleet
 	rm -f /tmp/dbpserved-fleet
 
+# Fleet resilience drill: SIGKILL the journaled coordinator mid-sweep and
+# restart it over the same journal (the sweep resumes from its first
+# incomplete cell, a resubmitted identical sweep is byte-identical to the
+# reference, and the fleet never re-simulates a completed cell), then boot
+# a worker behind an injected network partition (it must serve standalone
+# in degraded mode and buffer its checkpoint mirrors). Same
+# FLEETSMOKE_ARTIFACTS post-mortem convention as fleet-smoke.
+fleet-chaos-smoke:
+	$(GO) build -o /tmp/dbpserved-fleet-chaos ./cmd/dbpserved
+	$(GO) run ./scripts/fleetsmoke -chaos /tmp/dbpserved-fleet-chaos
+	rm -f /tmp/dbpserved-fleet-chaos
+
 # The gate CI runs: lint, build, the full test suite, the suite again under
 # the race detector with -short (the paper-shape regressions run several
 # full-length simulations; under the detector's ~15x slowdown they would
 # blow the test timeout without adding race coverage), the dbpserved
-# smoke + chaos + fleet drills against the real binary, and the benchmark
+# smoke + chaos + fleet + fleet-resilience drills against the real binary, and the benchmark
 # regression gate against the committed perf-ledger baseline.
 ci:
 	$(MAKE) lint
@@ -143,6 +155,7 @@ ci:
 	$(MAKE) scenario-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) fleet-chaos-smoke
 	$(MAKE) bench-gate
 
 # Regenerate every paper table/figure (full budgets; ~15 min).

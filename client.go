@@ -267,6 +267,7 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, each func(SweepRes
 	// complete.
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	received := 0
 	for sc.Scan() {
 		line := sc.Bytes()
 		var probe struct {
@@ -286,17 +287,39 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, each func(SweepRes
 		if err := json.Unmarshal(line, &res); err != nil {
 			return nil, fmt.Errorf("dbpsim: bad sweep result line: %w", err)
 		}
+		received++
 		if each != nil {
 			if err := each(res); err != nil {
 				return nil, err
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dbpsim: sweep stream: %w", err)
-	}
-	return nil, fmt.Errorf("dbpsim: sweep stream ended without a summary line")
+	return nil, &SweepInterruptedError{CellsReceived: received, Err: sc.Err()}
 }
+
+// SweepInterruptedError reports a sweep stream that ended before its
+// summary line: the coordinator died, restarted, or the connection tore
+// mid-sweep. CellsReceived counts the complete result lines delivered
+// before the tear — resubmitting the identical sweep is the recovery path
+// (completed cells are never re-simulated; a journaled coordinator resumes
+// the rest).
+type SweepInterruptedError struct {
+	// CellsReceived is how many per-cell result lines arrived before the
+	// stream ended.
+	CellsReceived int
+	// Err is the underlying read error, or nil when the stream ended with a
+	// clean EOF but no summary line.
+	Err error
+}
+
+func (e *SweepInterruptedError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("dbpsim: sweep stream interrupted after %d cell(s): %v", e.CellsReceived, e.Err)
+	}
+	return fmt.Sprintf("dbpsim: sweep stream ended without a summary line after %d cell(s)", e.CellsReceived)
+}
+
+func (e *SweepInterruptedError) Unwrap() error { return e.Err }
 
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {

@@ -258,3 +258,36 @@ func TestClientSendsAPIKey(t *testing.T) {
 		t.Errorf("Authorization = %q", got.Load())
 	}
 }
+
+// TestSweepInterrupted: a stream that tears before its summary line (the
+// coordinator died mid-sweep) surfaces as a typed SweepInterruptedError
+// carrying how many complete cell lines made it through.
+func TestSweepInterrupted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"scheduler":"fr-fcfs","partition":"none","status":"done"}`)
+		fmt.Fprintln(w, `{"scheduler":"fr-fcfs","partition":"equal","status":"done"}`)
+		// No summary line: the handler returns and the stream just ends.
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	var streamed int
+	sum, err := c.Sweep(context.Background(), SweepRequest{Mixes: []string{"W4-M1"}}, func(SweepResult) error {
+		streamed++
+		return nil
+	})
+	if sum != nil {
+		t.Fatalf("summary = %+v, want nil on an interrupted stream", sum)
+	}
+	var interrupted *SweepInterruptedError
+	if !errors.As(err, &interrupted) {
+		t.Fatalf("err = %v (%T), want *SweepInterruptedError", err, err)
+	}
+	if interrupted.CellsReceived != 2 || streamed != 2 {
+		t.Errorf("CellsReceived = %d (callback saw %d), want 2", interrupted.CellsReceived, streamed)
+	}
+	if interrupted.Err != nil {
+		t.Errorf("clean EOF should carry a nil underlying error, got %v", interrupted.Err)
+	}
+}

@@ -145,14 +145,26 @@ func run(args []string) error {
 	defer signal.Stop(stop)
 
 	// Coordinator mode: placement + sweep API only, no simulation pool.
+	// With -journal-dir the coordinator is crash-survivable: it replays its
+	// journal before listening, then resyncs with live workers and resumes
+	// unfinished sweeps in the background once the listener is up.
 	if *coordinator {
-		coord := fleet.NewCoordinator(fleet.CoordinatorOptions{
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
 			MaxInstructions: *maxInstr,
 			CellTimeout:     *runTimeout * 3,
 			Tenants:         reg,
 			CostModel:       costModel,
+			JournalDir:      *journalDir,
+			Chaos:           injector,
 			Logger:          log,
 		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		if injector != nil {
+			log.Warn("CHAOS MODE: fault injection active", "spec", injector.String())
+		}
 		ln, bound, cleanup, err := listen(*addr, *addrFile)
 		if err != nil {
 			return err
@@ -162,6 +174,9 @@ func run(args []string) error {
 		serveErr := make(chan error, 1)
 		go func() { serveErr <- httpSrv.Serve(ln) }()
 		log.Info("coordinator listening", "addr", bound)
+		resumeCtx, cancelResume := context.WithCancel(context.Background())
+		defer cancelResume()
+		coord.Resume(resumeCtx)
 		select {
 		case sig := <-stop:
 			log.Info("coordinator shutting down", "signal", sig.String())
@@ -222,6 +237,7 @@ func run(args []string) error {
 			Coordinator:       *joinURL,
 			HeartbeatInterval: *heartbeat,
 			MaxInstructions:   *maxInstr,
+			Chaos:             injector,
 			Logger:            log,
 		})
 		if err != nil {
@@ -252,14 +268,17 @@ func run(args []string) error {
 	log.Info("listening", "addr", bound, "workers", *workers, "queue", *queueDepth)
 
 	if fleetWorker != nil {
-		joinCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// An unreachable coordinator is not fatal: past the deadline the
+		// worker starts degraded (standalone serving) and keeps retrying the
+		// join in the background.
+		joinCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		err := fleetWorker.Start(joinCtx)
 		cancel()
 		if err != nil {
 			return err
 		}
 		defer fleetWorker.Stop()
-		log.Info("joined fleet", "coordinator", *joinURL)
+		log.Info("fleet membership loop running", "coordinator", *joinURL)
 	}
 
 	select {

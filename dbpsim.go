@@ -175,7 +175,10 @@ type (
 )
 
 // NewCoordinator builds a fleet coordinator with an empty worker registry.
-func NewCoordinator(opt CoordinatorOptions) *Coordinator { return fleet.NewCoordinator(opt) }
+// With CoordinatorOptions.JournalDir set, it first replays the coordinator
+// journal; call Coordinator.Resume once the listener is up to reconcile
+// with live workers and restart unfinished sweeps.
+func NewCoordinator(opt CoordinatorOptions) (*Coordinator, error) { return fleet.NewCoordinator(opt) }
 
 // NewServer builds a simulation server and starts its worker pool (and, if
 // ServerOptions.JournalDir is set, replays the on-disk job journal). It is

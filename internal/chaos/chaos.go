@@ -38,7 +38,35 @@ const (
 	// Checkpoint fails persisting or loading a checkpoint blob in the
 	// on-disk checkpoint store.
 	Checkpoint Point = "checkpoint"
+
+	// The fleet network points fire inside the Transport wrapper on the HTTP
+	// client making the named call, surfacing as transport errors (a dropped
+	// connection, not an HTTP status). Each takes either N (drop every Nth
+	// request) or a duration (delay every request, context-aware).
+
+	// PeerProbe faults a worker's peer cache/baseline probes.
+	PeerProbe Point = "peer-probe"
+	// Forward faults a worker's owner-forwarded run dispatch.
+	Forward Point = "forward"
+	// Heartbeat faults a worker's join/heartbeat POSTs to the coordinator.
+	Heartbeat Point = "heartbeat"
+	// Mirror faults a worker's checkpoint mirror POSTs to the coordinator.
+	Mirror Point = "mirror"
+	// SweepStream tears the coordinator's NDJSON sweep stream mid-flight
+	// (every Nth line write aborts the response), so clients see a dropped
+	// stream with no summary line.
+	SweepStream Point = "sweep-stream"
+	// Partition simulates a network partition: every request whose target
+	// host:port contains the configured substring is dropped at the
+	// Transport, regardless of which fleet point the client serves.
+	Partition Point = "partition"
 )
+
+// networkPoints are the points the Transport wrapper consults; they accept
+// both drop-every-N and delay-duration values in Parse.
+var networkPoints = map[Point]bool{
+	PeerProbe: true, Forward: true, Heartbeat: true, Mirror: true, SweepStream: true,
+}
 
 // Error is the error an injected fault surfaces as. Callers distinguish
 // injected faults from real ones with errors.As / IsInjected.
@@ -62,6 +90,7 @@ func IsInjected(err error) bool {
 type fault struct {
 	every  uint64
 	delay  time.Duration
+	match  string // Partition only: drop requests whose host contains this
 	visits atomic.Uint64
 }
 
@@ -76,10 +105,15 @@ type Injector struct {
 }
 
 // Parse builds an injector from a comma-separated spec. Each element is
-// point=value: "delay" takes a duration, every other point takes N ≥ 1
-// meaning "fire on every Nth visit" (1 = every visit).
+// point=value: "delay" takes a duration; the fleet network points
+// (peer-probe, forward, heartbeat, mirror, sweep-stream) take either N ≥ 1
+// (drop every Nth request) or a duration (delay every request);
+// "partition" takes a host substring (drop every request to a matching
+// peer); every other point takes N ≥ 1 meaning "fire on every Nth visit"
+// (1 = every visit).
 //
 //	delay=250ms,panic=3,journal=1,result-read=2,result-write=2
+//	heartbeat=1,mirror=2,partition=127.0.0.1:9000
 func Parse(spec string) (*Injector, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("chaos: empty spec")
@@ -94,14 +128,32 @@ func Parse(spec string) (*Injector, error) {
 		if _, dup := inj.faults[p]; dup {
 			return nil, fmt.Errorf("chaos: duplicate point %q", p)
 		}
-		switch p {
-		case RunDelay:
+		switch {
+		case p == RunDelay:
 			d, err := time.ParseDuration(kv[1])
 			if err != nil || d <= 0 {
 				return nil, fmt.Errorf("chaos: bad delay %q (want a positive duration)", kv[1])
 			}
 			inj.faults[p] = &fault{every: 1, delay: d}
-		case RunPanic, JournalAppend, ResultWrite, ResultRead, Checkpoint:
+		case p == Partition:
+			inj.faults[p] = &fault{every: 1, match: kv[1]}
+		case networkPoints[p]:
+			// Drop-every-N or delay-every-request, disambiguated by value
+			// shape: a bare integer is a count, anything else must parse as
+			// a duration.
+			if n, err := strconv.ParseUint(kv[1], 10, 32); err == nil {
+				if n < 1 {
+					return nil, fmt.Errorf("chaos: bad count %q for %s (want N >= 1)", kv[1], p)
+				}
+				inj.faults[p] = &fault{every: n}
+				break
+			}
+			d, err := time.ParseDuration(kv[1])
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("chaos: bad value %q for %s (want N >= 1 or a positive duration)", kv[1], p)
+			}
+			inj.faults[p] = &fault{every: 1, delay: d}
+		case p == RunPanic || p == JournalAppend || p == ResultWrite || p == ResultRead || p == Checkpoint:
 			n, err := strconv.ParseUint(kv[1], 10, 32)
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("chaos: bad count %q for %s (want N >= 1)", kv[1], p)
@@ -169,9 +221,12 @@ func (i *Injector) String() string {
 	}
 	parts := make([]string, 0, len(i.faults))
 	for p, f := range i.faults {
-		if p == RunDelay {
+		switch {
+		case f.match != "":
+			parts = append(parts, fmt.Sprintf("%s=%s", p, f.match))
+		case f.delay > 0:
 			parts = append(parts, fmt.Sprintf("%s=%s", p, f.delay))
-		} else {
+		default:
 			parts = append(parts, fmt.Sprintf("%s=%d", p, f.every))
 		}
 	}

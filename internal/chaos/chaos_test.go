@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"testing"
 	"time"
 )
@@ -117,6 +118,95 @@ func TestNilInjectorIsOff(t *testing.T) {
 	inj.MaybePanic(RunPanic) // must not panic
 	if inj.String() != "off" {
 		t.Errorf("nil String = %q", inj.String())
+	}
+}
+
+func TestParseNetworkPoints(t *testing.T) {
+	inj, err := Parse("heartbeat=3,mirror=250ms,partition=127.0.0.1:9000,peer-probe=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.String(); got != "heartbeat=3,mirror=250ms,partition=127.0.0.1:9000,peer-probe=1" {
+		t.Errorf("String = %q", got)
+	}
+	if !inj.Partitioned("127.0.0.1:9000") || inj.Partitioned("127.0.0.1:9001") {
+		t.Error("Partitioned misjudged the configured host")
+	}
+	for _, bad := range []string{"heartbeat=0", "forward=banana", "sweep-stream=-1s"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// rtFunc adapts a function to http.RoundTripper for the transport tests.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func okRT(calls *int) http.RoundTripper {
+	return rtFunc(func(*http.Request) (*http.Response, error) {
+		*calls++
+		return &http.Response{StatusCode: http.StatusOK, Body: http.NoBody}, nil
+	})
+}
+
+func TestTransportDropsEveryNth(t *testing.T) {
+	inj, err := Parse("heartbeat=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	rt := Transport(inj, Heartbeat, okRT(&calls))
+	req, _ := http.NewRequest(http.MethodPost, "http://127.0.0.1:9000/v1/fleet/join", nil)
+	var dropped []int
+	for visit := 1; visit <= 4; visit++ {
+		if _, err := rt.RoundTrip(req); err != nil {
+			if !IsInjected(err) {
+				t.Fatalf("visit %d: non-injected error %v", visit, err)
+			}
+			dropped = append(dropped, visit)
+		}
+	}
+	if fmt.Sprint(dropped) != "[2 4]" {
+		t.Errorf("heartbeat=2 dropped visits %v, want [2 4]", dropped)
+	}
+	if calls != 2 {
+		t.Errorf("base transport saw %d calls, want 2", calls)
+	}
+}
+
+func TestTransportPartitionByPeer(t *testing.T) {
+	inj, err := Parse("partition=:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	rt := Transport(inj, PeerProbe, okRT(&calls))
+	blocked, _ := http.NewRequest(http.MethodGet, "http://127.0.0.1:9000/v1/cache", nil)
+	if _, err := rt.RoundTrip(blocked); !IsInjected(err) {
+		t.Errorf("partitioned host answered: %v", err)
+	}
+	open, _ := http.NewRequest(http.MethodGet, "http://127.0.0.1:9001/v1/cache", nil)
+	if _, err := rt.RoundTrip(open); err != nil {
+		t.Errorf("unpartitioned host dropped: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("base transport saw %d calls, want 1", calls)
+	}
+}
+
+func TestTransportPassthroughWhenUnconfigured(t *testing.T) {
+	base := &http.Transport{}
+	if got := Transport(nil, Forward, base); got != http.RoundTripper(base) {
+		t.Error("nil injector did not return the base transport unchanged")
+	}
+	inj, err := Parse("journal=1") // no network points configured
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Transport(inj, Forward, base); got != http.RoundTripper(base) {
+		t.Error("injector without network faults did not return the base transport")
 	}
 }
 

@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// transport is the network-fault RoundTripper: it wraps a real transport
+// and consults the injector before every request the wrapped client makes
+// for one named fleet point. A configured partition drops any request
+// whose target host matches; the point's own fault then either delays the
+// request (duration-valued) or drops it (count-valued, every Nth visit).
+// Drops surface as *Error transport errors — the caller sees a dead
+// connection, exactly like a peer behind a real partition.
+type transport struct {
+	inj   *Injector
+	point Point
+	base  http.RoundTripper
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with fault injection
+// at the named point. A nil injector — or one with neither the point nor a
+// partition configured — returns base unchanged, so production clients pay
+// nothing.
+func Transport(inj *Injector, point Point, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if inj == nil || (inj.faults[point] == nil && inj.faults[Partition] == nil) {
+		return base
+	}
+	return &transport{inj: inj, point: point, base: base}
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f := t.inj.faults[Partition]; f != nil && strings.Contains(req.URL.Host, f.match) {
+		return nil, &Error{Point: Partition}
+	}
+	if f := t.inj.faults[t.point]; f != nil && f.fires() {
+		if f.delay > 0 {
+			timer := time.NewTimer(f.delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+		} else {
+			return nil, &Error{Point: t.point}
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// Partitioned reports whether a request to host would currently be dropped
+// by the configured partition. Lets non-HTTP call sites (logs, health
+// summaries) reason about the same fault the Transport enforces.
+func (i *Injector) Partitioned(host string) bool {
+	if i == nil {
+		return false
+	}
+	f := i.faults[Partition]
+	return f != nil && strings.Contains(host, f.match)
+}

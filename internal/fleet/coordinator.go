@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"dbpsim/internal/chaos"
 	"dbpsim/internal/serve"
 	"dbpsim/internal/tenant"
 )
@@ -54,6 +55,21 @@ type CoordinatorOptions struct {
 	// built-in cost constants). Point it at the same bench ledger as the
 	// workers so a run costs the same wherever it enters the fleet.
 	CostModel *tenant.CostModel
+	// JournalDir, when set, makes the coordinator crash-survivable: an
+	// fsynced append-only journal under this directory records membership,
+	// sweep submissions, per-cell completions, and the mirrored-checkpoint
+	// index. A restarted coordinator replays it, reconciles against live
+	// workers via Resume's resync handshake, and resumes unfinished sweeps
+	// from their first incomplete cell. Empty = in-memory only (a crash
+	// loses in-flight sweeps, the pre-journal behavior).
+	JournalDir string
+	// ResyncTimeout bounds each worker health probe during Resume's resync
+	// handshake (default 2s).
+	ResyncTimeout time.Duration
+	// Chaos injects faults (nil = off): journal appends via the "journal"
+	// point, mirrored-blob I/O via "checkpoint", and sweep stream tears via
+	// "sweep-stream".
+	Chaos *chaos.Injector
 	// Logger receives structured logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -73,6 +89,9 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 4 << 20
+	}
+	if o.ResyncTimeout <= 0 {
+		o.ResyncTimeout = 2 * time.Second
 	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
@@ -110,6 +129,7 @@ type Coordinator struct {
 	met    *coordMetrics
 	mux    *http.ServeMux
 	client *http.Client
+	jr     *coordJournal
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -117,12 +137,22 @@ type Coordinator struct {
 	ckpts   map[string]*mirroredCkpt // run key → latest blob
 	ckptSeq uint64
 
+	// unfinished holds sweeps replayed from the journal with work left;
+	// Resume drains it into background resumption goroutines.
+	unfinished []*replayedSweep
+
 	activeMu     sync.Mutex
 	activeSweeps map[string]int // tenant name → sweeps in flight (window sharing)
 }
 
-// NewCoordinator builds a coordinator with an empty worker registry.
-func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+// NewCoordinator builds a coordinator with an empty worker registry. With
+// JournalDir set it replays the coordinator journal first: known workers
+// come back (down until Resume's resync or their next heartbeat), the
+// mirrored-checkpoint index reloads from the blob store, and the
+// cells-done/failed counters restore to their pre-crash values. Call
+// Resume once the HTTP listener is up to reconcile with live workers and
+// restart unfinished sweeps.
+func NewCoordinator(opt CoordinatorOptions) (*Coordinator, error) {
 	opt = opt.withDefaults()
 	c := &Coordinator{
 		opt:     opt,
@@ -136,6 +166,14 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 
 		activeSweeps: make(map[string]int),
 	}
+	if opt.JournalDir != "" {
+		jr, replay, err := openCoordJournal(opt.JournalDir, opt.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		c.jr = jr
+		c.restore(replay)
+	}
 	c.mux.HandleFunc("POST /v1/sweeps", c.handleSweep)
 	c.mux.HandleFunc("POST /v1/runs", c.handleRun)
 	c.mux.HandleFunc("POST /v1/fleet/join", c.handleJoin)
@@ -143,7 +181,208 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	c.mux.HandleFunc("GET /v1/fleet/ring", c.handleRing)
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
-	return c
+	return c, nil
+}
+
+// restore folds the replayed journal into coordinator state: the worker
+// registry (everyone down — liveness is decided by resync or heartbeats,
+// never assumed across a restart), the mirrored-checkpoint index (blobs
+// reloaded and hash-verified from the content store), the restored
+// cells-done/failed counters, and the queue of unfinished sweeps.
+func (c *Coordinator) restore(r *coordReplay) {
+	for id, addr := range r.workers {
+		c.workers[id] = &workerState{id: id, addr: addr}
+		c.met.setWorker(id, false)
+	}
+	for key, m := range r.mirrors {
+		blob, err := c.jr.readMirrorBlob(m.hash)
+		if err != nil {
+			c.log.Warn("mirrored checkpoint lost across restart; its run resumes from cycle 0",
+				"key", key, "hash", m.hash, "err", err)
+			continue
+		}
+		c.ckptSeq++
+		c.ckpts[key] = &mirroredCkpt{hash: m.hash, blob: blob, cycle: m.cycle, seq: c.ckptSeq}
+	}
+	c.met.cellsDone.Store(int64(r.cellsDone()))
+	c.met.cellsFailed.Store(int64(r.cellsFailed()))
+	for _, sw := range r.sweeps {
+		if sw.ended {
+			continue
+		}
+		if len(sw.request) == 0 {
+			c.log.Warn("journaled sweep lost its request body; cannot resume", "sweep", sw.id)
+			continue
+		}
+		c.unfinished = append(c.unfinished, sw)
+	}
+	if len(c.workers) > 0 || len(c.unfinished) > 0 || len(c.ckpts) > 0 {
+		c.log.Info("journal replayed", "workers", len(c.workers),
+			"unfinished_sweeps", len(c.unfinished), "mirrored_checkpoints", len(c.ckpts))
+	}
+}
+
+// Close releases the coordinator journal (no-op without one).
+func (c *Coordinator) Close() error { return c.jr.Close() }
+
+// Resume reconciles a restarted coordinator with the world: a resync
+// handshake probes every journaled worker's /healthz (reachable ones
+// rejoin the ring immediately instead of waiting out a heartbeat
+// interval), then every unfinished journaled sweep restarts in the
+// background from its first incomplete cell — cells with a journaled
+// terminal record are never re-dispatched, so nothing completed is ever
+// re-simulated and the cells-done counter never double-counts. Call it
+// once, after the HTTP listener is serving (workers may already be
+// heartbeating). No-op without a journal.
+func (c *Coordinator) Resume(ctx context.Context) {
+	c.resync(ctx)
+	c.mu.Lock()
+	pending := c.unfinished
+	c.unfinished = nil
+	c.mu.Unlock()
+	for _, sw := range pending {
+		go c.resumeSweep(ctx, sw)
+	}
+}
+
+// resync probes every journaled worker concurrently and re-admits the ones
+// that answer. A worker that is unreachable right now stays down — its
+// next heartbeat re-admits it, exactly as if it had been marked down by a
+// failed dispatch.
+func (c *Coordinator) resync(ctx context.Context) {
+	c.mu.Lock()
+	probe := make([]WorkerInfo, 0, len(c.workers))
+	for _, ws := range c.workers {
+		if !ws.up {
+			probe = append(probe, WorkerInfo{ID: ws.id, Addr: ws.addr})
+		}
+	}
+	c.mu.Unlock()
+	if len(probe) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	alive := make([]bool, len(probe))
+	for i, target := range probe {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.opt.ResyncTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, target.Addr+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			alive[i] = resp.StatusCode == http.StatusOK
+		}()
+	}
+	wg.Wait()
+	now := time.Now()
+	c.mu.Lock()
+	changed := false
+	for i, target := range probe {
+		if !alive[i] {
+			continue
+		}
+		if ws := c.workers[target.ID]; ws != nil && !ws.up {
+			ws.up, ws.lastSeen = true, now
+			changed = true
+			c.met.setWorker(ws.id, true)
+			c.log.Info("worker resynced after restart", "id", ws.id, "addr", ws.addr)
+		}
+	}
+	if changed {
+		c.rebuildRingLocked()
+	}
+	c.mu.Unlock()
+}
+
+// resumeSweep re-expands a journaled sweep and dispatches only the cells
+// without a journaled terminal record. The original client is gone, so
+// results stream nowhere — they land in worker caches and the journal,
+// which is exactly what a resubmitting client needs: its identical sweep
+// re-expands to the same run keys and completes as cache hits.
+func (c *Coordinator) resumeSweep(ctx context.Context, sw *replayedSweep) {
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(sw.request))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		c.log.Warn("journaled sweep body no longer decodes; cannot resume", "sweep", sw.id, "err", err)
+		return
+	}
+	cells, apiErr := expandSweep(req, c.opt.MaxInstructions, c.opt.CostModel)
+	if apiErr != nil {
+		c.log.Warn("journaled sweep no longer expands; cannot resume", "sweep", sw.id, "err", apiErr.Message)
+		return
+	}
+	var todo []sweepCell
+	for _, cell := range cells {
+		if _, terminal := sw.cells[cell.key]; !terminal {
+			todo = append(todo, cell)
+		}
+	}
+	c.log.Info("resuming interrupted sweep", "sweep", sw.id,
+		"cells", len(cells), "completed", len(cells)-len(todo), "remaining", len(todo))
+	ten := c.opt.Tenants.Lookup(sw.tenant)
+	c.sweepEnter(ten.Name())
+	defer c.sweepExit(ten.Name())
+	done, failed := sw.doneCount(), sw.failedCount()
+	var countMu sync.Mutex
+	var wg sync.WaitGroup
+	for len(todo) > 0 {
+		if ctx.Err() != nil {
+			return // shutting down; the still-unfinished sweep resumes next start
+		}
+		c.mu.Lock()
+		live := 0
+		for _, ws := range c.workers {
+			if ws.up {
+				live++
+			}
+		}
+		c.mu.Unlock()
+		if live == 0 {
+			// No workers yet (resync found none alive): wait for heartbeats
+			// rather than burning the whole grid as no_workers failures.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(500 * time.Millisecond):
+			}
+			continue
+		}
+		window := c.sweepWindow(ten, c.opt.DispatchPerWorker*live)
+		sem := make(chan struct{}, window)
+		for i := range todo {
+			cell := todo[i]
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				line := c.runCell(ctx, sw.id, cell, ten)
+				countMu.Lock()
+				if line.Status == "done" {
+					done++
+				} else {
+					failed++
+				}
+				countMu.Unlock()
+			}()
+		}
+		todo = nil
+	}
+	wg.Wait()
+	if err := c.jr.appendSweepEnd(sw.id, done, failed); err != nil {
+		c.log.Warn("journal append failed", "op", "sweep-end", "sweep", sw.id, "err", err)
+	}
+	c.log.Info("resumed sweep finished", "sweep", sw.id, "done", done, "failed", failed)
 }
 
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -196,6 +435,14 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	resp := c.membershipLocked()
 	c.mu.Unlock()
 	c.met.setWorker(req.ID, true)
+	// Journal membership on identity changes only (a new worker or a new
+	// address), never on steady-state heartbeats — the journal must not grow
+	// with uptime.
+	if !known || oldAddr != req.Addr {
+		if err := c.jr.appendJoin(req.ID, req.Addr); err != nil {
+			c.log.Warn("journal append failed", "op", "join", "worker", req.ID, "err", err)
+		}
+	}
 	if !known {
 		c.log.Info("worker joined", "id", req.ID, "addr", req.Addr)
 	} else if !wasUp {
@@ -238,6 +485,9 @@ func (c *Coordinator) markDown(id string, cause error) {
 	c.rebuildRingLocked()
 	c.mu.Unlock()
 	c.met.setWorker(id, false)
+	if err := c.jr.appendDown(id); err != nil {
+		c.log.Warn("journal append failed", "op", "down", "worker", id, "err", err)
+	}
 	c.log.Warn("worker marked down", "id", id, "err", cause)
 }
 
@@ -251,6 +501,11 @@ func (c *Coordinator) reapStaleLocked(now time.Time) {
 			ws.up = false
 			changed = true
 			c.met.setWorker(ws.id, false)
+			// Journaled under mu: a down transition is rare (one per real
+			// worker death), so the held-lock fsync is noise.
+			if err := c.jr.appendDown(ws.id); err != nil {
+				c.log.Warn("journal append failed", "op", "down", "worker", ws.id, "err", err)
+			}
 			c.log.Warn("worker heartbeat overdue; marked down", "id", ws.id, "last_seen", ws.lastSeen)
 		}
 	}
@@ -296,10 +551,20 @@ func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusBadRequest, &serve.APIError{Code: serve.CodeBadRequest, Message: fmt.Sprintf("checkpoint blob corrupt in transit: hashes to %s, not %s", got, hash)})
 		return
 	}
+	// Persist before indexing: a crash between the two costs only the
+	// journal line (the orphaned blob is swept at the next startup), never
+	// an index entry pointing at a blob that was never written.
+	if c.jr != nil {
+		if _, err := c.jr.writeMirrorBlob(blob); err != nil {
+			c.log.Warn("mirror blob persist failed; checkpoint survives in memory only", "key", key, "err", err)
+		} else if err := c.jr.appendMirror(key, hash, cycle); err != nil {
+			c.log.Warn("journal append failed", "op", "mirror", "key", key, "err", err)
+		}
+	}
 	c.mu.Lock()
 	c.ckptSeq++
 	c.ckpts[key] = &mirroredCkpt{hash: hash, blob: blob, cycle: cycle, seq: c.ckptSeq}
-	evicted := 0
+	var evicted []string
 	for len(c.ckpts) > c.opt.MaxMirroredCheckpoints {
 		var oldestKey string
 		var oldestSeq uint64
@@ -309,17 +574,25 @@ func (c *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		delete(c.ckpts, oldestKey)
-		evicted++
+		evicted = append(evicted, oldestKey)
 	}
 	c.mu.Unlock()
 	c.met.ckptsMirrored.Add(1)
-	if evicted > 0 {
-		c.met.ckptsDiscarded.Add(int64(evicted))
+	if len(evicted) > 0 {
+		c.met.ckptsDiscarded.Add(int64(len(evicted)))
+		for _, k := range evicted {
+			if err := c.jr.appendMirrorDrop(k); err != nil {
+				c.log.Warn("journal append failed", "op", "mirror-drop", "key", k, "err", err)
+			}
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// dropCheckpoint discards the mirrored blob for a finished run.
+// dropCheckpoint discards the mirrored blob for a finished run. The
+// journal records the drop so a restart does not resurrect it; the blob
+// file itself is swept at the next startup (two keys can share one content
+// address, so eager deletion would need refcounting).
 func (c *Coordinator) dropCheckpoint(key string) {
 	c.mu.Lock()
 	_, had := c.ckpts[key]
@@ -327,6 +600,9 @@ func (c *Coordinator) dropCheckpoint(key string) {
 	c.mu.Unlock()
 	if had {
 		c.met.ckptsDiscarded.Add(1)
+		if err := c.jr.appendMirrorDrop(key); err != nil {
+			c.log.Warn("journal append failed", "op", "mirror-drop", "key", key, "err", err)
+		}
 	}
 }
 
@@ -577,6 +853,14 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.met.sweeps.Add(1)
+	// The sweep's durable identity is its request body's content hash: a
+	// client resubmitting the same sweep after an interruption maps onto the
+	// same journal entity, and its already-completed cells replay as
+	// terminal records rather than new work.
+	sweepID := blobHash(body)
+	if err := c.jr.appendSweep(sweepID, ten.Name(), body); err != nil {
+		c.log.Warn("journal append failed", "op", "sweep", "sweep", sweepID, "err", err)
+	}
 
 	c.mu.Lock()
 	live := 0
@@ -613,7 +897,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				line := c.runCell(r.Context(), cell, ten)
+				line := c.runCell(r.Context(), sweepID, cell, ten)
 				countMu.Lock()
 				if line.Status == "done" {
 					done++
@@ -630,6 +914,15 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	for data := range lines {
+		if c.opt.Chaos.Err(chaos.SweepStream) != nil {
+			// Injected stream tear: stop writing mid-sweep, exactly like a
+			// crashed connection. Cells keep completing into worker caches
+			// and the journal; the client sees EOF with no summary line.
+			c.log.Warn("chaos: sweep stream torn", "sweep", sweepID)
+			for range lines {
+			}
+			return
+		}
 		if _, err := w.Write(data); err != nil {
 			// Client gone: drain the channel so workers finish, results land
 			// in caches, but stop writing.
@@ -654,6 +947,9 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	if err := c.jr.appendSweepEnd(sweepID, done, failed); err != nil {
+		c.log.Warn("journal append failed", "op", "sweep-end", "sweep", sweepID, "err", err)
+	}
 	c.log.Info("sweep finished", "cells", len(cells), "done", done, "failed", failed,
 		"elapsed_s", time.Since(start).Seconds())
 }
@@ -661,17 +957,24 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 // runCell admits one sweep cell against its tenant's quota, dispatches it,
 // and folds the outcome into its stream line. A quota refusal is a failed
 // cell (sweeps are batch work — the stream reports it and moves on rather
-// than stalling the whole sweep on a refill).
-func (c *Coordinator) runCell(ctx context.Context, cell sweepCell, ten *tenant.Tenant) SweepResult {
+// than stalling the whole sweep on a refill). Terminal outcomes are
+// journaled before the counters move, so a journaled cell is never
+// re-dispatched by a restart and the counters never run ahead of the
+// journal.
+func (c *Coordinator) runCell(ctx context.Context, sweepID string, cell sweepCell, ten *tenant.Tenant) SweepResult {
 	ctx, cancel := context.WithTimeout(ctx, c.opt.CellTimeout)
 	defer cancel()
 	start := time.Now()
 	if _, qerr := c.admitCell(ten, cell.est); qerr != nil {
-		return SweepResult{
+		res := SweepResult{
 			Mix: cell.mix, Scenario: cell.scenario,
 			Scheduler: cell.scheduler, Partition: cell.partition,
 			Status: "failed", Error: qerr,
 		}
+		if err := c.jr.appendCell(sweepID, cell, res); err != nil {
+			c.log.Warn("journal append failed", "op", "cell", "key", cell.key, "err", err)
+		}
+		return res
 	}
 	out := c.dispatch(ctx, cell.key, cell.body, serve.ForwardedTenancy{Tenant: ten.Name(), Lane: tenant.LaneBatch})
 	elapsed := time.Since(start)
@@ -701,6 +1004,9 @@ func (c *Coordinator) runCell(ctx context.Context, cell sweepCell, ten *tenant.T
 		res.Status = "failed"
 		res.Error = decodeErrorBody(out.body, out.status)
 		c.met.cellsFailed.Add(1)
+	}
+	if err := c.jr.appendCell(sweepID, cell, res); err != nil {
+		c.log.Warn("journal append failed", "op", "cell", "key", cell.key, "err", err)
 	}
 	return res
 }

@@ -118,9 +118,20 @@ func startWorker(t *testing.T, coordURL, id string, mut func(*serve.Options)) *t
 	return tw
 }
 
+// mustCoordinator builds a coordinator, failing the test on a journal
+// error (the only error path NewCoordinator has).
+func mustCoordinator(t *testing.T, opt CoordinatorOptions) *Coordinator {
+	t.Helper()
+	coord, err := NewCoordinator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
 func startCoordinator(t *testing.T) (*Coordinator, *httptest.Server) {
 	t.Helper()
-	coord := NewCoordinator(CoordinatorOptions{
+	coord := mustCoordinator(t, CoordinatorOptions{
 		HeartbeatTimeout: 2 * time.Second,
 		CellTimeout:      2 * time.Minute,
 		Logger:           quietLogger(),
@@ -379,7 +390,7 @@ func TestSweepRejectsBadCells(t *testing.T) {
 // TestSweepNoWorkers pins the empty-fleet verdict: cells fail with
 // no_workers, the stream still ends with a summary.
 func TestSweepNoWorkers(t *testing.T) {
-	coord := NewCoordinator(CoordinatorOptions{
+	coord := mustCoordinator(t, CoordinatorOptions{
 		CellTimeout: 2 * time.Second,
 		Logger:      quietLogger(),
 	})

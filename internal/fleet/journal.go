@@ -1,0 +1,483 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dbpsim/internal/chaos"
+	"dbpsim/internal/serve"
+)
+
+// coordJournal is the coordinator's durability layer, built from the same
+// idioms as the worker journal in internal/serve: an fsynced append-only
+// JSONL record stream plus a content-addressed blob store for mirrored
+// checkpoints, all under one directory. It exists so the coordinator stops
+// being the fleet's single point of failure — a restarted coordinator
+// replays membership, in-flight sweep progress, and the checkpoint mirror
+// index, then resumes every unfinished sweep from its first incomplete
+// cell (completed cells are journaled with their ledger_sha256 and are
+// never re-simulated; resubmitted cells land as worker cache hits).
+//
+// Layout:
+//
+//	<dir>/journal.jsonl         append-only stream of coordRecord lines
+//	<dir>/checkpoints/<sha256>  mirrored checkpoint blobs, content-addressed
+//
+// A nil *coordJournal is a valid, always-off journal (the coordinator runs
+// without -journal-dir); every method no-ops on a nil receiver, mirroring
+// the serve journal and chaos.Injector.
+type coordJournal struct {
+	dir string
+	inj *chaos.Injector
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// coordRecord is one line of the coordinator's journal.jsonl.
+//
+//	op "join"        a worker registered (or re-advertised a new address)
+//	op "down"        a worker departed: marked down by dispatch or the reaper
+//	op "sweep"       a sweep was accepted; carries the verbatim request body
+//	op "cell"        one sweep cell reached a terminal state
+//	op "sweep-end"   a sweep streamed its summary line (Done/Failed totals)
+//	op "mirror"      a worker mirrored a checkpoint blob (blob is on disk)
+//	op "mirror-drop" a mirrored blob was discarded (run finished / evicted)
+type coordRecord struct {
+	Op     string `json:"op"`
+	Worker string `json:"worker,omitempty"` // join/down id; cell: who served it
+	Addr   string `json:"addr,omitempty"`   // join: advertised base URL
+
+	// Sweep is the sweep's identity: the sha256 of its request body, so a
+	// resubmitted identical sweep maps onto the same journal entity.
+	Sweep   string          `json:"sweep,omitempty"`
+	Tenant  string          `json:"tenant,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+
+	// Cell records carry the run key plus the terminal verdict; done cells
+	// name their canonical ledger bytes so a restarted coordinator can prove
+	// completion without re-dispatching.
+	Key          string          `json:"key,omitempty"` // run key; also mirror key
+	Mix          string          `json:"mix,omitempty"`
+	Scenario     string          `json:"scenario,omitempty"`
+	Scheduler    string          `json:"scheduler,omitempty"`
+	Partition    string          `json:"partition,omitempty"`
+	Status       string          `json:"status,omitempty"` // done | failed
+	LedgerSHA256 string          `json:"ledger_sha256,omitempty"`
+	Error        *serve.APIError `json:"error,omitempty"`
+
+	// Sweep-end totals, so cells-done/failed counters restore exactly across
+	// restarts even after compaction drops an ended sweep's cell records.
+	Done   int `json:"done,omitempty"`
+	Failed int `json:"failed,omitempty"`
+
+	// Mirror records name the blob's content address and capture cycle.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Cycle      uint64 `json:"cycle,omitempty"`
+}
+
+// replayedCell is one journaled terminal cell outcome.
+type replayedCell struct {
+	status    string
+	ledgerSHA string
+	worker    string
+}
+
+// replayedSweep is one sweep's folded journal state: the verbatim request
+// (so an unfinished sweep can be re-expanded and resumed), the terminal
+// cells seen so far keyed by run key, and whether the summary line was
+// reached. done/failed carry an ended sweep's totals through compaction.
+type replayedSweep struct {
+	id      string
+	tenant  string
+	request json.RawMessage
+	cells   map[string]replayedCell
+	ended   bool
+	done    int
+	failed  int
+}
+
+// mirrorRef points at one mirrored checkpoint blob in the content store.
+type mirrorRef struct {
+	hash  string
+	cycle uint64
+}
+
+// coordReplay is the coordinator state reconstructed from the journal.
+type coordReplay struct {
+	workers map[string]string // worker id → last advertised addr
+	sweeps  map[string]*replayedSweep
+	mirrors map[string]mirrorRef // run key → latest mirrored blob
+}
+
+// cellsDone/cellsFailed fold the replayed stream into the counter values a
+// never-restarted coordinator would report: ended sweeps contribute their
+// journaled totals, unfinished sweeps the terminal cells seen so far.
+// Restoring the counters from here — and only dispatching cells without a
+// journaled terminal record — is what keeps a resumed sweep from double
+// counting.
+func (r *coordReplay) cellsDone() int {
+	n := 0
+	for _, sw := range r.sweeps {
+		n += sw.doneCount()
+	}
+	return n
+}
+
+func (r *coordReplay) cellsFailed() int {
+	n := 0
+	for _, sw := range r.sweeps {
+		n += sw.failedCount()
+	}
+	return n
+}
+
+func (sw *replayedSweep) doneCount() int {
+	if sw.ended {
+		return sw.done
+	}
+	n := 0
+	for _, c := range sw.cells {
+		if c.status == "done" {
+			n++
+		}
+	}
+	return n
+}
+
+func (sw *replayedSweep) failedCount() int {
+	if sw.ended {
+		return sw.failed
+	}
+	n := 0
+	for _, c := range sw.cells {
+		if c.status != "done" {
+			n++
+		}
+	}
+	return n
+}
+
+// openCoordJournal opens (creating if needed) the coordinator journal
+// under dir, replays the record stream, compacts it, and reopens for
+// append. Replay is crash-tolerant the same way the worker journal is: a
+// torn final line is skipped, records may arrive out of order (a cell line
+// can precede its sweep line after a torn compaction), and duplicate cell
+// completions are idempotent — first verdict wins.
+func openCoordJournal(dir string, inj *chaos.Injector) (*coordJournal, *coordReplay, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoints"), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("fleet: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	replay, err := replayCoordJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	compactCoordJournal(path, replay)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	j := &coordJournal{dir: dir, inj: inj, f: f}
+	j.gcMirrorBlobs(replay)
+	return j, replay, nil
+}
+
+// replayCoordJournal reads the record stream and folds it into coordinator
+// state. Tolerances, in order of the properties the fuzz test pins:
+// torn (unparseable) lines are skipped; a cell record whose sweep record
+// was lost creates a provisional request-less sweep (progress is counted,
+// but without a body the sweep cannot be resumed); duplicate cell records
+// for one run key keep the first verdict; "sweep-end" wins over any order
+// of arrival — an ended sweep is never resumed, whatever else replays.
+func replayCoordJournal(path string) (*coordReplay, error) {
+	r := &coordReplay{
+		workers: make(map[string]string),
+		sweeps:  make(map[string]*replayedSweep),
+		mirrors: make(map[string]mirrorRef),
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return r, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replay journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		var rec coordRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn line from a crash mid-append
+		}
+		switch rec.Op {
+		case "join":
+			if rec.Worker != "" && rec.Addr != "" {
+				r.workers[rec.Worker] = rec.Addr
+			}
+		case "down":
+			// Departure is advisory: the worker stays known (resync probes
+			// it), only liveness is decided fresh at restart.
+		case "sweep":
+			if rec.Sweep == "" {
+				continue
+			}
+			sw := r.sweep(rec.Sweep)
+			if len(rec.Request) > 0 {
+				sw.request = append(json.RawMessage(nil), rec.Request...)
+			}
+			if rec.Tenant != "" {
+				sw.tenant = rec.Tenant
+			}
+		case "cell":
+			if rec.Sweep == "" || rec.Key == "" || rec.Status == "" {
+				continue
+			}
+			sw := r.sweep(rec.Sweep)
+			if _, dup := sw.cells[rec.Key]; dup {
+				continue // duplicate completion: idempotent, first wins
+			}
+			sw.cells[rec.Key] = replayedCell{
+				status:    rec.Status,
+				ledgerSHA: rec.LedgerSHA256,
+				worker:    rec.Worker,
+			}
+		case "sweep-end":
+			if rec.Sweep == "" {
+				continue
+			}
+			sw := r.sweep(rec.Sweep)
+			if sw.ended {
+				continue
+			}
+			sw.ended = true
+			sw.done, sw.failed = rec.Done, rec.Failed
+		case "mirror":
+			if rec.Key == "" || rec.Checkpoint == "" {
+				continue
+			}
+			// Latest capture wins; records append in cycle order, so the
+			// cycle guard only matters for shuffled streams.
+			if cur, ok := r.mirrors[rec.Key]; !ok || rec.Cycle >= cur.cycle {
+				r.mirrors[rec.Key] = mirrorRef{hash: rec.Checkpoint, cycle: rec.Cycle}
+			}
+		case "mirror-drop":
+			delete(r.mirrors, rec.Key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: replay journal: %w", err)
+	}
+	return r, nil
+}
+
+func (r *coordReplay) sweep(id string) *replayedSweep {
+	sw := r.sweeps[id]
+	if sw == nil {
+		sw = &replayedSweep{id: id, cells: make(map[string]replayedCell)}
+		r.sweeps[id] = sw
+	}
+	return sw
+}
+
+// compactCoordJournal rewrites journal.jsonl from the replayed state: one
+// join per known worker, one mirror per live blob, sweep + cell records
+// for unfinished sweeps, and a single sweep-end line (totals only) per
+// ended one — replaying the compacted stream reconstructs the same
+// coordReplay. Best-effort: any failure leaves the original file in place.
+func compactCoordJournal(path string, r *coordReplay) {
+	if len(r.workers) == 0 && len(r.sweeps) == 0 && len(r.mirrors) == 0 {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return // nothing replayed, nothing on disk: do not invent a file
+		}
+	}
+	var buf bytes.Buffer
+	write := func(rec coordRecord) bool {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return false
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		return true
+	}
+	for _, id := range sortedKeys(r.workers) {
+		if !write(coordRecord{Op: "join", Worker: id, Addr: r.workers[id]}) {
+			return
+		}
+	}
+	for _, key := range sortedKeys(r.mirrors) {
+		m := r.mirrors[key]
+		if !write(coordRecord{Op: "mirror", Key: key, Checkpoint: m.hash, Cycle: m.cycle}) {
+			return
+		}
+	}
+	for _, id := range sortedKeys(r.sweeps) {
+		sw := r.sweeps[id]
+		if sw.ended {
+			if !write(coordRecord{Op: "sweep-end", Sweep: id, Done: sw.done, Failed: sw.failed}) {
+				return
+			}
+			continue
+		}
+		if !write(coordRecord{Op: "sweep", Sweep: id, Tenant: sw.tenant, Request: sw.request}) {
+			return
+		}
+		for _, key := range sortedKeys(sw.cells) {
+			c := sw.cells[key]
+			if !write(coordRecord{Op: "cell", Sweep: id, Key: key, Status: c.status, LedgerSHA256: c.ledgerSHA, Worker: c.worker}) {
+				return
+			}
+		}
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".journal-compact-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	_ = os.Rename(tmp.Name(), path)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- append API (all nil-safe) -------------------------------------------
+
+func (j *coordJournal) appendJoin(id, addr string) error {
+	return j.append(coordRecord{Op: "join", Worker: id, Addr: addr})
+}
+
+func (j *coordJournal) appendDown(id string) error {
+	return j.append(coordRecord{Op: "down", Worker: id})
+}
+
+func (j *coordJournal) appendSweep(id, tenantName string, request []byte) error {
+	return j.append(coordRecord{Op: "sweep", Sweep: id, Tenant: tenantName, Request: request})
+}
+
+func (j *coordJournal) appendCell(sweepID string, cell sweepCell, res SweepResult) error {
+	return j.append(coordRecord{
+		Op: "cell", Sweep: sweepID, Key: cell.key,
+		Mix: cell.mix, Scenario: cell.scenario, Scheduler: cell.scheduler, Partition: cell.partition,
+		Status: res.Status, LedgerSHA256: res.LedgerSHA256, Worker: res.Worker, Error: res.Error,
+	})
+}
+
+func (j *coordJournal) appendSweepEnd(sweepID string, done, failed int) error {
+	return j.append(coordRecord{Op: "sweep-end", Sweep: sweepID, Done: done, Failed: failed})
+}
+
+func (j *coordJournal) appendMirror(key, hash string, cycle uint64) error {
+	return j.append(coordRecord{Op: "mirror", Key: key, Checkpoint: hash, Cycle: cycle})
+}
+
+func (j *coordJournal) appendMirrorDrop(key string) error {
+	return j.append(coordRecord{Op: "mirror-drop", Key: key})
+}
+
+func (j *coordJournal) append(rec coordRecord) error {
+	if j == nil {
+		return nil
+	}
+	if err := j.inj.Err(chaos.JournalAppend); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("fleet: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: journal sync: %w", err)
+	}
+	return nil
+}
+
+// --- mirrored blob store --------------------------------------------------
+
+// writeMirrorBlob persists a mirrored checkpoint blob content-addressed
+// and returns its address (the same sha256 the worker announced).
+func (j *coordJournal) writeMirrorBlob(data []byte) (string, error) {
+	if j == nil {
+		return "", nil
+	}
+	if err := j.inj.Err(chaos.Checkpoint); err != nil {
+		return "", err
+	}
+	return serve.WriteContentBlob(filepath.Join(j.dir, "checkpoints"), "mirror store", data)
+}
+
+// readMirrorBlob loads a mirrored blob back by content address.
+func (j *coordJournal) readMirrorBlob(hash string) ([]byte, error) {
+	if j == nil {
+		return nil, fmt.Errorf("fleet: no journal configured")
+	}
+	if err := j.inj.Err(chaos.Checkpoint); err != nil {
+		return nil, err
+	}
+	return serve.ReadContentBlob(filepath.Join(j.dir, "checkpoints", hash), "mirror", hash)
+}
+
+// gcMirrorBlobs sweeps the blob store down to what the replayed mirror
+// index still references. Runtime drops only append mirror-drop records
+// (two run keys can share one content address, so eager file deletion
+// would need refcounting); this startup sweep is where the space comes
+// back. Best-effort.
+func (j *coordJournal) gcMirrorBlobs(r *coordReplay) {
+	if j == nil {
+		return
+	}
+	keep := make(map[string]bool, len(r.mirrors))
+	for _, m := range r.mirrors {
+		keep[m.hash] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(j.dir, "checkpoints"))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !keep[e.Name()] {
+			_ = os.Remove(filepath.Join(j.dir, "checkpoints", e.Name()))
+		}
+	}
+}
+
+// Close releases the journal file. Safe on nil.
+func (j *coordJournal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -84,6 +84,11 @@ type workerMetrics struct {
 	forwardErrors atomic.Int64 // delegation attempts that failed (ran locally instead)
 	baselineHits  atomic.Int64 // alone-run baseline maps imported from peers
 	ckptsSeeded   atomic.Int64 // migration blobs staged over PUT /v1/checkpoints
+
+	heartbeatFailures atomic.Int64 // join/heartbeat POSTs that failed
+	degraded          atomic.Int64 // gauge: 1 while serving standalone, 0 while joined
+	mirrorsBuffered   atomic.Int64 // checkpoint mirrors buffered locally during an outage
+	mirrorsReplayed   atomic.Int64 // buffered mirrors successfully replayed after rejoin
 }
 
 func (m *workerMetrics) write(w io.Writer) {
@@ -94,4 +99,8 @@ func (m *workerMetrics) write(w io.Writer) {
 	counter(w, "dbpfleet_forward_errors_total", "Owner delegations that failed; the run executed locally instead.", float64(m.forwardErrors.Load()))
 	counter(w, "dbpfleet_baseline_imports_total", "Alone-run baseline maps imported from peers.", float64(m.baselineHits.Load()))
 	counter(w, "dbpfleet_checkpoints_seeded_total", "Migration checkpoint blobs staged by the coordinator on this worker.", float64(m.ckptsSeeded.Load()))
+	counter(w, "dbpfleet_heartbeat_failures_total", "Coordinator join/heartbeat attempts that failed.", float64(m.heartbeatFailures.Load()))
+	counter(w, "dbpfleet_mirrors_buffered_total", "Checkpoint mirrors buffered locally while the coordinator was unreachable.", float64(m.mirrorsBuffered.Load()))
+	counter(w, "dbpfleet_mirrors_replayed_total", "Locally buffered checkpoint mirrors replayed to the coordinator after rejoining.", float64(m.mirrorsReplayed.Load()))
+	promtext.WriteGauge(w, "dbpfleet_degraded", "1 while this worker is serving standalone because the coordinator is unreachable, else 0.", float64(m.degraded.Load()))
 }

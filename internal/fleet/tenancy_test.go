@@ -37,7 +37,7 @@ func testRegistry(t *testing.T) *tenant.Registry {
 // cluster dispatch window across concurrently sweeping tenants.
 func TestSweepWindowSharing(t *testing.T) {
 	reg := testRegistry(t)
-	coord := NewCoordinator(CoordinatorOptions{
+	coord := mustCoordinator(t, CoordinatorOptions{
 		Tenants: reg,
 		Logger:  quietLogger(),
 	})
@@ -70,7 +70,7 @@ func TestSweepWindowSharing(t *testing.T) {
 	coord.sweepExit("vip")
 
 	// No registry → tenancy off → the global window, untouched.
-	open := NewCoordinator(CoordinatorOptions{Logger: quietLogger()})
+	open := mustCoordinator(t, CoordinatorOptions{Logger: quietLogger()})
 	open.sweepEnter(tenant.DefaultTenantName)
 	if w := open.sweepWindow(open.opt.Tenants.Lookup(""), 7); w != 7 {
 		t.Errorf("registry-less window = %d, want 7", w)
@@ -81,7 +81,7 @@ func TestSweepWindowSharing(t *testing.T) {
 // runs need a known API key when a registry without an anonymous tenant is
 // configured, and refusals are counted.
 func TestCoordinatorAuth(t *testing.T) {
-	coord := NewCoordinator(CoordinatorOptions{
+	coord := mustCoordinator(t, CoordinatorOptions{
 		Tenants:          testRegistry(t),
 		HeartbeatTimeout: 2 * time.Second,
 		Logger:           quietLogger(),

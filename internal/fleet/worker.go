@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dbpsim/internal/chaos"
 	"dbpsim/internal/serve"
 )
 
@@ -33,6 +36,22 @@ type WorkerOptions struct {
 	// Replicas is the ring's virtual-node count; must match the
 	// coordinator's (default DefaultReplicas).
 	Replicas int
+	// HeartbeatFailureThreshold is K, the consecutive heartbeat failures
+	// after which the worker enters degraded mode: it keeps serving
+	// POST /v1/runs standalone, skips owner-forwarding and peer probes,
+	// buffers checkpoint mirrors locally, and rejoins with capped jittered
+	// exponential backoff (default 3).
+	HeartbeatFailureThreshold int
+	// RejoinBackoffMax caps the degraded-mode rejoin backoff (default 30s).
+	RejoinBackoffMax time.Duration
+	// MirrorBufferSize bounds the degraded-mode local mirror buffer: latest
+	// blob per run key, oldest-buffered key evicted past the bound
+	// (default 64).
+	MirrorBufferSize int
+	// Chaos injects network faults (nil = off) on the worker's fleet-facing
+	// HTTP clients: "peer-probe", "forward", "heartbeat", "mirror", and the
+	// cross-cutting "partition".
+	Chaos *chaos.Injector
 	// Logger receives structured logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -40,6 +59,15 @@ type WorkerOptions struct {
 func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.HeartbeatInterval <= 0 {
 		o.HeartbeatInterval = 2 * time.Second
+	}
+	if o.HeartbeatFailureThreshold <= 0 {
+		o.HeartbeatFailureThreshold = 3
+	}
+	if o.RejoinBackoffMax <= 0 {
+		o.RejoinBackoffMax = 30 * time.Second
+	}
+	if o.MirrorBufferSize <= 0 {
+		o.MirrorBufferSize = 64
 	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
@@ -57,10 +85,17 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 // build the Worker first, pass its Consult/OnCheckpoint into serve.Options,
 // then Attach the built server.
 type Worker struct {
-	opt    WorkerOptions
-	log    *slog.Logger
-	met    *workerMetrics
-	client *http.Client
+	opt WorkerOptions
+	log *slog.Logger
+	met *workerMetrics
+
+	// Fleet-facing HTTP clients, one per chaos network point so fault
+	// injection can partition exactly one kind of traffic. Without an
+	// injector they all share http.DefaultTransport.
+	hbClient     *http.Client // join/heartbeat POSTs to the coordinator
+	probeClient  *http.Client // peer cache/baseline probes
+	mirrorClient *http.Client // checkpoint mirror POSTs
+	fwdTransport http.RoundTripper
 
 	srv *serve.Server
 	mux *http.ServeMux
@@ -75,10 +110,25 @@ type Worker struct {
 	// would bounce a run forever.
 	noFwd map[string]int
 
+	// degraded marks the coordinator unreachable (K consecutive heartbeat
+	// failures, or an unreachable coordinator at startup): the worker serves
+	// standalone — no peer probes, no owner-forwarding — and buffers
+	// checkpoint mirrors until it rejoins.
+	degraded  atomic.Bool
+	mirrorBuf map[string]*bufferedMirror // run key → latest unbuffered blob (guarded by mu)
+	mirrorSeq uint64
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 	started  bool // heartbeat loop launched (Start succeeded)
+}
+
+// bufferedMirror is one checkpoint blob waiting out a coordinator outage.
+type bufferedMirror struct {
+	blob  []byte
+	cycle uint64
+	seq   uint64 // insertion order, for bounded eviction
 }
 
 // NewWorker builds the fleet wrapper. Call Attach with the serve.Server
@@ -89,15 +139,19 @@ func NewWorker(opt WorkerOptions) (*Worker, error) {
 		return nil, fmt.Errorf("fleet: worker needs ID, Advertise, and Coordinator")
 	}
 	w := &Worker{
-		opt:     opt,
-		log:     opt.Logger,
-		met:     &workerMetrics{},
-		client:  &http.Client{Timeout: 30 * time.Second},
-		ring:    NewRing(opt.Replicas),
-		members: make(map[string]WorkerInfo),
-		noFwd:   make(map[string]int),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		opt:          opt,
+		log:          opt.Logger,
+		met:          &workerMetrics{},
+		hbClient:     &http.Client{Timeout: 30 * time.Second, Transport: chaos.Transport(opt.Chaos, chaos.Heartbeat, nil)},
+		probeClient:  &http.Client{Timeout: 30 * time.Second, Transport: chaos.Transport(opt.Chaos, chaos.PeerProbe, nil)},
+		mirrorClient: &http.Client{Timeout: 30 * time.Second, Transport: chaos.Transport(opt.Chaos, chaos.Mirror, nil)},
+		fwdTransport: chaos.Transport(opt.Chaos, chaos.Forward, nil),
+		ring:         NewRing(opt.Replicas),
+		members:      make(map[string]WorkerInfo),
+		noFwd:        make(map[string]int),
+		mirrorBuf:    make(map[string]*bufferedMirror),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	return w, nil
 }
@@ -111,22 +165,82 @@ func (w *Worker) ExtraMetrics(out io.Writer) {
 // OnCheckpoint is the serve.Options.OnCheckpoint hook: mirrors every
 // checkpoint blob to the coordinator so this worker's death does not strand
 // its runs. Best-effort — a failed mirror costs the fast-resume path, never
-// the run.
+// the run. While the coordinator is unreachable (degraded mode, or a
+// mirror POST that fails mid-outage) the blob is buffered locally instead;
+// rejoining replays the buffer, so the coordinator's mirror index catches
+// up to the latest capture per run.
 func (w *Worker) OnCheckpoint(runKey string, blob []byte, cycle uint64) {
+	if w.degraded.Load() {
+		w.bufferMirror(runKey, blob, cycle)
+		return
+	}
+	if err := w.postMirror(runKey, blob, cycle); err != nil {
+		w.log.Warn("checkpoint mirror failed; buffering locally", "key", runKey, "err", err)
+		w.bufferMirror(runKey, blob, cycle)
+	}
+}
+
+// postMirror POSTs one checkpoint blob to the coordinator's mirror store.
+func (w *Worker) postMirror(runKey string, blob []byte, cycle uint64) error {
 	u := fmt.Sprintf("%s/v1/fleet/checkpoint?key=%s&cycle=%d&hash=%s",
 		w.opt.Coordinator, url.QueryEscape(runKey), cycle, blobHash(blob))
 	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(blob))
 	if err != nil {
-		return
+		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := w.client.Do(req)
+	resp, err := w.mirrorClient.Do(req)
 	if err != nil {
-		w.log.Warn("checkpoint mirror failed", "key", runKey, "err", err)
-		return
+		return err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// bufferMirror keeps the latest blob per run key, bounded: past
+// MirrorBufferSize keys, the oldest-buffered key is evicted (its run just
+// loses the fast-resume path, like a coordinator-side eviction).
+func (w *Worker) bufferMirror(runKey string, blob []byte, cycle uint64) {
+	w.mu.Lock()
+	w.mirrorSeq++
+	w.mirrorBuf[runKey] = &bufferedMirror{blob: blob, cycle: cycle, seq: w.mirrorSeq}
+	for len(w.mirrorBuf) > w.opt.MirrorBufferSize {
+		var oldestKey string
+		var oldestSeq uint64
+		for k, m := range w.mirrorBuf {
+			if oldestKey == "" || m.seq < oldestSeq {
+				oldestKey, oldestSeq = k, m.seq
+			}
+		}
+		delete(w.mirrorBuf, oldestKey)
+	}
+	w.mu.Unlock()
+	w.met.mirrorsBuffered.Add(1)
+}
+
+// replayMirrorBuffer drains the degraded-mode buffer into the freshly
+// rejoined coordinator, latest blob per key. A POST that fails mid-replay
+// re-buffers (the next rejoin retries).
+func (w *Worker) replayMirrorBuffer() {
+	w.mu.Lock()
+	buf := w.mirrorBuf
+	w.mirrorBuf = make(map[string]*bufferedMirror)
+	w.mu.Unlock()
+	for key, m := range buf {
+		if err := w.postMirror(key, m.blob, m.cycle); err != nil {
+			w.log.Warn("buffered mirror replay failed; re-buffering", "key", key, "err", err)
+			w.bufferMirror(key, m.blob, m.cycle)
+			continue
+		}
+		w.met.mirrorsReplayed.Add(1)
+	}
+	if n := len(buf); n > 0 {
+		w.log.Info("replayed buffered checkpoint mirrors", "count", n)
+	}
 }
 
 // Attach wires the built serve.Server in and finalizes the worker's mux.
@@ -245,6 +359,13 @@ type workerConsult Worker
 // simulation.
 func (wc *workerConsult) Lookup(ctx context.Context, runKey string, body []byte) ([]byte, bool) {
 	w := (*Worker)(wc)
+	if w.degraded.Load() {
+		// Coordinator unreachable: the membership snapshot is stale and
+		// peers may be on the far side of the same partition. Serve
+		// standalone — no probes, no forwarding — and let the rejoin path
+		// restore fleet behavior.
+		return nil, false
+	}
 	peers, ownerID := w.placement(runKey)
 	for _, p := range peers {
 		if data, ok := w.probeCache(ctx, p, runKey); ok {
@@ -265,6 +386,9 @@ func (wc *workerConsult) Lookup(ctx context.Context, runKey string, body []byte)
 // key.
 func (wc *workerConsult) Baselines(ctx context.Context, expKey string) map[string]float64 {
 	w := (*Worker)(wc)
+	if w.degraded.Load() {
+		return nil
+	}
 	peers, _ := w.placement(expKey)
 	merged := make(map[string]float64)
 	for _, p := range peers {
@@ -273,7 +397,7 @@ func (wc *workerConsult) Baselines(ctx context.Context, expKey string) map[strin
 		if err != nil {
 			continue
 		}
-		resp, err := w.client.Do(req)
+		resp, err := w.probeClient.Do(req)
 		if err != nil {
 			continue
 		}
@@ -323,7 +447,7 @@ func (w *Worker) probeCache(ctx context.Context, p WorkerInfo, key string) ([]by
 	if err != nil {
 		return nil, false
 	}
-	resp, err := w.client.Do(req)
+	resp, err := w.probeClient.Do(req)
 	if err != nil {
 		return nil, false
 	}
@@ -376,7 +500,7 @@ func (w *Worker) forwardToOwner(ctx context.Context, runKey string, body []byte)
 	}
 	// The forward shares the run's execution budget (ctx), not the peer
 	// client's default timeout: a full simulation may take minutes.
-	resp, err := (&http.Client{}).Do(req)
+	resp, err := (&http.Client{Transport: w.fwdTransport}).Do(req)
 	if err != nil {
 		w.met.forwardErrors.Add(1)
 		w.log.Warn("owner forward failed; running locally", "key", runKey, "owner", owner.ID, "err", err)
@@ -396,26 +520,58 @@ func (w *Worker) forwardToOwner(ctx context.Context, runKey string, body []byte)
 // --- membership loop -----------------------------------------------------
 
 // Start joins the fleet and begins heartbeating. Blocks until the first
-// join succeeds or ctx expires, then heartbeats in the background until
-// Stop.
+// join succeeds. An unreachable coordinator is not fatal: after
+// HeartbeatFailureThreshold consecutive failures (or ctx expiry,
+// whichever is first) the worker enters degraded mode — serving
+// standalone — and the background loop keeps trying to join, so a
+// coordinator that comes up late is picked up without a restart.
 func (w *Worker) Start(ctx context.Context) error {
-	for {
+	var lastErr error
+	for attempt := 0; ctx.Err() == nil && attempt < w.opt.HeartbeatFailureThreshold; attempt++ {
 		if err := w.join(ctx); err == nil {
-			break
-		} else if ctx.Err() != nil {
-			return fmt.Errorf("fleet: joining coordinator %s: %w", w.opt.Coordinator, err)
+			w.startLoop()
+			return nil
+		} else {
+			lastErr = err
+			w.met.heartbeatFailures.Add(1)
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
 		case <-time.After(500 * time.Millisecond):
 		}
 	}
+	w.log.Warn("coordinator unreachable at startup; serving degraded",
+		"coordinator", w.opt.Coordinator, "err", lastErr)
+	w.enterDegraded()
+	w.startLoop()
+	return nil
+}
+
+func (w *Worker) startLoop() {
 	w.mu.Lock()
 	w.started = true
 	w.mu.Unlock()
 	go w.heartbeatLoop()
-	return nil
+}
+
+// enterDegraded flips the worker to standalone serving: peer probes and
+// owner-forwarding stop, checkpoint mirrors buffer locally. Idempotent.
+func (w *Worker) enterDegraded() {
+	if w.degraded.CompareAndSwap(false, true) {
+		w.met.degraded.Store(1)
+		w.log.Warn("entering degraded mode: coordinator unreachable, serving standalone",
+			"coordinator", w.opt.Coordinator)
+	}
+}
+
+// exitDegraded restores fleet participation after a successful rejoin and
+// replays the locally buffered checkpoint mirrors.
+func (w *Worker) exitDegraded() {
+	if w.degraded.CompareAndSwap(true, false) {
+		w.met.degraded.Store(0)
+		w.log.Info("rejoined coordinator; leaving degraded mode", "coordinator", w.opt.Coordinator)
+		w.replayMirrorBuffer()
+	}
 }
 
 // Stop ends the heartbeat loop. Idempotent; a no-op when Start never
@@ -430,20 +586,47 @@ func (w *Worker) Stop() {
 	}
 }
 
+// heartbeatLoop re-joins every HeartbeatInterval. After K consecutive
+// failures (HeartbeatFailureThreshold) it enters degraded mode and backs
+// off — jittered exponential, capped at RejoinBackoffMax — where every
+// join attempt doubles as the half-open recovery probe: the first success
+// exits degraded mode, replays buffered mirrors, and resumes the normal
+// cadence.
 func (w *Worker) heartbeatLoop() {
 	defer close(w.done)
-	t := time.NewTicker(w.opt.HeartbeatInterval)
-	defer t.Stop()
+	consecutive := 0
+	backoff := w.opt.HeartbeatInterval
+	wait := w.opt.HeartbeatInterval
 	for {
 		select {
 		case <-w.stop:
 			return
-		case <-t.C:
-			ctx, cancel := context.WithTimeout(context.Background(), w.opt.HeartbeatInterval)
-			if err := w.join(ctx); err != nil {
-				w.log.Warn("heartbeat failed", "err", err)
-			}
-			cancel()
+		case <-time.After(wait):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), w.opt.HeartbeatInterval)
+		err := w.join(ctx)
+		cancel()
+		if err == nil {
+			consecutive = 0
+			backoff = w.opt.HeartbeatInterval
+			wait = w.opt.HeartbeatInterval
+			w.exitDegraded()
+			continue
+		}
+		consecutive++
+		w.met.heartbeatFailures.Add(1)
+		if w.degraded.Load() {
+			backoff = min(backoff*2, w.opt.RejoinBackoffMax)
+			wait = backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			w.log.Warn("rejoin attempt failed; backing off", "err", err, "retry_in", wait)
+		} else if consecutive >= w.opt.HeartbeatFailureThreshold {
+			w.log.Warn("heartbeat failed", "err", err, "consecutive", consecutive)
+			w.enterDegraded()
+			backoff = w.opt.HeartbeatInterval
+			wait = backoff
+		} else {
+			w.log.Warn("heartbeat failed", "err", err, "consecutive", consecutive)
+			wait = w.opt.HeartbeatInterval
 		}
 	}
 }
@@ -460,7 +643,7 @@ func (w *Worker) join(ctx context.Context) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client.Do(req)
+	resp, err := w.hbClient.Do(req)
 	if err != nil {
 		return err
 	}

@@ -435,6 +435,21 @@ func contentHash(data []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// WriteContentBlob stores data in a content-addressed directory (sha256
+// name, tmp-file + fsync + rename, write-once) and returns its address.
+// Exported for the fleet coordinator's journal, which persists mirrored
+// checkpoint blobs with exactly the durability contract of the worker
+// stores above.
+func WriteContentBlob(dir, what string, data []byte) (string, error) {
+	return writeContentFile(dir, what, data)
+}
+
+// ReadContentBlob loads a content-addressed blob back, verifying the bytes
+// still hash to their name. The exported counterpart of WriteContentBlob.
+func ReadContentBlob(path, what, hash string) ([]byte, error) {
+	return readContentFile(path, what, hash)
+}
+
 // compactJournal rewrites journal.jsonl from the replayed state: one end
 // record per terminal job, submit (+ latest checkpoint) per interrupted one,
 // in job-id order. Replaying the compacted stream reconstructs exactly the

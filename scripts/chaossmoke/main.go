@@ -84,6 +84,15 @@ func scrub(path string) {
 	}
 }
 
+// artifactHint names the kept scratch directory in failure messages when
+// artifacts are retained, so the post-mortem starts at the right log.
+func artifactHint(tmp string) string {
+	if artifactsDir == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (daemon.log kept under %s)", tmp)
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos-smoke: FAIL:", err)
@@ -95,13 +104,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("chaossmoke", flag.ContinueOnError)
 	runPat := fs.String("run", "", "only run scenarios whose name matches this regexp")
+	timeout := fs.Duration("timeout", 10*time.Minute, "hard deadline for the whole drill; a hung scenario fails instead of wedging CI (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: chaossmoke [-run REGEX] /path/to/dbpserved")
+		return fmt.Errorf("usage: chaossmoke [-run REGEX] [-timeout D] /path/to/dbpserved")
 	}
 	bin := fs.Arg(0)
+	if *timeout > 0 {
+		// A watchdog, not a context: scenarios block in straight-line HTTP
+		// and process waits, so a wedged daemon would otherwise hang the
+		// drill (and its CI job) forever.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "chaos-smoke: FAIL: drill exceeded -timeout %v; a scenario is wedged\n", *timeout)
+			os.Exit(1)
+		})
+	}
 	var filter *regexp.Regexp
 	if *runPat != "" {
 		re, err := regexp.Compile(*runPat)
@@ -908,13 +927,15 @@ func startDaemon(bin string, extra ...string) (*daemon, error) {
 		select {
 		case err := <-d.exited:
 			scrub(tmp)
-			return nil, fmt.Errorf("daemon exited before binding: %v", err)
+			return nil, fmt.Errorf("daemon exited before binding (flags: %s): %v — likely a bad flag or an occupied port; its log is above%s",
+				strings.Join(args, " "), err, artifactHint(tmp))
 		default:
 		}
 		if time.Now().After(deadline) {
 			cmd.Process.Kill()
 			scrub(tmp)
-			return nil, fmt.Errorf("daemon never wrote %s", addrFile)
+			return nil, fmt.Errorf("daemon never wrote its bound address to %s within 15s (flags: %s) — it is running but never finished binding%s",
+				addrFile, strings.Join(args, " "), artifactHint(tmp))
 		}
 		time.Sleep(25 * time.Millisecond)
 	}

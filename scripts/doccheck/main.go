@@ -13,6 +13,9 @@
 //     examples/tenants.json must be mentioned (as `key`) in
 //     docs/SERVICE.md, so a new tenant-file field cannot land without
 //     docs.
+//   - Chaos points: every fault-injection point declared in
+//     internal/chaos/chaos.go must be mentioned (as `point`) in the
+//     service docs, so a new -chaos spec point cannot land undocumented.
 //
 // Usage: go run ./scripts/doccheck
 package main
@@ -50,7 +53,10 @@ func run() error {
 	if err := checkServiceSurface(); err != nil {
 		return err
 	}
-	return checkTenantConfig()
+	if err := checkTenantConfig(); err != nil {
+		return err
+	}
+	return checkChaosPoints()
 }
 
 func checkScenarioSchema() error {
@@ -209,6 +215,52 @@ func checkTenantConfig() error {
 		return fmt.Errorf("%d tenant config field(s) missing from %s", len(missing), doc)
 	}
 	fmt.Printf("doccheck: ok (%s: every field documented in %s)\n", example, doc)
+	return nil
+}
+
+var chaosPointRe = regexp.MustCompile(`(?m)^\t\w+\s+Point = "([a-z-]+)"`)
+
+// checkChaosPoints keeps the fault-injection docs honest: every Point
+// constant declared in internal/chaos/chaos.go must be mentioned (in
+// backticks) somewhere in the service docs.
+func checkChaosPoints() error {
+	const src = "internal/chaos/chaos.go"
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	points := map[string]bool{}
+	for _, m := range chaosPointRe.FindAllStringSubmatch(string(data), -1) {
+		points[m[1]] = true
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("no chaos Point declarations found in %s (pattern drift?)", src)
+	}
+	var docs strings.Builder
+	for _, f := range serviceDocs {
+		d, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		docs.Write(d)
+		docs.WriteByte('\n')
+	}
+	text := docs.String()
+	where := strings.Join(serviceDocs, " / ")
+	var missing []string
+	for name := range points {
+		if !strings.Contains(text, "`"+name+"`") {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "doccheck: chaos point %q is not documented in %s\n", m, where)
+		}
+		return fmt.Errorf("%d chaos point(s) missing from %s", len(missing), where)
+	}
+	fmt.Printf("doccheck: ok (%d chaos points, all documented in %s)\n", len(points), where)
 	return nil
 }
 

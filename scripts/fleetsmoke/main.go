@@ -21,7 +21,21 @@
 //     with reference-identical ledgers (re-placement of the dead worker's
 //     key range).
 //
-// Usage: go run ./scripts/fleetsmoke /path/to/dbpserved
+// With -chaos, the drill instead targets the fleet's resilience layer:
+//
+//   - the coordinator (running with -journal-dir) is SIGKILLed mid-sweep
+//     and restarted on the same address over the same journal: the
+//     restarted coordinator resyncs the workers, resumes the sweep from
+//     its first incomplete cell, a resubmitted identical sweep completes
+//     with ledgers byte-identical to the single-node reference, and the
+//     fleet-wide unique-simulation count is unchanged — nothing completed
+//     is ever re-simulated;
+//   - a worker booted behind a network partition from the coordinator
+//     (-chaos partition=<coordinator>) serves direct runs standalone in
+//     degraded mode, buffers its checkpoint mirrors locally, and never
+//     pollutes the coordinator's live-worker count.
+//
+// Usage: go run ./scripts/fleetsmoke [-chaos] /path/to/dbpserved
 //
 // With FLEETSMOKE_ARTIFACTS=<dir> set (CI does this), every scratch
 // directory and per-daemon log file is created under <dir> and left in
@@ -33,6 +47,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
@@ -87,10 +102,18 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: fleetsmoke /path/to/dbpserved")
+	fs := flag.NewFlagSet("fleetsmoke", flag.ContinueOnError)
+	chaosMode := fs.Bool("chaos", false, "run the resilience drill (coordinator kill+restart, partitioned worker) instead of the happy-path fleet drill")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	bin := args[0]
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fleetsmoke [-chaos] /path/to/dbpserved")
+	}
+	bin := fs.Arg(0)
+	if *chaosMode {
+		return runChaos(bin)
+	}
 
 	refs, err := scenarioReference(bin)
 	if err != nil {
@@ -114,6 +137,35 @@ func run(args []string) error {
 	}
 	if err := scenarioSurvivorSweep(f, refs); err != nil {
 		return fmt.Errorf("post-kill sweep: %w", err)
+	}
+	return nil
+}
+
+// runChaos is the -chaos drill: a journaled coordinator killed mid-sweep
+// and restarted over its journal, then a worker booted behind a network
+// partition.
+func runChaos(bin string) error {
+	refs, err := chaosReference(bin)
+	if err != nil {
+		return fmt.Errorf("single-node reference: %w", err)
+	}
+	journal, err := scratchDir("dbpserved-fleet-coord-journal")
+	if err != nil {
+		return err
+	}
+	defer scrub(journal)
+
+	f, err := startFleet(bin, 3, "-journal-dir", journal)
+	if err != nil {
+		return fmt.Errorf("fleet boot: %w", err)
+	}
+	defer f.kill()
+
+	if err := scenarioCoordinatorKillRestart(bin, f, journal, refs); err != nil {
+		return fmt.Errorf("coordinator kill+restart: %w", err)
+	}
+	if err := scenarioPartitionedWorker(bin, f); err != nil {
+		return fmt.Errorf("partitioned worker: %w", err)
 	}
 	return nil
 }
@@ -309,6 +361,215 @@ func scenarioSurvivorSweep(f *fleetHarness, refs map[string][]byte) error {
 	return nil
 }
 
+// --- chaos scenarios ------------------------------------------------------
+
+// The chaos sweep's cells run long enough (seconds each) that SIGKILLing
+// the coordinator after the first streamed result line reliably lands
+// mid-sweep.
+const (
+	chaosSweepBody = `{"mixes": ["W4-M1"], "partitions": ["none", "equal", "dbp"], "warmup": 0, "measure": 2000000}`
+	chaosCellT     = `{"mix": "W4-M1", "partition": "%s", "warmup": 0, "measure": 2000000}`
+)
+
+// chaosReference captures single-node ledgers for the chaos sweep's cells.
+func chaosReference(bin string) (map[string][]byte, error) {
+	d, err := startDaemon(bin, "chaos-ref")
+	if err != nil {
+		return nil, err
+	}
+	defer d.kill()
+	refs := make(map[string][]byte)
+	for _, part := range sweepPartitions {
+		status, ledger, _, err := d.post("/v1/runs?timeout=120s", fmt.Sprintf(chaosCellT, part))
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("cell %s: status %d: %s", part, status, ledger)
+		}
+		refs[part] = ledger
+	}
+	if err := d.drain(); err != nil {
+		return nil, err
+	}
+	fmt.Println("fleet-smoke: chaos reference: single-node ledgers captured")
+	return refs, nil
+}
+
+// scenarioCoordinatorKillRestart SIGKILLs the journaled coordinator after
+// the first sweep cell streams, restarts it on the same address over the
+// same journal, and requires: the interrupted stream tears without a
+// summary; the restarted coordinator resumes the sweep to completion; a
+// resubmitted identical sweep answers all cells with reference-identical
+// ledgers; and the fleet-wide unique-simulation count is exactly one per
+// cell — nothing with a journaled terminal record ever re-simulates.
+func scenarioCoordinatorKillRestart(bin string, f *fleetHarness, journal string, refs map[string][]byte) error {
+	coordAddr := strings.TrimPrefix(f.coord.base, "http://")
+
+	resp, err := http.Post(f.coord.base+"/v1/sweeps", "application/json", strings.NewReader(chaosSweepBody))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("sweep: status %d: %s", resp.StatusCode, data)
+	}
+	received, sawSummary := 0, false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return fmt.Errorf("bad stream line %.120q: %w", sc.Text(), err)
+		}
+		if probe.Summary {
+			sawSummary = true
+			break
+		}
+		received++
+		if received == 1 {
+			if err := f.coord.cmd.Process.Kill(); err != nil {
+				return err
+			}
+			<-f.coord.exited
+			fmt.Println("fleet-smoke: chaos: SIGKILLed coordinator after the first streamed cell")
+		}
+	}
+	if sawSummary {
+		return fmt.Errorf("sweep completed (summary line seen) before the kill landed; mid-sweep interruption never happened")
+	}
+	fmt.Printf("fleet-smoke: chaos: sweep stream tore after %d cell line(s), no summary\n", received)
+
+	// Restart on the same address over the same journal. The workers still
+	// point at this address; Go listeners set SO_REUSEADDR, so the port
+	// rebinds immediately.
+	coord2, err := startDaemonAt(bin, "coord-restarted", coordAddr, "-coordinator", "-journal-dir", journal)
+	if err != nil {
+		return fmt.Errorf("coordinator restart: %w", err)
+	}
+	f.coord = coord2
+	fmt.Println("fleet-smoke: chaos: coordinator restarted over its journal")
+
+	// The restarted coordinator must resync the workers and finish the
+	// sweep's remaining cells on its own.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		m, err := f.coord.metrics()
+		if err == nil && m["dbpfleet_sweep_cells_done_total"] == float64(len(sweepPartitions)) {
+			break
+		}
+		if err == nil && m["dbpfleet_sweep_cells_failed_total"] > 0 {
+			return fmt.Errorf("resumed sweep failed cells: %v", m["dbpfleet_sweep_cells_failed_total"])
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("restarted coordinator never finished the interrupted sweep (cells done: %v)",
+				m["dbpfleet_sweep_cells_done_total"])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Println("fleet-smoke: chaos: restarted coordinator resumed the sweep to completion")
+
+	// Resubmitting the identical sweep is the client's recovery path: every
+	// cell must answer, byte-identical to the single-node reference.
+	results, summary, err := f.sweep(chaosSweepBody)
+	if err != nil {
+		return err
+	}
+	if summary.Done != len(sweepPartitions) || summary.Failed != 0 {
+		return fmt.Errorf("resubmitted sweep summary = %+v, want %d done", summary, len(sweepPartitions))
+	}
+	if err := checkCells(results, refs); err != nil {
+		return err
+	}
+
+	// The hard invariant: across kill, restart, resume, and resubmission the
+	// fleet paid exactly one simulation per unique cell.
+	executed, err := f.totalExecuted()
+	if err != nil {
+		return err
+	}
+	if executed != float64(len(sweepPartitions)) {
+		return fmt.Errorf("kill+restart changed the unique-simulation count: %v executed, want %d",
+			executed, len(sweepPartitions))
+	}
+	fmt.Println("fleet-smoke: chaos: resubmitted sweep reference-identical, unique-simulation count unchanged")
+	return nil
+}
+
+// scenarioPartitionedWorker boots a fourth worker behind an injected
+// network partition from the coordinator: it must come up degraded, serve
+// direct runs standalone, buffer its checkpoint mirrors locally, and never
+// appear in the coordinator's live-worker count.
+func scenarioPartitionedWorker(bin string, f *fleetHarness) error {
+	coordHost := strings.TrimPrefix(f.coord.base, "http://")
+	d, err := startDaemon(bin, "w4-partitioned",
+		"-join", f.coord.base,
+		"-worker-id", "w4",
+		"-heartbeat", "100ms",
+		"-checkpoint-interval", "1",
+		"-workers", "2",
+		"-chaos", "partition="+coordHost,
+		"-chaos-allow",
+	)
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		m, err := d.metrics()
+		if err == nil && m["dbpfleet_degraded"] == 1 {
+			if m["dbpfleet_heartbeat_failures_total"] < 1 {
+				return fmt.Errorf("degraded without counted heartbeat failures: %v", m)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("partitioned worker never entered degraded mode")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Println("fleet-smoke: chaos: partitioned worker came up degraded")
+
+	// Standalone serving: a direct run on the partitioned worker answers.
+	// The run is long enough (seconds) that checkpoints fire mid-flight,
+	// which must land in the local mirror buffer, not on the floor.
+	status, ledger, _, err := d.post("/v1/runs?timeout=120s", fmt.Sprintf(chaosCellT, "equal"))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("degraded worker answered %d to a direct run: %s", status, ledger)
+	}
+
+	// Its checkpoint mirrors buffered locally instead of being dropped.
+	m, err := d.metrics()
+	if err != nil {
+		return err
+	}
+	if m["dbpfleet_mirrors_buffered_total"] < 1 {
+		return fmt.Errorf("dbpfleet_mirrors_buffered_total = %v, want >= 1", m["dbpfleet_mirrors_buffered_total"])
+	}
+
+	// The coordinator never saw it: the live-worker count is unchanged.
+	var h struct {
+		Live int `json:"workers_live"`
+	}
+	hstatus, data, err := f.coord.get("/healthz")
+	if err != nil || hstatus != http.StatusOK || json.Unmarshal(data, &h) != nil {
+		return fmt.Errorf("coordinator healthz: status %d, err %v", hstatus, err)
+	}
+	if h.Live != len(f.workers) {
+		return fmt.Errorf("coordinator sees %d live workers, want %d (the partitioned worker must never join)", h.Live, len(f.workers))
+	}
+	fmt.Println("fleet-smoke: chaos: partitioned worker served standalone, buffered mirrors, never joined the ring")
+	return nil
+}
+
 // checkCells verifies a sweep's results cover every partition exactly once
 // with ledgers hash-identical to the single-node reference.
 func checkCells(results []sweepResult, refs map[string][]byte) error {
@@ -330,8 +591,8 @@ func checkCells(results []sweepResult, refs map[string][]byte) error {
 			return fmt.Errorf("cell %s/%s carries no worker attribution", res.Mix, res.Partition)
 		}
 	}
-	if len(seen) != len(refs)-1 { // refs additionally holds "migrate"
-		return fmt.Errorf("sweep covered %d cells, want %d", len(seen), len(refs)-1)
+	if len(seen) != len(sweepPartitions) {
+		return fmt.Errorf("sweep covered %d cells, want %d", len(seen), len(sweepPartitions))
 	}
 	return nil
 }
@@ -343,12 +604,12 @@ type fleetHarness struct {
 	workers map[string]*daemon // worker id → daemon
 }
 
-// startFleet boots one coordinator and n workers (checkpointing every
-// scheduler quantum, heartbeating fast) and waits until the coordinator
-// reports the whole fleet live and every worker has a converged membership
-// view.
-func startFleet(bin string, n int) (*fleetHarness, error) {
-	coord, err := startDaemon(bin, "coord", "-coordinator")
+// startFleet boots one coordinator (plus any extra coordinator flags, e.g.
+// -journal-dir) and n workers (checkpointing every scheduler quantum,
+// heartbeating fast) and waits until the coordinator reports the whole
+// fleet live and every worker has a converged membership view.
+func startFleet(bin string, n int, coordExtra ...string) (*fleetHarness, error) {
+	coord, err := startDaemon(bin, "coord", append([]string{"-coordinator"}, coordExtra...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -520,12 +781,19 @@ type daemon struct {
 // startDaemon launches the binary on a free port and waits for it to
 // report its bound address. name labels the scratch dir and log file.
 func startDaemon(bin, name string, extra ...string) (*daemon, error) {
+	return startDaemonAt(bin, name, "127.0.0.1:0", extra...)
+}
+
+// startDaemonAt is startDaemon pinned to a specific listen address — how
+// the chaos drill restarts a killed coordinator where its workers still
+// expect it.
+func startDaemonAt(bin, name, addr string, extra ...string) (*daemon, error) {
 	tmp, err := scratchDir("dbpserved-fleet-" + name)
 	if err != nil {
 		return nil, err
 	}
 	addrFile := filepath.Join(tmp, "addr")
-	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-log-json"}, extra...)
+	args := append([]string{"-addr", addr, "-addr-file", addrFile, "-log-json"}, extra...)
 	cmd := exec.Command(bin, args...)
 	var logFile *os.File
 	var sink io.Writer = os.Stderr
